@@ -1,0 +1,78 @@
+"""E10 — Sect. 4.7: prioritizing software-inspection warnings.
+
+Paper claim ([2], Boogerd & Moonen): static execution-likelihood
+profiling prioritizes QA-C-style inspection warnings so developers spend
+their inspection budget on warnings that matter in the field.
+
+The bench generates a synthetic warning population over the TV's 60 000-
+block build, ranks with the likelihood analyzer, and compares the
+relevant-warning density at top-N cutoffs against the tool's file-order
+output and a random order.
+"""
+
+import pytest
+
+from repro.devtools import WarningGenerator, WarningPrioritizer
+from repro.tv.software import SoftwareBuild
+
+from conftest import print_table, run_once
+
+CUTOFFS = (10, 25, 50, 100)
+
+
+def test_e10_prioritization_beats_baselines(benchmark):
+    def experiment():
+        build = SoftwareBuild()
+        warnings = WarningGenerator(build, seed=3, warning_count=800).generate()
+        prioritizer = WarningPrioritizer(build, seed=3)
+        return {
+            strategy: prioritizer.evaluate(warnings, strategy, cutoffs=CUTOFFS)
+            for strategy in ("likelihood", "file_order", "random")
+        }
+
+    results = run_once(benchmark, experiment)
+    rows = []
+    for strategy, result in results.items():
+        rows.append(
+            [strategy]
+            + [f"{result.precision_at[c]:.2f}" for c in CUTOFFS]
+            + [result.total_relevant]
+        )
+    print_table(
+        "E10: relevant-warning density at top-N "
+        "(paper: execution-likelihood prioritization focuses inspection)",
+        ["strategy"] + [f"P@{c}" for c in CUTOFFS] + ["total relevant"],
+        rows,
+    )
+    likelihood = results["likelihood"]
+    for baseline in ("file_order", "random"):
+        assert (
+            likelihood.precision_at[100] > results[baseline].precision_at[100]
+        ), baseline
+    base_density = likelihood.total_relevant / likelihood.total_warnings
+    assert likelihood.precision_at[50] > 1.5 * base_density
+
+
+def test_e10_robust_across_seeds(benchmark):
+    """The ordering advantage is systematic, not a lucky seed."""
+
+    def sweep():
+        wins = 0
+        trials = 6
+        for seed in range(trials):
+            build = SoftwareBuild(seed=seed)
+            warnings = WarningGenerator(build, seed=seed, warning_count=500).generate()
+            prioritizer = WarningPrioritizer(build, seed=seed)
+            likelihood = prioritizer.evaluate(warnings, "likelihood", cutoffs=(50,))
+            rand = prioritizer.evaluate(warnings, "random", cutoffs=(50,))
+            if likelihood.precision_at[50] > rand.precision_at[50]:
+                wins += 1
+        return wins, trials
+
+    wins, trials = run_once(benchmark, sweep)
+    print_table(
+        "E10b: seeds where likelihood beats random at P@50",
+        ["wins", "trials"],
+        [[wins, trials]],
+    )
+    assert wins >= trials - 1

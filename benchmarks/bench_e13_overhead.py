@@ -1,0 +1,125 @@
+"""E13 — Sect. 2 / Sect. 5: the cost constraint of the approach itself.
+
+The Trader challenge is to improve dependability "with minimal additional
+hardware costs and without degrading performance", and Sect. 5 notes "the
+constraint to minimize overhead is a limiting factor".
+
+This bench measures what attaching the awareness stack costs on our
+substrate: wall-clock time and simulation-event count for the *same*
+workload bare, with the Fig. 2 monitor, and with the full integrated
+stack (monitor + mode checker + online diagnosis + recovery loop).  The
+assertion is the paper's constraint: monitoring must stay within a small
+multiple of the bare system.
+"""
+
+import time as wallclock
+
+import pytest
+
+from repro.awareness import make_tv_monitor
+from repro.core import TraderTV
+from repro.tv import TVSet
+
+from conftest import print_table, run_once
+
+WORKLOAD = [
+    "power", "ch_up", "ch_up", "vol_up", "ttx", "ttx", "menu", "back",
+    "dual", "swap", "dual", "epg", "epg", "mute", "mute", "ch_down",
+    "ttx", "ch_up", "ttx", "power",
+] * 3
+
+
+def drive(tv):
+    for key in WORKLOAD:
+        tv.press(key)
+        tv.run(3.0)
+    tv.run(5.0)
+    return tv.kernel.dispatched_count
+
+
+def run_bare():
+    start = wallclock.perf_counter()
+    tv = TVSet(seed=55)
+    events = drive(tv)
+    return wallclock.perf_counter() - start, events
+
+
+def run_monitored():
+    start = wallclock.perf_counter()
+    tv = TVSet(seed=55)
+    make_tv_monitor(tv)
+    events = drive(tv)
+    return wallclock.perf_counter() - start, events
+
+
+def run_full_stack():
+    start = wallclock.perf_counter()
+    system = TraderTV(seed=55)
+    events = drive(system.tv)
+    return wallclock.perf_counter() - start, events
+
+
+def test_e13_monitoring_overhead(benchmark):
+    def experiment():
+        rows = {}
+        # interleave repetitions so machine noise spreads evenly
+        samples = {"bare": [], "monitored": [], "full stack": []}
+        events = {}
+        for _ in range(3):
+            for name, runner in (
+                ("bare", run_bare),
+                ("monitored", run_monitored),
+                ("full stack", run_full_stack),
+            ):
+                elapsed, dispatched = runner()
+                samples[name].append(elapsed)
+                events[name] = dispatched
+        for name in samples:
+            rows[name] = (min(samples[name]), events[name])
+        return rows
+
+    rows = run_once(benchmark, experiment)
+    bare_time, bare_events = rows["bare"]
+    table = [
+        [
+            name,
+            f"{elapsed * 1000:.1f} ms",
+            dispatched,
+            f"{elapsed / bare_time:.2f}x",
+        ]
+        for name, (elapsed, dispatched) in rows.items()
+    ]
+    print_table(
+        "E13: cost of attaching the awareness stack "
+        "(paper: dependability without degrading performance)",
+        ["configuration", "wall time (best of 3)", "sim events", "slowdown"],
+        table,
+    )
+    monitored_time, monitored_events = rows["monitored"]
+    full_time, full_events = rows["full stack"]
+    # The monitor multiplies event counts (channels, sampling loops), but
+    # the end-to-end cost must stay within a small constant factor.
+    assert monitored_events < 10 * bare_events
+    assert monitored_time < 10 * bare_time
+    assert full_time < 25 * bare_time
+
+
+def test_e13_comparison_rate(benchmark):
+    """Throughput of the comparator itself: comparisons per wall second."""
+
+    def measure():
+        tv = TVSet(seed=55)
+        monitor = make_tv_monitor(tv)
+        start = wallclock.perf_counter()
+        drive(tv)
+        elapsed = wallclock.perf_counter() - start
+        comparisons = monitor.comparator.stats.comparisons
+        return comparisons, comparisons / elapsed
+
+    comparisons, rate = run_once(benchmark, measure)
+    print_table(
+        "E13b: comparator throughput",
+        ["comparisons in workload", "comparisons / wall second"],
+        [[comparisons, f"{rate:,.0f}"]],
+    )
+    assert comparisons > 500

@@ -1,0 +1,74 @@
+"""E1 — Sect. 4.4: spectrum-based diagnosis of an injected teletext error.
+
+Paper numbers: 60 000 instrumented blocks; a 27-key-press scenario
+executes 13 796 of them; the block containing the injected teletext fault
+ranks **first** by spectrum similarity.
+
+This bench reruns that experiment on the simulated TV and prints the same
+row the paper reports, plus the coefficient sweep the underlying SFL work
+([20]) tabulates.
+"""
+
+import pytest
+
+from repro.diagnosis import (
+    TELETEXT_SCENARIO_27,
+    ScenarioRunner,
+    SpectrumDiagnoser,
+    evaluate_ranking,
+)
+from repro.tv import FaultInjector, TVSet
+
+from conftest import print_table, run_once
+
+
+def run_diagnosis_experiment(coefficient="ochiai", seed=11):
+    tv = TVSet(seed=seed)
+    FaultInjector(tv).inject("ttx_stale_render", activate_after_presses=10)
+    runner = ScenarioRunner(tv)
+    result = runner.run(TELETEXT_SCENARIO_27)
+    ranking = SpectrumDiagnoser(coefficient).ranking(result.collector)
+    quality = evaluate_ranking(
+        ranking, runner.build.fault_blocks("ttx_stale_render")
+    )
+    return result, quality
+
+
+def test_e1_teletext_fault_ranked_first(benchmark):
+    result, quality = run_once(benchmark, run_diagnosis_experiment)
+    print_table(
+        "E1: teletext fault diagnosis (paper: 60 000 blocks, 27 presses, "
+        "13 796 executed, faulty block rank 1)",
+        ["metric", "paper", "measured"],
+        [
+            ["total blocks", 60000, result.total_blocks],
+            ["key presses", 27, len(result.keys)],
+            ["blocks executed", 13796, result.executed_blocks],
+            ["erroneous presses", "(some)", result.error_steps],
+            ["faulty block rank", 1, quality.best_rank],
+            ["wasted effort", "~0", f"{quality.wasted_effort:.4f}"],
+        ],
+    )
+    assert result.total_blocks == 60000
+    assert len(result.keys) == 27
+    assert 10000 <= result.executed_blocks <= 20000
+    assert quality.best_rank == 1
+
+
+def test_e1_coefficient_sweep(benchmark):
+    def sweep():
+        rows = []
+        for name in ("ochiai", "tarantula", "jaccard", "dice", "kulczynski2"):
+            result, quality = run_diagnosis_experiment(coefficient=name)
+            rows.append(
+                [name, quality.best_rank, f"{quality.wasted_effort:.4f}"]
+            )
+        return rows
+
+    rows = run_once(benchmark, sweep)
+    print_table(
+        "E1b: similarity coefficient sweep",
+        ["coefficient", "best rank", "wasted effort"],
+        rows,
+    )
+    assert all(rank <= 5 for _, rank, _ in rows)

@@ -1,0 +1,80 @@
+"""E6 — Sect. 4.6: user perception — the attribution effect.
+
+Paper claim (DTI): users *rank* image quality and the motorized swivel as
+comparably important, yet under observation tolerate bad image quality
+(attributed to external sources) while a broken swivel irritates them.
+
+The bench runs the controlled-experiment simulator over a user population
+and prints the stated-importance vs observed-irritation table, plus the
+sensitivity of the effect to the external-attribution discount.
+"""
+
+import pytest
+
+from repro.perception import (
+    ControlledStudy,
+    PAPER_FUNCTIONS,
+    SeverityModel,
+    generate_population,
+)
+
+from conftest import print_table, run_once
+
+
+def test_e6_attribution_effect(benchmark):
+    def experiment():
+        study = ControlledStudy(PAPER_FUNCTIONS, seed=42)
+        return study.run(generate_population(500, seed=7))
+
+    result = run_once(benchmark, experiment)
+    rows = []
+    for name, outcome in sorted(result.outcomes.items()):
+        rows.append(
+            [
+                name,
+                f"{outcome.stated_importance_mean:.2f}",
+                f"{outcome.observed_irritation_mean:.3f}",
+                f"{outcome.external_attribution_rate:.2f}",
+            ]
+        )
+    print_table(
+        "E6: stated importance vs observed irritation "
+        "(paper: image quality tolerated, swivel irritates)",
+        ["function", "stated importance", "observed irritation", "external attribution"],
+        rows,
+    )
+    image = result.outcomes["image_quality"]
+    swivel = result.outcomes["swivel"]
+    assert abs(image.stated_importance_mean - swivel.stated_importance_mean) < 0.1
+    assert swivel.observed_irritation_mean > 1.5 * image.observed_irritation_mean
+    assert image.external_attribution_rate > 0.6
+    assert swivel.external_attribution_rate < 0.2
+
+
+def test_e6_discount_sensitivity(benchmark):
+    """Ablation: the effect vanishes when attribution carries no weight."""
+
+    def sweep():
+        rows = []
+        for discount in (0.0, 0.4, 0.8):
+            study = ControlledStudy(
+                PAPER_FUNCTIONS,
+                severity=SeverityModel(external_discount=discount),
+                seed=42,
+            )
+            result = study.run(generate_population(300, seed=7))
+            image = result.outcomes["image_quality"].observed_irritation_mean
+            swivel = result.outcomes["swivel"].observed_irritation_mean
+            rows.append([discount, f"{image:.3f}", f"{swivel:.3f}", f"{swivel / image:.2f}"])
+        return rows
+
+    rows = run_once(benchmark, sweep)
+    print_table(
+        "E6b: attribution-discount ablation",
+        ["external discount", "image irritation", "swivel irritation", "ratio"],
+        rows,
+    )
+    ratios = [float(row[3]) for row in rows]
+    assert ratios == sorted(ratios)  # effect grows with the discount
+    assert ratios[0] < 1.3           # no discount -> no big gap
+    assert ratios[-1] > 1.5          # paper's regime -> swivel dominates

@@ -1,0 +1,108 @@
+"""E7 — Sect. 4.7: stress testing by resource takeaway.
+
+Paper claim (TASS): artificially removing shared resources (CPU cycles
+via the CPU eater, bus bandwidth) "to simulate the occurrence of errors or
+the addition of an additional resource user [...] has shown to be very
+useful in the TV domain" — overloads expose behaviour that nominal
+testing never reaches.
+
+The bench runs the stress campaign across the default scenario sweep and
+shows that (a) the nominal run is clean and (b) stress reveals deadline
+misses and quality loss, monotonically in stress intensity.
+"""
+
+import pytest
+
+from repro.devtools import DEFAULT_SCENARIOS, StressCampaign
+
+from conftest import print_table, run_once
+
+
+def test_e7_stress_campaign(benchmark):
+    def experiment():
+        campaign = StressCampaign(seed=2, measure=120.0)
+        return campaign.run(DEFAULT_SCENARIOS)
+
+    outcomes = run_once(benchmark, experiment)
+    rows = [
+        [
+            outcome.scenario,
+            f"{outcome.miss_rate:.3f}",
+            f"{outcome.mean_frame_quality:.3f}",
+            f"{outcome.degraded_fraction:.3f}",
+        ]
+        for outcome in outcomes
+    ]
+    print_table(
+        "E7: stress-testing campaign (paper: overload reveals behaviour "
+        "nominal testing cannot)",
+        ["scenario", "deadline miss rate", "frame quality", "degraded frames"],
+        rows,
+    )
+    by_name = {outcome.scenario: outcome for outcome in outcomes}
+    nominal = by_name["nominal"]
+    assert nominal.miss_rate < 0.05
+    assert nominal.mean_frame_quality > 0.8
+    # CPU eating monotonically degrades quality (small simulation noise)
+    assert (
+        by_name["eat25"].mean_frame_quality
+        >= by_name["eat50"].mean_frame_quality - 0.02
+    )
+    assert (
+        by_name["eat50"].mean_frame_quality
+        >= by_name["eat70"].mean_frame_quality - 0.02
+    )
+    # heavy stress exposes misses invisible nominally
+    assert by_name["eat70"].miss_rate > nominal.miss_rate
+    # bandwidth takeaway becomes user-visible once transfers overrun
+    assert by_name["bw60"].mean_frame_quality < nominal.mean_frame_quality
+    # combined stress is at least as bad as its CPU component alone
+    assert (
+        by_name["eat50+bw30"].mean_frame_quality
+        <= by_name["eat50"].mean_frame_quality + 0.05
+    )
+
+
+def test_e7_stress_reveals_latent_fault_tolerance_limits(benchmark):
+    """The paper's use case: studying the effect of overload on the
+    system's fault-tolerant mechanisms.  Here: the load balancer saves the
+    pipeline up to a point; the CPU eater finds its limit."""
+    from repro.recovery import LoadBalancer
+    from repro.tv import TVSet
+    from repro.devtools import CpuEater
+
+    def sweep():
+        rows = []
+        for load in (0.3, 0.5, 0.7, 0.85):
+            tv = TVSet(seed=2)
+            tv.press("power")
+            tv.run(20.0)
+            balancer = LoadBalancer(
+                tv.kernel,
+                tv.soc.scheduler,
+                movable_tasks=["video.enhance", "video.errcorr"],
+                miss_rate_threshold=0.2,
+                interval=4.0,
+            )
+            balancer.start()
+            eater = CpuEater(tv.soc, "cpu0")
+            eater.start(load)
+            start = tv.kernel.now
+            tv.run(200.0)
+            rows.append(
+                [
+                    load,
+                    f"{tv.video.mean_quality(since=start + 50):.3f}",
+                    len(balancer.decisions),
+                ]
+            )
+        return rows
+
+    rows = run_once(benchmark, sweep)
+    print_table(
+        "E7b: CPU eater vs the load balancer's rescue capacity",
+        ["eater load", "frame quality", "migrations"],
+        rows,
+    )
+    qualities = [float(row[1]) for row in rows]
+    assert qualities[0] > 0.75  # balancer absorbs light stress

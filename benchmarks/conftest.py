@@ -1,0 +1,26 @@
+"""Shared helpers for the experiment benchmarks.
+
+Every benchmark regenerates one table/claim from the paper (see
+EXPERIMENTS.md).  Simulations are deterministic, so a single round is a
+faithful measurement; ``run_once`` wraps ``benchmark.pedantic`` so heavy
+experiments do not get re-run dozens of times by the calibrator.
+"""
+
+from __future__ import annotations
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run ``fn`` exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+def print_table(title, header, rows):
+    """Print one paper-style result table to the benchmark log."""
+    print(f"\n=== {title} ===")
+    widths = [
+        max(len(str(header[i])), *(len(str(row[i])) for row in rows)) if rows else len(str(header[i]))
+        for i in range(len(header))
+    ]
+    print("  ".join(str(h).ljust(w) for h, w in zip(header, widths)))
+    for row in rows:
+        print("  ".join(str(c).ljust(w) for c, w in zip(row, widths)))

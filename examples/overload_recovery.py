@@ -1,0 +1,98 @@
+"""Overload scenarios: bad signal, task migration, CPU eater, adaptive memory.
+
+Three Sect. 4.5/4.7 mechanisms on the simulated SoC:
+
+1. a degrading broadcast signal inflates error-correction work until the
+   pipeline misses deadlines — the load balancer migrates the enhancement
+   task and frame quality recovers (the IMEC demonstration);
+2. a tester activates the CPU eater and watches the same overload appear
+   on demand (TASS stress testing);
+3. memory hogs starve the video DMA path until the adaptive arbiter
+   re-weights the shares (NXP Research).
+
+Run:  python examples/overload_recovery.py
+"""
+
+from repro.devtools import CpuEater
+from repro.platform import MemoryArbiter
+from repro.recovery import AdaptiveArbiterController, LoadBalancer
+from repro.sim import Kernel, Process
+from repro.tv import TVSet
+
+
+def migration_demo() -> None:
+    print("== task migration under bad signal (Sect. 4.5, IMEC) ==")
+    tv = TVSet(seed=9)
+    tv.press("power")
+    tv.run(20.0)
+    balancer = LoadBalancer(
+        tv.kernel,
+        tv.soc.scheduler,
+        movable_tasks=["video.enhance"],
+        miss_rate_threshold=0.2,
+        interval=4.0,
+    )
+    balancer.start()
+
+    print(f"  healthy:   quality={tv.video.mean_quality(since=5.0):.3f}  "
+          f"placement={tv.soc.scheduler.placement()['video.enhance']}")
+    tv.tuner.degrade_channel(1, 0.45)
+    overload_at = tv.kernel.now
+    tv.run(300.0)
+    for decision in balancer.decisions:
+        print(f"  t={decision.time:.0f}: migrated {decision.task} "
+              f"{decision.source} -> {decision.target} "
+              f"(miss rate {decision.miss_rate:.2f})")
+    print(f"  after:     quality={tv.video.mean_quality(since=overload_at + 60):.3f}  "
+          f"placement={tv.soc.scheduler.placement()['video.enhance']}")
+
+
+def cpu_eater_demo() -> None:
+    print("\n== CPU eater stress test (Sect. 4.7, TASS) ==")
+    tv = TVSet(seed=2)
+    tv.press("power")
+    tv.run(30.0)
+    nominal = tv.video.mean_quality(since=10.0)
+    eater = CpuEater(tv.soc, "cpu0")
+    eater.start(0.7)
+    start = tv.kernel.now
+    tv.run(150.0)
+    stressed = tv.video.mean_quality(since=start)
+    misses = sum(t.stats.misses for t in tv.video.tasks)
+    print(f"  nominal quality: {nominal:.3f}")
+    print(f"  with 70% CPU eaten: quality {stressed:.3f}, "
+          f"{misses} deadline misses exposed")
+    eater.stop()
+
+
+def adaptive_memory_demo() -> None:
+    print("\n== adaptive memory arbitration (Sect. 4.5, NXP Research) ==")
+    kernel = Kernel()
+    arbiter = MemoryArbiter(kernel, words_per_time=100.0)
+    controller = AdaptiveArbiterController(
+        kernel, arbiter, latency_bounds={"video": 3.0}, interval=10.0
+    )
+    controller.start()
+
+    def client(name, words, count):
+        def body():
+            for _ in range(count):
+                yield from arbiter.access(name, words)
+
+        Process(kernel, body())
+
+    client("video", 50, 200)
+    client("hog1", 400, 60)
+    client("hog2", 400, 60)
+    kernel.run(until=700.0)
+    stats = arbiter.client_stats("video")
+    print(f"  video mean latency: {stats.mean_latency():.2f} (bound 3.0)")
+    print(f"  adaptations performed: {len(controller.events)}; "
+          f"final policy: {arbiter.policy}, video weight "
+          f"{arbiter.weights.get('video', 1.0):.1f}")
+
+
+if __name__ == "__main__":
+    migration_demo()
+    cpu_eater_demo()
+    adaptive_memory_demo()

@@ -1,0 +1,45 @@
+"""The run-time awareness framework of Fig. 2."""
+
+from .channel import Message, MessageChannel
+from .comparator import Comparator, ComparatorStats, deviation_magnitude
+from .config import EVENT_BASED, TIME_BASED, AwarenessConfig, ObservableSpec
+from .controller import Controller
+from .executor import ModelExecutor
+from .input_observer import InputObserver
+from .modes import (
+    ModeConsistencyChecker,
+    ModeRule,
+    modes_equal_rule,
+    ttx_sync_rule,
+)
+from .monitor import (
+    AwarenessMonitor,
+    default_tv_config,
+    make_player_monitor,
+    make_tv_monitor,
+)
+from .output_observer import OutputObserver
+
+__all__ = [
+    "AwarenessConfig",
+    "AwarenessMonitor",
+    "Comparator",
+    "ComparatorStats",
+    "Controller",
+    "EVENT_BASED",
+    "InputObserver",
+    "Message",
+    "MessageChannel",
+    "ModeConsistencyChecker",
+    "ModeRule",
+    "ModelExecutor",
+    "ObservableSpec",
+    "OutputObserver",
+    "TIME_BASED",
+    "default_tv_config",
+    "deviation_magnitude",
+    "make_player_monitor",
+    "make_tv_monitor",
+    "modes_equal_rule",
+    "ttx_sync_rule",
+]

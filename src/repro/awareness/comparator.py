@@ -1,0 +1,195 @@
+"""Comparator (Fig. 2): model output vs system output.
+
+Implements exactly the tolerance mechanism Sect. 4.3 describes.  For each
+observable the user specifies "(1) a threshold for the allowed maximal
+deviation between specification model and system, and (2) a maximum for
+the number of consecutive deviations that are allowed before an error
+will be reported", and comparison is triggered *event-based*,
+*time-based* (with a configurable frequency), or both.
+
+The deviation magnitude is type-directed:
+
+* numbers   → absolute difference;
+* mappings  → number of keys whose values differ (symmetric);
+* elsewhere → 0 when equal, 1 when different.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+from ..core.contract import ErrorReport, Observation
+from ..sim.kernel import Kernel
+from .config import AwarenessConfig, ObservableSpec
+from .executor import ModelExecutor
+from .output_observer import OutputObserver
+
+
+def deviation_magnitude(expected: Any, actual: Any) -> float:
+    """Type-directed distance between expected and observed values."""
+    if expected is None and actual is None:
+        return 0.0
+    if isinstance(expected, bool) or isinstance(actual, bool):
+        return 0.0 if expected == actual else 1.0
+    if isinstance(expected, (int, float)) and isinstance(actual, (int, float)):
+        return abs(float(expected) - float(actual))
+    if isinstance(expected, dict) and isinstance(actual, dict):
+        keys = set(expected) | set(actual)
+        return float(
+            sum(1 for key in keys if expected.get(key) != actual.get(key))
+        )
+    return 0.0 if expected == actual else 1.0
+
+
+@dataclass
+class _Streak:
+    """Consecutive-deviation bookkeeping for one observable."""
+
+    count: int = 0
+    started_at: Optional[float] = None
+    reported: bool = False
+
+
+@dataclass
+class ComparatorStats:
+    """Counters the tuning experiments (E2) read."""
+
+    comparisons: int = 0
+    deviations: int = 0
+    errors_reported: int = 0
+    suppressed_transients: int = 0
+
+
+class Comparator:
+    """Compares expected and observed values under the configured policy."""
+
+    def __init__(
+        self,
+        kernel: Kernel,
+        config: AwarenessConfig,
+        executor: ModelExecutor,
+        outputs: OutputObserver,
+        name: str = "comparator",
+    ) -> None:
+        self.kernel = kernel
+        self.config = config
+        self.executor = executor
+        self.outputs = outputs
+        self.name = name
+        self.stats = ComparatorStats()
+        self.error_listeners: List[Callable[[ErrorReport], None]] = []
+        self.reports: List[ErrorReport] = []
+        self._streaks: Dict[str, _Streak] = {}
+        self.running = False
+
+    # -- IControl ------------------------------------------------------
+    def start(self) -> None:
+        """Begin comparing; arms the time-based sampling loops."""
+        if self.running:
+            return
+        self.running = True
+        for spec in self.config.observables.values():
+            if spec.time_based:
+                self._schedule_timed(spec)
+
+    def stop(self) -> None:
+        self.running = False
+
+    # -- IErrorNotify ------------------------------------------------------
+    def subscribe_errors(self, listener: Callable[[ErrorReport], None]) -> None:
+        self.error_listeners.append(listener)
+
+    # -- event-based triggers ------------------------------------------------
+    def on_output_event(self, observation: Observation) -> None:
+        """IOutputEvent: system produced an output — compare it."""
+        if not self.running:
+            return
+        spec = self.config.spec(observation.name)
+        if spec is None or not spec.event_based:
+            return
+        self.executor.sync_time(self.kernel.now)
+        self._compare_one(spec)
+
+    def on_model_step(self, observation: Observation) -> None:
+        """IModelExecutor: the model stepped — re-check event observables."""
+        if not self.running:
+            return
+        for spec in self.config.observables.values():
+            if spec.event_based:
+                self._compare_one(spec)
+
+    # -- time-based sampling ---------------------------------------------------
+    def _schedule_timed(self, spec: ObservableSpec) -> None:
+        def sample() -> None:
+            if not self.running:
+                return
+            self.executor.sync_time(self.kernel.now)
+            self._compare_one(spec)
+            self._schedule_timed(spec)
+
+        self.kernel.schedule(spec.period, sample, name=f"compare:{spec.name}")
+
+    # -- core comparison ------------------------------------------------------
+    def _compare_one(self, spec: ObservableSpec) -> None:
+        if not self.config.compare_enabled(spec.name):
+            return
+        if spec.name not in self.executor.providers:
+            return
+        actual = self.outputs.value(spec.name)
+        if actual is None and self.outputs.observed_at(spec.name) is None:
+            return  # nothing observed yet
+        expected = self.executor.expected(spec.name)
+        magnitude = deviation_magnitude(expected, actual)
+        self.stats.comparisons += 1
+        streak = self._streaks.setdefault(spec.name, _Streak())
+        if magnitude <= spec.threshold:
+            if streak.count > 0 and not streak.reported:
+                self.stats.suppressed_transients += 1
+            self._streaks[spec.name] = _Streak()
+            return
+        self.stats.deviations += 1
+        streak.count += 1
+        if streak.started_at is None:
+            streak.started_at = self.kernel.now
+        if streak.count > spec.max_consecutive and not streak.reported:
+            streak.reported = True
+            self._report(spec, expected, actual, streak)
+
+    def _report(
+        self, spec: ObservableSpec, expected: Any, actual: Any, streak: _Streak
+    ) -> None:
+        report = ErrorReport(
+            time=self.kernel.now,
+            detector=self.name,
+            observable=spec.name,
+            expected=expected,
+            actual=actual,
+            consecutive=streak.count,
+            severity=spec.severity,
+            context={"first_deviation_at": streak.started_at},
+        )
+        self.reports.append(report)
+        self.stats.errors_reported += 1
+        for listener in self.error_listeners:
+            listener(report)
+
+    # -- status queries ------------------------------------------------------
+    def deviating_observables(self) -> List[str]:
+        """Observables currently in a deviation streak (reported or not).
+
+        The online diagnoser uses this to flag spectra steps: an error is
+        *reported* once per streak, but the erroneous state persists until
+        repaired, and every step spent in it is failing evidence.
+        """
+        return sorted(
+            name for name, streak in self._streaks.items() if streak.count > 0
+        )
+
+    # -- recovery interface ------------------------------------------------------
+    def reset(self, observable: Optional[str] = None) -> None:
+        """Clear deviation streaks (after a recovery action repaired state)."""
+        if observable is None:
+            self._streaks.clear()
+            return
+        self._streaks.pop(observable, None)

@@ -1,0 +1,112 @@
+"""The Configuration component of Fig. 2.
+
+"Information about relevant input and output events is stored in the
+Configuration component."  It holds, per observable:
+
+* how to compare (``threshold`` for numeric deviation magnitude);
+* how tolerant to be (``max_consecutive`` deviations before an error is
+  reported — the paper's two explicit knobs from Sect. 4.3);
+* whether comparison is *event-based*, *time-based*, or both, and the
+  sampling ``period`` for time-based comparison;
+* comparison enable/disable state, driven by the Model Executor (the
+  model can declare unstable phases during which comparison is paused).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+#: Comparison triggers.
+EVENT_BASED = "event"
+TIME_BASED = "time"
+
+
+@dataclass
+class ObservableSpec:
+    """Comparison policy for one observable."""
+
+    name: str
+    #: Allowed deviation magnitude before a sample counts as deviating.
+    threshold: float = 0.0
+    #: Deviating samples tolerated in a row before reporting an error.
+    max_consecutive: int = 2
+    #: "event", "time", or "both".
+    trigger: str = EVENT_BASED
+    #: Sampling period for time-based comparison.
+    period: float = 1.0
+    #: Relative severity weight used by the recovery policy.
+    severity: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.threshold < 0:
+            raise ValueError("threshold must be non-negative")
+        if self.max_consecutive < 1:
+            raise ValueError("max_consecutive must be at least 1")
+        if self.trigger not in (EVENT_BASED, TIME_BASED, "both"):
+            raise ValueError(f"bad trigger {self.trigger!r}")
+
+    @property
+    def event_based(self) -> bool:
+        return self.trigger in (EVENT_BASED, "both")
+
+    @property
+    def time_based(self) -> bool:
+        return self.trigger in (TIME_BASED, "both")
+
+
+class AwarenessConfig:
+    """Registry of observable specs plus the comparison-enable switch."""
+
+    def __init__(self) -> None:
+        self.observables: Dict[str, ObservableSpec] = {}
+        self._compare_enabled = True
+        self._disabled_observables: Dict[str, bool] = {}
+
+    # ------------------------------------------------------------------
+    def register(self, spec: ObservableSpec) -> ObservableSpec:
+        self.observables[spec.name] = spec
+        return spec
+
+    def observable(
+        self,
+        name: str,
+        threshold: float = 0.0,
+        max_consecutive: int = 2,
+        trigger: str = EVENT_BASED,
+        period: float = 1.0,
+        severity: float = 1.0,
+    ) -> ObservableSpec:
+        """Shorthand for register(ObservableSpec(...))."""
+        return self.register(
+            ObservableSpec(
+                name=name,
+                threshold=threshold,
+                max_consecutive=max_consecutive,
+                trigger=trigger,
+                period=period,
+                severity=severity,
+            )
+        )
+
+    def spec(self, name: str) -> Optional[ObservableSpec]:
+        return self.observables.get(name)
+
+    def names(self) -> List[str]:
+        return sorted(self.observables)
+
+    # ------------------------------------------------------------------
+    # comparison enabling (IEnableCompare) — controlled by Model Executor
+    # ------------------------------------------------------------------
+    def enable_compare(self, enabled: bool) -> None:
+        self._compare_enabled = enabled
+
+    def set_observable_enabled(self, name: str, enabled: bool) -> None:
+        self._disabled_observables[name] = not enabled
+
+    def compare_enabled(self, name: Optional[str] = None) -> bool:
+        if not self._compare_enabled:
+            return False
+        if name is not None and self._disabled_observables.get(name, False):
+            return False
+        return True

@@ -1,0 +1,65 @@
+"""Controller (Fig. 2).
+
+"The Controller initiates and controls all components, except for the
+Configuration component which is controlled by the Model Executor."
+
+The controller owns component lifecycle (IControl fan-out), aggregates
+error notifications, and is the awareness monitor's interface to the
+outer loop (core/diagnosis/recovery).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Protocol
+
+from ..core.contract import ErrorReport
+
+
+class Controllable(Protocol):
+    """Anything exposing the IControl start/stop pair."""
+
+    def start(self) -> None: ...
+
+    def stop(self) -> None: ...
+
+
+class Controller:
+    """Lifecycle + error aggregation for one awareness monitor."""
+
+    def __init__(self, name: str = "controller") -> None:
+        self.name = name
+        self.components: List[Controllable] = []
+        self.errors: List[ErrorReport] = []
+        self.error_handlers: List[Callable[[ErrorReport], None]] = []
+        self.running = False
+
+    def manage(self, component: Controllable) -> None:
+        self.components.append(component)
+
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        if self.running:
+            return
+        self.running = True
+        for component in self.components:
+            component.start()
+
+    def stop(self) -> None:
+        if not self.running:
+            return
+        self.running = False
+        for component in reversed(self.components):
+            component.stop()
+
+    # ------------------------------------------------------------------
+    def on_error(self, report: ErrorReport) -> None:
+        """IErrorNotify sink: record and forward."""
+        self.errors.append(report)
+        for handler in self.error_handlers:
+            handler(report)
+
+    def subscribe_errors(self, handler: Callable[[ErrorReport], None]) -> None:
+        self.error_handlers.append(handler)
+
+    def error_count(self) -> int:
+        return len(self.errors)

@@ -1,0 +1,231 @@
+"""AwarenessMonitor: the complete Fig. 2 assembly.
+
+Builds and wires every framework component — channels across the process
+boundary, Input/Output Observers, Model Executor, Comparator, Controller,
+Configuration — exactly along the figure's interfaces:
+
+* SUO  →(IInputEvent)→  Input Observer  →(IEventInfo)→  Model Executor
+* SUO  →(IOutputEvent)→ Output Observer →(IOutputEvent)→ Comparator
+* Model Executor →(IModelExecutor)→ Comparator
+* Model Executor →(IConfigInfo)→ Configuration
+* Comparator →(IErrorNotify)→ Controller (→ the outer Fig. 1 loop)
+
+:func:`make_tv_monitor` and :func:`make_player_monitor` add the "SUO
+modifications": the small adaptation that makes a system send its input
+and output events to the observers.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional, Tuple
+
+from ..core.contract import Observation
+from ..sim.kernel import Kernel
+from ..sim.random import RandomStreams
+from ..statemachine.machine import Machine
+from ..tv.control_model import (
+    build_tv_model,
+    expected_screen,
+    expected_sound,
+    key_to_event_name,
+)
+from ..tv.mediaplayer import build_player_model, expected_player_state
+from ..tv.tvset import TVSet
+from .channel import MessageChannel
+from .comparator import Comparator
+from .config import AwarenessConfig
+from .controller import Controller
+from .executor import EventTranslator, ExpectedProvider, ModelExecutor
+from .input_observer import InputObserver
+from .output_observer import OutputObserver
+
+
+class AwarenessMonitor:
+    """One awareness monitor attached to one SUO."""
+
+    def __init__(
+        self,
+        kernel: Kernel,
+        machine: Machine,
+        translator: EventTranslator,
+        providers: Dict[str, ExpectedProvider],
+        config: Optional[AwarenessConfig] = None,
+        channel_delay: float = 0.05,
+        channel_jitter: float = 0.02,
+        streams: Optional[RandomStreams] = None,
+        name: str = "awareness",
+    ) -> None:
+        self.kernel = kernel
+        self.name = name
+        self.config = config or AwarenessConfig()
+        streams = streams or RandomStreams(0)
+
+        self.input_channel = MessageChannel(
+            kernel, f"{name}.in", delay=channel_delay, jitter=channel_jitter, streams=streams
+        )
+        self.output_channel = MessageChannel(
+            kernel, f"{name}.out", delay=channel_delay, jitter=channel_jitter, streams=streams
+        )
+
+        self.input_observer = InputObserver(f"{name}.input-observer")
+        self.output_observer = OutputObserver(f"{name}.output-observer")
+        self.executor = ModelExecutor(
+            machine, translator, providers, self.config, name=f"{name}.executor"
+        )
+        self.comparator = Comparator(
+            kernel, self.config, self.executor, self.output_observer,
+            name=f"{name}.comparator",
+        )
+        self.controller = Controller(f"{name}.controller")
+
+        # wiring along Fig. 2 interfaces --------------------------------
+        self.input_observer.connect_channel(self.input_channel)
+        self.output_observer.connect_channel(self.output_channel)
+        self.input_observer.subscribe(self.executor.on_input)
+        self.executor.subscribe_steps(self.comparator.on_model_step)
+        self.output_observer.subscribe(self.comparator.on_output_event)
+        self.comparator.subscribe_errors(self.controller.on_error)
+        for component in (
+            self.input_observer,
+            self.output_observer,
+            self.executor,
+            self.comparator,
+        ):
+            self.controller.manage(component)
+
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        self.controller.start()
+
+    def stop(self) -> None:
+        self.controller.stop()
+
+    @property
+    def errors(self):
+        return self.controller.errors
+
+    # -- SUO-side send helpers (used by the adapters) --------------------
+    def send_input(self, name: str, value: Any, time: float) -> None:
+        self.input_channel.send("input", {"name": name, "value": value, "time": time})
+
+    def send_output(self, name: str, value: Any, time: float) -> None:
+        self.output_channel.send("output", {"name": name, "value": value, "time": time})
+
+
+# ----------------------------------------------------------------------
+# default configurations and SUO adapters
+# ----------------------------------------------------------------------
+def default_tv_config(
+    max_consecutive: int = 3,
+    screen_threshold: float = 0.0,
+    sound_threshold: float = 0.0,
+    period: float = 0.5,
+) -> AwarenessConfig:
+    """The TV comparison policy used across examples and benchmarks."""
+    config = AwarenessConfig()
+    config.observable(
+        "screen",
+        threshold=screen_threshold,
+        max_consecutive=max_consecutive,
+        trigger="both",
+        period=period,
+        severity=2.0,
+    )
+    config.observable(
+        "sound",
+        threshold=sound_threshold,
+        max_consecutive=max_consecutive,
+        trigger="both",
+        period=period,
+        severity=1.0,
+    )
+    return config
+
+
+def _tv_translator(observation: Observation) -> Optional[Tuple[str, Dict[str, Any]]]:
+    """Map observed TV inputs to spec-model events."""
+    if observation.name == "key":
+        return key_to_event_name(observation.value)
+    if observation.name == "stimulus":
+        return observation.value, {}
+    return None
+
+
+def make_tv_monitor(
+    tv: TVSet,
+    machine: Optional[Machine] = None,
+    config: Optional[AwarenessConfig] = None,
+    channel_delay: float = 0.05,
+    channel_jitter: float = 0.02,
+    start: bool = True,
+) -> AwarenessMonitor:
+    """Attach a fully wired awareness monitor to a TV (SUO modifications
+    included): key presses and broadcast stimuli feed the input channel,
+    screen/sound output events feed the output channel."""
+    machine = machine or build_tv_model(channel_count=tv.tuner.channel_count)
+    monitor = AwarenessMonitor(
+        tv.kernel,
+        machine,
+        _tv_translator,
+        providers={"screen": expected_screen, "sound": expected_sound},
+        config=config or default_tv_config(),
+        channel_delay=channel_delay,
+        channel_jitter=channel_jitter,
+        streams=tv.streams,
+        name="tv-awareness",
+    )
+    tv.remote.input_hooks.append(
+        lambda press: monitor.send_input("key", press.key, press.time)
+    )
+    tv.stimulus_hooks.append(
+        lambda stimulus: monitor.send_input("stimulus", stimulus, tv.kernel.now)
+    )
+    tv.output_hooks.append(
+        lambda event: monitor.send_output(event.name, event.value, event.time)
+    )
+    if start:
+        monitor.start()
+    return monitor
+
+
+def _player_translator(observation: Observation) -> Optional[Tuple[str, Dict[str, Any]]]:
+    if observation.name == "command":
+        return observation.value, {}
+    return None
+
+
+def make_player_monitor(
+    player,
+    config: Optional[AwarenessConfig] = None,
+    channel_delay: float = 0.05,
+    channel_jitter: float = 0.02,
+    start: bool = True,
+) -> AwarenessMonitor:
+    """Awareness monitor for the media player SUO (Sect. 5 validation)."""
+    machine = build_player_model()
+    if config is None:
+        config = AwarenessConfig()
+        config.observable("state", max_consecutive=2, trigger="both", period=0.5)
+    monitor = AwarenessMonitor(
+        player.kernel,
+        machine,
+        _player_translator,
+        providers={"state": lambda m: expected_player_state(m)},
+        config=config,
+        channel_delay=channel_delay,
+        channel_jitter=channel_jitter,
+        name="player-awareness",
+    )
+    original_command = player.command
+
+    def observed_command(name: str, **params: Any) -> None:
+        monitor.send_input("command", name, player.kernel.now)
+        original_command(name, **params)
+
+    player.command = observed_command
+    player.output_hooks.append(
+        lambda name, value: monitor.send_output(name, value, player.kernel.now)
+    )
+    if start:
+        monitor.start()
+    return monitor

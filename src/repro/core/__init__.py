@@ -1,0 +1,33 @@
+"""The paper's primary contribution: the run-time awareness control loop."""
+
+from .contract import (
+    Deviation,
+    Diagnosis,
+    ErrorReport,
+    LoopReport,
+    Observation,
+    RecoveryAction,
+)
+from .hierarchy import MonitorHierarchy, Scope
+from .loop import AwarenessLoop, Incident
+from .policy import LadderStep, RecoveryPolicy, perception_weighted_ladder
+
+__all__ = [
+    "AwarenessLoop",
+    "Deviation",
+    "Diagnosis",
+    "ErrorReport",
+    "Incident",
+    "LadderStep",
+    "LoopReport",
+    "MonitorHierarchy",
+    "Observation",
+    "RecoveryAction",
+    "RecoveryPolicy",
+    "perception_weighted_ladder",
+    "Scope",
+]
+
+from .facade import TraderTV
+
+__all__ += ["TraderTV"]

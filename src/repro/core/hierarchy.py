@@ -1,0 +1,89 @@
+"""Hierarchical and incremental awareness (Sect. 3).
+
+"The approach allows the use of partial models [...].  Moreover, we can
+apply this approach hierarchically and incrementally to parts of the
+system, e.g., to third-party components.  Typically, there will be
+several awareness monitors in a complex system, for different components,
+different aspects, and different kinds of faults."
+
+:class:`MonitorHierarchy` composes scoped error sources into one stream:
+each scope (a component, an aspect like timing, a fault class) registers
+its monitor; errors are tagged with their scope and forwarded both to the
+scope's own loop (if any) and to the parent aggregate — so local problems
+are fixed locally while the global view stays complete.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Callable, Dict, List, Optional
+
+from .contract import ErrorReport
+
+
+@dataclass
+class Scope:
+    """One registered monitor scope."""
+
+    name: str
+    source: object
+    #: Optional scope-local error handler (e.g. a dedicated loop).
+    local_handler: Optional[Callable[[ErrorReport], None]] = None
+    errors: List[ErrorReport] = field(default_factory=list)
+
+
+class MonitorHierarchy:
+    """Aggregates scoped monitors into a single error stream."""
+
+    def __init__(self, name: str = "root") -> None:
+        self.name = name
+        self.scopes: Dict[str, Scope] = {}
+        self.errors: List[ErrorReport] = []
+        self.listeners: List[Callable[[ErrorReport], None]] = []
+
+    # ------------------------------------------------------------------
+    def add_scope(
+        self,
+        name: str,
+        source,
+        local_handler: Optional[Callable[[ErrorReport], None]] = None,
+    ) -> Scope:
+        """Register a monitor under a scope name.
+
+        ``source`` is anything exposing ``subscribe_errors`` (an awareness
+        Controller, a ModeConsistencyChecker, a hardware monitor adapter).
+        """
+        if name in self.scopes:
+            raise ValueError(f"duplicate scope {name!r}")
+        scope = Scope(name=name, source=source, local_handler=local_handler)
+        self.scopes[name] = scope
+        source.subscribe_errors(
+            lambda report, scope_name=name: self._on_error(scope_name, report)
+        )
+        return scope
+
+    def subscribe_errors(self, listener: Callable[[ErrorReport], None]) -> None:
+        """The hierarchy itself is an error source (composable upward)."""
+        self.listeners.append(listener)
+
+    # ------------------------------------------------------------------
+    def _on_error(self, scope_name: str, report: ErrorReport) -> None:
+        scope = self.scopes[scope_name]
+        tagged = replace(
+            report,
+            context={**report.context, "scope": scope_name},
+        )
+        scope.errors.append(tagged)
+        self.errors.append(tagged)
+        if scope.local_handler is not None:
+            scope.local_handler(tagged)
+        for listener in self.listeners:
+            listener(tagged)
+
+    # ------------------------------------------------------------------
+    def errors_in(self, scope_name: str) -> List[ErrorReport]:
+        return list(self.scopes[scope_name].errors)
+
+    def scope_summary(self) -> Dict[str, int]:
+        """Errors per scope — which part of the system is misbehaving."""
+        return {name: len(scope.errors) for name, scope in self.scopes.items()}

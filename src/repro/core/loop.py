@@ -1,0 +1,128 @@
+"""The closed loop of Fig. 1: observe → detect → diagnose → recover.
+
+:class:`AwarenessLoop` is the paper's primary contribution as an
+executable object.  It subscribes to error sources (the Comparator via
+the Controller, the mode-consistency checker, hardware monitors), asks
+the policy for a correction, executes it through the recovery manager,
+and *verifies* the correction by watching whether the error recurs within
+a settle window — feedback control at system level, as opposed to the
+open-loop fire-and-forget of traditional software.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+from ..sim.kernel import Kernel
+from .contract import Diagnosis, ErrorReport, LoopReport, RecoveryAction
+from .policy import RecoveryPolicy
+
+#: A diagnosis provider: called with the triggering error, may return None.
+Diagnoser = Callable[[ErrorReport], Optional[Diagnosis]]
+
+
+@dataclass
+class Incident:
+    """One error with everything the loop did about it."""
+
+    report: ErrorReport
+    diagnosis: Optional[Diagnosis] = None
+    action: Optional[RecoveryAction] = None
+    downtime: float = 0.0
+    verified_at: Optional[float] = None
+    recovered: Optional[bool] = None
+
+
+class AwarenessLoop:
+    """Error-driven recovery orchestration."""
+
+    def __init__(
+        self,
+        kernel: Kernel,
+        policy: RecoveryPolicy,
+        recovery_manager,
+        diagnoser: Optional[Diagnoser] = None,
+        settle_time: float = 10.0,
+        name: str = "awareness-loop",
+    ) -> None:
+        self.kernel = kernel
+        self.policy = policy
+        self.recovery_manager = recovery_manager
+        self.diagnoser = diagnoser
+        self.settle_time = settle_time
+        self.name = name
+        self.incidents: List[Incident] = []
+        #: Called after executing a recovery action (e.g. comparator reset).
+        self.post_recovery_hooks: List[Callable[[Incident], None]] = []
+        self.enabled = True
+
+    # ------------------------------------------------------------------
+    # wiring
+    # ------------------------------------------------------------------
+    def attach(self, error_source) -> None:
+        """Subscribe to anything exposing ``subscribe_errors``."""
+        error_source.subscribe_errors(self.on_error)
+
+    # ------------------------------------------------------------------
+    # the loop body
+    # ------------------------------------------------------------------
+    def on_error(self, report: ErrorReport) -> None:
+        """One pass: diagnose, decide, act, schedule verification."""
+        if not self.enabled:
+            return
+        incident = Incident(report=report)
+        self.incidents.append(incident)
+        if self.diagnoser is not None:
+            incident.diagnosis = self.diagnoser(report)
+        action = self.policy.decide(report, incident.diagnosis)
+        if action is None:
+            incident.recovered = False
+            return
+        incident.action = action
+        incident.downtime = self.recovery_manager.execute(action)
+        for hook in self.post_recovery_hooks:
+            hook(incident)
+        self.kernel.schedule(
+            self.settle_time + incident.downtime,
+            lambda: self._verify(incident),
+            name=f"verify:{report.observable}",
+        )
+
+    def _verify(self, incident: Incident) -> None:
+        """Did the same observable error again after the action settled?"""
+        incident.verified_at = self.kernel.now
+        recurred = any(
+            other.report.observable == incident.report.observable
+            and other.report.time > incident.report.time
+            for other in self.incidents
+            if other is not incident
+        )
+        incident.recovered = not recurred
+        if incident.recovered:
+            self.policy.notify_recovered(incident.report.observable)
+
+    # ------------------------------------------------------------------
+    # reporting
+    # ------------------------------------------------------------------
+    def summary(self) -> LoopReport:
+        report = LoopReport()
+        for incident in self.incidents:
+            report.errors.append(incident.report)
+            if incident.action is not None:
+                report.actions.append(incident.action)
+            if incident.diagnosis is not None and report.diagnosis is None:
+                report.diagnosis = incident.diagnosis
+        verified = [i for i in self.incidents if i.recovered is not None]
+        report.recovered = bool(verified) and all(i.recovered for i in verified)
+        detection = [
+            i.report.time - i.report.context["first_deviation_at"]
+            for i in self.incidents
+            if isinstance(i.report.context.get("first_deviation_at"), (int, float))
+        ]
+        if detection:
+            report.detection_latency = sum(detection) / len(detection)
+        return report
+
+    def recovered_count(self) -> int:
+        return sum(1 for i in self.incidents if i.recovered)

@@ -1,0 +1,123 @@
+"""Recovery policy: choosing corrections with minimal user impact.
+
+Sect. 3: recovery should "correct erroneous behaviour, based on the
+diagnosis results and information about the expected impact on the user",
+and Sect. 5 stresses the high-volume constraint: minimize overhead.
+
+:class:`RecoveryPolicy` keeps, per observable, an *escalation ladder* of
+candidate actions ordered by increasing user impact (an in-place repair
+disturbs nobody; restarting a unit blanks one feature briefly; a full
+restart is the last resort).  Repeated errors on the same observable walk
+up the ladder; a quiet period resets it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .contract import Diagnosis, ErrorReport, RecoveryAction
+
+
+@dataclass(frozen=True)
+class LadderStep:
+    """One candidate action template on an escalation ladder."""
+
+    kind: str
+    target: str
+    user_impact: float
+    params: Dict[str, object] = field(default_factory=dict)
+
+
+class RecoveryPolicy:
+    """Escalating, impact-ordered action selection."""
+
+    def __init__(self, quiet_period: float = 30.0) -> None:
+        #: observable (or "*") → ladder of steps, least impact first.
+        self.ladders: Dict[str, List[LadderStep]] = {}
+        self.quiet_period = quiet_period
+        self._escalation: Dict[str, int] = {}
+        self._last_error_time: Dict[str, float] = {}
+        self.decisions: List[Tuple[ErrorReport, RecoveryAction]] = []
+
+    # ------------------------------------------------------------------
+    def add_ladder(self, observable: str, steps: Sequence[LadderStep]) -> None:
+        ordered = sorted(steps, key=lambda step: step.user_impact)
+        self.ladders[observable] = list(ordered)
+
+    def ladder_for(self, observable: str) -> Optional[List[LadderStep]]:
+        if observable in self.ladders:
+            return self.ladders[observable]
+        # Prefix match lets one ladder cover families like "ttx-sync(...)".
+        for key, ladder in self.ladders.items():
+            if key.endswith("*") and observable.startswith(key[:-1]):
+                return ladder
+        return self.ladders.get("*")
+
+    # ------------------------------------------------------------------
+    def decide(
+        self, report: ErrorReport, diagnosis: Optional[Diagnosis] = None
+    ) -> Optional[RecoveryAction]:
+        """Pick the next action for this error, escalating on recurrence."""
+        ladder = self.ladder_for(report.observable)
+        if not ladder:
+            return None
+        key = report.observable
+        last = self._last_error_time.get(key)
+        if last is not None and report.time - last > self.quiet_period:
+            self._escalation[key] = 0
+        self._last_error_time[key] = report.time
+        level = self._escalation.get(key, 0)
+        if level >= len(ladder):
+            level = len(ladder) - 1  # stay at the top of the ladder
+        step = ladder[level]
+        self._escalation[key] = level + 1
+        params = dict(step.params)
+        if diagnosis is not None and diagnosis.best() is not None:
+            params.setdefault("suspect", diagnosis.best())
+        action = RecoveryAction(
+            time=report.time,
+            kind=step.kind,
+            target=step.target,
+            params=params,
+            user_impact=step.user_impact,
+        )
+        self.decisions.append((report, action))
+        return action
+
+    def notify_recovered(self, observable: str) -> None:
+        """A recovery verified as successful resets the ladder."""
+        self._escalation[observable] = 0
+
+    def escalation_level(self, observable: str) -> int:
+        return self._escalation.get(observable, 0)
+
+
+def perception_weighted_ladder(
+    steps: Sequence[LadderStep],
+    function,
+    severity_model,
+) -> Tuple[LadderStep, ...]:
+    """Weight a ladder's user impacts by perceived severity (Sect. 3+4.6).
+
+    The paper's recovery is guided by "information about the expected
+    impact on the user"; the perception package quantifies that per
+    product function.  This helper scales each step's ``user_impact`` by
+    the function's population-level severity weight, so disrupting a
+    function users barely notice (externally attributed image hiccups)
+    costs less than disrupting one they blame the product for (the
+    swivel) — and the policy orders actions accordingly.
+
+    ``function`` is a :class:`repro.perception.severity.FunctionProfile`;
+    ``severity_model`` a :class:`repro.perception.severity.SeverityModel`.
+    """
+    weight = severity_model.severity_weight(function)
+    return tuple(
+        LadderStep(
+            kind=step.kind,
+            target=step.target,
+            user_impact=step.user_impact * weight,
+            params=dict(step.params),
+        )
+        for step in steps
+    )

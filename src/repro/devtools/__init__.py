@@ -1,0 +1,35 @@
+"""Development-time dependability tools (Sect. 4.7)."""
+
+from .fmea import ArchitectureFmea, FailureMode, FmeaEntry
+from .inspection import (
+    ExecutionLikelihoodAnalyzer,
+    InspectionWarning,
+    PrioritizationResult,
+    WarningGenerator,
+    WarningPrioritizer,
+)
+from .stress import (
+    DEFAULT_SCENARIOS,
+    BandwidthTakeaway,
+    CpuEater,
+    StressCampaign,
+    StressOutcome,
+    StressScenario,
+)
+
+__all__ = [
+    "ArchitectureFmea",
+    "BandwidthTakeaway",
+    "CpuEater",
+    "DEFAULT_SCENARIOS",
+    "ExecutionLikelihoodAnalyzer",
+    "FailureMode",
+    "FmeaEntry",
+    "InspectionWarning",
+    "PrioritizationResult",
+    "StressCampaign",
+    "StressOutcome",
+    "StressScenario",
+    "WarningGenerator",
+    "WarningPrioritizer",
+]

@@ -1,0 +1,189 @@
+"""Static-analysis warning prioritization (Sect. 4.7, [2]).
+
+"This includes the use of code analysis to prioritize the warnings of a
+software inspection tool such as QA-C."  Boogerd & Moonen's idea: rank
+inspection warnings by the *execution likelihood* of the code they flag —
+a warning in code that actually runs in the field matters more than one
+in dead code.
+
+The reproduction: generate a synthetic warning population over the TV's
+block map, estimate execution likelihood per block with a noisy static
+analysis, rank, and compare the *relevant-warning density* in the top of
+the list against file-order and random baselines.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Sequence
+
+from ..tv.software import SoftwareBuild
+
+
+@dataclass(frozen=True)
+class InspectionWarning:
+    """One static-analysis finding."""
+
+    warning_id: int
+    block: int
+    module: str
+    #: Ground truth: does this warning flag a real defect?
+    is_defect: bool
+
+
+@dataclass
+class PrioritizationResult:
+    """Relevant-warning density at cutoffs, per ordering strategy."""
+
+    strategy: str
+    precision_at: Dict[int, float]
+    total_relevant: int
+    total_warnings: int
+
+
+class ExecutionLikelihoodAnalyzer:
+    """A 'static profiler': estimates how likely each block runs in use.
+
+    Ground truth comes from the build's activation model (kernel-core
+    always runs, cold features never do); the static estimate adds seeded
+    noise so the ranking is realistically imperfect.
+    """
+
+    TRUE_LIKELIHOOD = {
+        "kernel_core": 1.0,
+        "drivers_var": 0.4,
+        "cold_features": 0.0,
+    }
+    HANDLER_LIKELIHOOD = 0.6
+    LOGIC_LIKELIHOOD = 0.5
+    FAULT_LIKELIHOOD = 0.3
+    NOISE = 0.15
+
+    def __init__(self, build: SoftwareBuild, seed: int = 0) -> None:
+        self.build = build
+        self.rng = random.Random(seed)
+
+    def true_likelihood(self, module: str) -> float:
+        if module in self.TRUE_LIKELIHOOD:
+            return self.TRUE_LIKELIHOOD[module]
+        if module.startswith("handler_"):
+            return self.HANDLER_LIKELIHOOD
+        if module.startswith("fault_"):
+            return self.FAULT_LIKELIHOOD
+        return self.LOGIC_LIKELIHOOD
+
+    def estimate(self, module: str) -> float:
+        """Noisy static estimate of the module's execution likelihood."""
+        truth = self.true_likelihood(module)
+        noisy = truth + self.rng.gauss(0.0, self.NOISE)
+        return max(0.0, min(1.0, noisy))
+
+
+class WarningGenerator:
+    """Generates a seeded synthetic warning population."""
+
+    def __init__(
+        self,
+        build: SoftwareBuild,
+        seed: int = 0,
+        warning_count: int = 500,
+        defect_rate: float = 0.25,
+    ) -> None:
+        self.build = build
+        self.seed = seed
+        self.warning_count = warning_count
+        self.defect_rate = defect_rate
+
+    def generate(self) -> List[InspectionWarning]:
+        rng = random.Random(self.seed)
+        modules = list(self.build.modules.values())
+        weights = [m.size for m in modules]
+        warnings: List[InspectionWarning] = []
+        for warning_id in range(self.warning_count):
+            module = rng.choices(modules, weights=weights)[0]
+            block = module.start + rng.randrange(module.size)
+            warnings.append(
+                InspectionWarning(
+                    warning_id=warning_id,
+                    block=block,
+                    module=module.name,
+                    is_defect=rng.random() < self.defect_rate,
+                )
+            )
+        return warnings
+
+
+class WarningPrioritizer:
+    """Ranks warnings and evaluates orderings against ground truth.
+
+    A warning is *relevant* when it flags a real defect in code that runs
+    in the field (likelihood above ``relevance_threshold``): those are the
+    warnings worth a developer's inspection minute.
+    """
+
+    def __init__(
+        self,
+        build: SoftwareBuild,
+        analyzer: Optional[ExecutionLikelihoodAnalyzer] = None,
+        relevance_threshold: float = 0.3,
+        seed: int = 0,
+    ) -> None:
+        self.build = build
+        self.analyzer = analyzer or ExecutionLikelihoodAnalyzer(build, seed=seed)
+        self.relevance_threshold = relevance_threshold
+        self.seed = seed
+
+    # ------------------------------------------------------------------
+    def is_relevant(self, warning: InspectionWarning) -> bool:
+        truth = self.analyzer.true_likelihood(warning.module)
+        return warning.is_defect and truth >= self.relevance_threshold
+
+    def order_by_likelihood(
+        self, warnings: Sequence[InspectionWarning]
+    ) -> List[InspectionWarning]:
+        return sorted(
+            warnings,
+            key=lambda w: (-self.analyzer.estimate(w.module), w.warning_id),
+        )
+
+    def order_by_file(
+        self, warnings: Sequence[InspectionWarning]
+    ) -> List[InspectionWarning]:
+        """The baseline developers actually use: the tool's report order,
+        grouped alphabetically by source file and by line within a file."""
+        return sorted(warnings, key=lambda w: (w.module, w.block, w.warning_id))
+
+    def order_randomly(
+        self, warnings: Sequence[InspectionWarning]
+    ) -> List[InspectionWarning]:
+        shuffled = list(warnings)
+        random.Random(self.seed + 1).shuffle(shuffled)
+        return shuffled
+
+    # ------------------------------------------------------------------
+    def evaluate(
+        self,
+        warnings: Sequence[InspectionWarning],
+        strategy: str,
+        cutoffs: Sequence[int] = (10, 25, 50, 100),
+    ) -> PrioritizationResult:
+        orderers = {
+            "likelihood": self.order_by_likelihood,
+            "file_order": self.order_by_file,
+            "random": self.order_randomly,
+        }
+        if strategy not in orderers:
+            raise ValueError(f"unknown strategy {strategy!r}")
+        ordered = orderers[strategy](warnings)
+        relevant_flags = [self.is_relevant(w) for w in ordered]
+        precision_at = {}
+        for cutoff in cutoffs:
+            top = relevant_flags[:cutoff]
+            precision_at[cutoff] = sum(top) / len(top) if top else 0.0
+        return PrioritizationResult(
+            strategy=strategy,
+            precision_at=precision_at,
+            total_relevant=sum(relevant_flags),
+            total_warnings=len(ordered),
+        )

@@ -1,0 +1,177 @@
+"""Stress testing: artificial resource takeaway (Sect. 4.7, TASS).
+
+"The stress testing approach of TASS artificially takes away shared
+resources, such as CPU or bus bandwidth, to simulate the occurrence of
+errors or the addition of an additional resource user.  [...]  A
+so-called CPU eater, which consumes CPU cycles at the application level
+in software, is already included in the current development software and
+can be activated by system testers."
+
+* :class:`CpuEater`          — a competing task eating a configurable
+  fraction of one processor;
+* :class:`BandwidthTakeaway` — shrinks bus bandwidth / memory service rate
+  for a window, then restores it;
+* :class:`StressCampaign`    — applies scenarios to a TV and tabulates the
+  effect on deadline misses and frame quality (the E7 table).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..platform.bus import Bus
+from ..platform.memory import MemoryArbiter
+from ..platform.soc import SoC
+from ..platform.task import PeriodicTask
+from ..sim.kernel import Kernel
+from ..tv.tvset import TVSet
+
+
+class CpuEater:
+    """An application-level task that burns cycles on one processor."""
+
+    PERIOD = 1.0
+
+    def __init__(self, soc: SoC, processor: str, name: str = "cpu-eater") -> None:
+        self.soc = soc
+        self.processor = processor
+        self.name = name
+        self._task: Optional[PeriodicTask] = None
+        self._load = 0.0
+
+    @property
+    def active(self) -> bool:
+        return self._task is not None
+
+    @property
+    def load(self) -> float:
+        return self._load
+
+    def start(self, load: float) -> None:
+        """Consume ``load`` (0..1) of the target processor."""
+        if not 0.0 < load < 1.0:
+            raise ValueError("load must be in (0, 1)")
+        self.stop()
+        self._load = load
+        speed = self.soc.pool.get(self.processor).speed
+        self._task = self.soc.scheduler.add_task(
+            self.name,
+            self.processor,
+            period=self.PERIOD,
+            work=load * self.PERIOD * speed,
+            priority=-1,  # testers run the eater at high priority on purpose
+        )
+
+    def set_load(self, load: float) -> None:
+        self.start(load)
+
+    def stop(self) -> None:
+        if self._task is not None:
+            self.soc.scheduler.remove_task(self.name)
+            self._task = None
+            self._load = 0.0
+
+
+class BandwidthTakeaway:
+    """Temporarily removes bus bandwidth and/or memory service rate."""
+
+    def __init__(self, kernel: Kernel, bus: Bus, arbiter: MemoryArbiter) -> None:
+        self.kernel = kernel
+        self.bus = bus
+        self.arbiter = arbiter
+        self._saved_bus: Optional[float] = None
+        self._saved_mem: Optional[float] = None
+
+    def take(self, fraction: float, duration: Optional[float] = None) -> None:
+        """Remove ``fraction`` (0..1) of bandwidth; auto-restore after
+        ``duration`` if given."""
+        if not 0.0 < fraction < 1.0:
+            raise ValueError("fraction must be in (0, 1)")
+        if self._saved_bus is None:
+            self._saved_bus = self.bus.bandwidth
+            self._saved_mem = self.arbiter.words_per_time
+        self.bus.set_bandwidth(self._saved_bus * (1.0 - fraction))
+        self.arbiter.words_per_time = self._saved_mem * (1.0 - fraction)
+        if duration is not None:
+            self.kernel.schedule(duration, self.restore, name="bw-restore")
+
+    def restore(self) -> None:
+        if self._saved_bus is not None:
+            self.bus.set_bandwidth(self._saved_bus)
+            self.arbiter.words_per_time = self._saved_mem
+            self._saved_bus = None
+            self._saved_mem = None
+
+
+@dataclass
+class StressScenario:
+    """One stress configuration to evaluate."""
+
+    name: str
+    cpu_load: float = 0.0
+    bandwidth_fraction: float = 0.0
+    target_processor: str = "cpu0"
+
+
+@dataclass
+class StressOutcome:
+    """Measured effect of one scenario."""
+
+    scenario: str
+    miss_rate: float
+    mean_frame_quality: float
+    degraded_fraction: float
+
+
+class StressCampaign:
+    """Applies stress scenarios to fresh TVs and tabulates outcomes."""
+
+    def __init__(
+        self,
+        seed: int = 0,
+        warmup: float = 30.0,
+        measure: float = 150.0,
+    ) -> None:
+        self.seed = seed
+        self.warmup = warmup
+        self.measure = measure
+
+    def run_scenario(self, scenario: StressScenario) -> StressOutcome:
+        tv = TVSet(seed=self.seed)
+        tv.press("power")
+        tv.run(self.warmup)
+        eater: Optional[CpuEater] = None
+        if scenario.cpu_load > 0:
+            eater = CpuEater(tv.soc, scenario.target_processor)
+            eater.start(scenario.cpu_load)
+        if scenario.bandwidth_fraction > 0:
+            takeaway = BandwidthTakeaway(tv.kernel, tv.soc.bus, tv.soc.arbiter)
+            takeaway.take(scenario.bandwidth_fraction)
+        start = tv.kernel.now
+        tv.run(self.measure)
+        tasks = tv.video.tasks
+        jobs = sum(t.stats.jobs for t in tasks)
+        misses = sum(t.stats.misses for t in tasks)
+        return StressOutcome(
+            scenario=scenario.name,
+            miss_rate=(misses / jobs) if jobs else 0.0,
+            mean_frame_quality=tv.video.mean_quality(since=start),
+            degraded_fraction=tv.video.degraded_fraction(since=start),
+        )
+
+    def run(self, scenarios: List[StressScenario]) -> List[StressOutcome]:
+        return [self.run_scenario(s) for s in scenarios]
+
+
+#: The default E7 sweep: nominal, then increasing CPU eating, then
+#: bandwidth takeaway, then combined.
+DEFAULT_SCENARIOS = [
+    StressScenario(name="nominal"),
+    StressScenario(name="eat25", cpu_load=0.25),
+    StressScenario(name="eat50", cpu_load=0.50),
+    StressScenario(name="eat70", cpu_load=0.70),
+    StressScenario(name="bw30", bandwidth_fraction=0.30),
+    StressScenario(name="bw60", bandwidth_fraction=0.60),
+    StressScenario(name="eat50+bw30", cpu_load=0.50, bandwidth_fraction=0.30),
+]

@@ -1,0 +1,75 @@
+"""Diagnosis quality metrics.
+
+The paper reports one headline number — the faulty block "appeared on the
+first place in the ranking".  The SFL literature behind it ([20]) uses
+richer metrics, all provided here:
+
+* best/average/worst rank of the faulty block(s) under ties;
+* **wasted effort** — fraction of executed blocks a developer inspects
+  before reaching a faulty one (ties counted half);
+* top-N hit indicators.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Sequence
+
+from .sfl import RankedBlock
+
+
+@dataclass(frozen=True)
+class RankingQuality:
+    """Quality of one ranking against ground-truth faulty blocks."""
+
+    best_rank: int
+    average_rank: float
+    worst_rank: int
+    wasted_effort: float
+    total_ranked: int
+    in_top_1: bool
+    in_top_5: bool
+    in_top_10: bool
+
+
+def evaluate_ranking(
+    ranking: Sequence[RankedBlock], faulty_blocks: Iterable[int]
+) -> RankingQuality:
+    """Score a ranking; raises if no faulty block was ranked at all."""
+    faulty = frozenset(faulty_blocks)
+    if not faulty:
+        raise ValueError("no ground-truth faulty blocks given")
+    by_block: Dict[int, RankedBlock] = {entry.block: entry for entry in ranking}
+    present = [by_block[b] for b in faulty if b in by_block]
+    if not present:
+        raise ValueError(
+            "no faulty block appears in the ranking (it never executed)"
+        )
+
+    best_entry = min(present, key=lambda entry: entry.rank)
+    best_score = best_entry.score
+    strictly_higher = sum(1 for e in ranking if e.score > best_score)
+    ties = sum(1 for e in ranking if e.score == best_score and e.block not in faulty)
+    total = len(ranking)
+    # Developer inspects all strictly-higher blocks plus on average half of
+    # the non-faulty blocks tied with the best faulty one.
+    effort = (strictly_higher + ties / 2.0) / total if total else 0.0
+
+    ranks = [entry.rank for entry in present]
+    return RankingQuality(
+        best_rank=min(ranks),
+        average_rank=sum(ranks) / len(ranks),
+        worst_rank=max(ranks),
+        wasted_effort=effort,
+        total_ranked=total,
+        in_top_1=min(ranks) <= 1,
+        in_top_5=min(ranks) <= 5,
+        in_top_10=min(ranks) <= 10,
+    )
+
+
+def random_baseline_effort(executed_blocks: int) -> float:
+    """Expected wasted effort of inspecting blocks in random order."""
+    if executed_blocks <= 0:
+        return 0.0
+    return 0.5

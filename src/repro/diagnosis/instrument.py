@@ -1,0 +1,206 @@
+"""Block instrumentation of the simulated TV + scenario runner for E1.
+
+Reproduces the Sect. 4.4 experimental setup end to end:
+
+1. "First the C code is instrumented to record which blocks are executed"
+   — :class:`BlockInstrumenter` attaches hooks to the TV (handler reports,
+   teletext render calls, background activity) and maps them to block ids
+   through :class:`~repro.tv.software.SoftwareBuild`.
+2. "for each sequence of key presses, a so-called scenario, for each block
+   it is recorded whether it has been executed or not between two key
+   presses" — :class:`ScenarioRunner` drives a key script, closing one
+   spectra step per key press.
+3. "based on some error detection mechanism, it is recorded for each key
+   press whether it leads to error or not" — the runner keeps a lock-step
+   specification model and flags a step erroneous when screen or sound
+   disagree at the end of the step.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from ..statemachine.machine import Machine
+from ..tv.control_model import (
+    build_tv_model,
+    expected_screen,
+    expected_sound,
+    key_to_event_name,
+)
+from ..tv.software import SoftwareBuild
+from ..tv.tvset import TVSet
+from .spectra import SpectraCollector
+
+
+class BlockInstrumenter:
+    """Maps TV activity to executed block ids, feeding a collector."""
+
+    def __init__(
+        self, tv: TVSet, build: SoftwareBuild, collector: SpectraCollector
+    ) -> None:
+        self.tv = tv
+        self.build = build
+        self.collector = collector
+        self.step_index = -1
+        self._active = False
+        self._current_key: Optional[str] = None
+        self._last_missed_updates = 0
+        tv.control.on_handler.append(self._on_handler)
+        tv.teletext.add_interceptor(self._ttx_interceptor)
+
+    # ------------------------------------------------------------------
+    def begin_step(self, key: Optional[str]) -> None:
+        """One scenario step = one key press interval."""
+        self.step_index = self.collector.begin_step()
+        self._active = True
+        self._current_key = key
+        self.collector.record(self.build.background_blocks(self.step_index))
+
+    def end_step(self, error: bool) -> None:
+        self._record_acquirer_fault()
+        self.collector.end_step(error)
+        self._active = False
+
+    # ------------------------------------------------------------------
+    def _on_handler(self, handler: str, tags: List[str]) -> None:
+        if not self._active:
+            return
+        blocks = self.build.blocks_for_handler(
+            handler, tags, self._current_key, self.step_index
+        )
+        self.collector.record(blocks)
+
+    def _ttx_interceptor(
+        self,
+        component,
+        port: str,
+        operation: str,
+        kwargs: Dict[str, Any],
+        proceed: Callable[[], Any],
+    ) -> Any:
+        result = proceed()
+        if not self._active or operation != "rendered_page":
+            return result
+        tags = ["render"]
+        if isinstance(result, dict) and result.get("stale"):
+            tags.append("FAULT_ttx_stale_render")
+        acquirer = self.tv.teletext.acquirer
+        if (
+            acquirer.drop_channel_updates
+            and isinstance(result, dict)
+            and result.get("visible")
+            and acquirer.believed_channel != result.get("channel")
+        ):
+            # The desynchronized channel-tracking state is consulted by
+            # this (failing) lookup — the faulty code is on the path.
+            tags.append("FAULT_drop_ttx_notify")
+        blocks = self.build.blocks_for_handler(
+            "ttx_render", tags, None, self.step_index
+        )
+        self.collector.record(blocks)
+        return result
+
+    def _record_acquirer_fault(self) -> None:
+        """The sync-loss fault's branch: dropped notifications this step."""
+        missed = self.tv.teletext.acquirer.missed_updates
+        if missed > self._last_missed_updates:
+            self.collector.record(self.build.fault_blocks("drop_ttx_notify"))
+        self._last_missed_updates = missed
+
+
+@dataclass
+class ScenarioResult:
+    """Outcome of one instrumented scenario run."""
+
+    keys: List[str]
+    error_vector: List[bool]
+    executed_blocks: int
+    total_blocks: int
+    collector: SpectraCollector
+
+    @property
+    def error_steps(self) -> int:
+        return sum(self.error_vector)
+
+
+class ScenarioRunner:
+    """Drives a key scenario over an instrumented TV with a lock-step oracle."""
+
+    def __init__(
+        self,
+        tv: TVSet,
+        build: Optional[SoftwareBuild] = None,
+        spec: Optional[Machine] = None,
+        step_interval: float = 5.0,
+    ) -> None:
+        self.tv = tv
+        self.build = build or SoftwareBuild(seed=0)
+        self.spec = spec or build_tv_model(channel_count=tv.tuner.channel_count)
+        self.step_interval = step_interval
+        self.collector = SpectraCollector()
+        self.instrumenter = BlockInstrumenter(tv, self.build, self.collector)
+
+    # ------------------------------------------------------------------
+    def run(self, keys: Sequence[str]) -> ScenarioResult:
+        """Execute the scenario, one spectra step per key press."""
+        for key in keys:
+            self.instrumenter.begin_step(key)
+            self.tv.press(key)
+            name, params = key_to_event_name(key)
+            self.spec.advance(self.tv.kernel.now)
+            self.spec.inject(name, **params)
+            # Let the interval elapse: transients settle, teletext
+            # acquires, render refresh publishes.
+            self.tv.run(self.step_interval)
+            self.spec.advance(self.tv.kernel.now)
+            self.instrumenter.end_step(self._step_erroneous())
+        return ScenarioResult(
+            keys=list(keys),
+            error_vector=list(self.collector.error_vector),
+            executed_blocks=len(self.collector.executed_blocks()),
+            total_blocks=self.build.total_blocks,
+            collector=self.collector,
+        )
+
+    # ------------------------------------------------------------------
+    def _step_erroneous(self) -> bool:
+        """End-of-step oracle: model vs system on both user observables."""
+        if expected_screen(self.spec) != self.tv.screen_descriptor():
+            return True
+        if expected_sound(self.spec) != self.tv.sound_level():
+            return True
+        return False
+
+
+#: The 27-key-press teletext scenario of Sect. 4.4: normal zapping and
+#: volume use, then teletext sessions that expose the injected fault.
+TELETEXT_SCENARIO_27 = [
+    "power",     # 1  turn on
+    "ch_up",     # 2  zap
+    "ch_up",     # 3
+    "vol_up",    # 4
+    "vol_up",    # 5
+    "ttx",       # 6  first teletext session (healthy if fault dormant)
+    "ttx",       # 7  close
+    "ch_down",   # 8
+    "menu",      # 9
+    "back",      # 10
+    "ttx",       # 11 teletext again
+    "vol_down",  # 12 volume while ttx
+    "ttx",       # 13 close
+    "ch_up",     # 14
+    "ttx",       # 15 teletext after channel change
+    "ttx",       # 16 close
+    "mute",      # 17
+    "mute",      # 18
+    "ch_down",   # 19
+    "ttx",       # 20 teletext
+    "ch_up",     # 21 channel change closes ttx
+    "ttx",       # 22 reopen
+    "ttx",       # 23 close
+    "dual",      # 24
+    "dual",      # 25
+    "vol_up",    # 26
+    "power",     # 27 off
+]

@@ -1,0 +1,100 @@
+"""Similarity coefficients for spectrum-based fault localization.
+
+The Trader diagnosis line ([20], Zoeteweij et al.) ranks blocks by the
+similarity between each block's hit spectrum and the error vector.  The
+standard coefficients from that literature are provided; Ochiai is the
+default (it performed best in the embedded-software studies the project
+reports on).
+
+All coefficients map :class:`~repro.diagnosis.spectra.SpectraCounts` to a
+score in which *larger means more suspicious*.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Dict
+
+from .spectra import SpectraCounts
+
+Coefficient = Callable[[SpectraCounts], float]
+
+
+def ochiai(c: SpectraCounts) -> float:
+    """a11 / sqrt((a11 + a01) * (a11 + a10))."""
+    denominator = math.sqrt((c.a11 + c.a01) * (c.a11 + c.a10))
+    if denominator == 0:
+        return 0.0
+    return c.a11 / denominator
+
+
+def tarantula(c: SpectraCounts) -> float:
+    """Failed-rate / (failed-rate + passed-rate)."""
+    total_failed = c.a11 + c.a01
+    total_passed = c.a10 + c.a00
+    failed_rate = c.a11 / total_failed if total_failed else 0.0
+    passed_rate = c.a10 / total_passed if total_passed else 0.0
+    if failed_rate + passed_rate == 0:
+        return 0.0
+    return failed_rate / (failed_rate + passed_rate)
+
+
+def jaccard(c: SpectraCounts) -> float:
+    """a11 / (a11 + a01 + a10)."""
+    denominator = c.a11 + c.a01 + c.a10
+    if denominator == 0:
+        return 0.0
+    return c.a11 / denominator
+
+
+def ample(c: SpectraCounts) -> float:
+    """|a11/(a11+a01) - a10/(a10+a00)|."""
+    failed = c.a11 + c.a01
+    passed = c.a10 + c.a00
+    term_failed = c.a11 / failed if failed else 0.0
+    term_passed = c.a10 / passed if passed else 0.0
+    return abs(term_failed - term_passed)
+
+
+def dice(c: SpectraCounts) -> float:
+    """2*a11 / (2*a11 + a01 + a10)."""
+    denominator = 2 * c.a11 + c.a01 + c.a10
+    if denominator == 0:
+        return 0.0
+    return 2 * c.a11 / denominator
+
+
+def kulczynski2(c: SpectraCounts) -> float:
+    """0.5 * (a11/(a11+a01) + a11/(a11+a10))."""
+    failed = c.a11 + c.a01
+    executed = c.a11 + c.a10
+    term_a = c.a11 / failed if failed else 0.0
+    term_b = c.a11 / executed if executed else 0.0
+    return 0.5 * (term_a + term_b)
+
+
+def russell_rao(c: SpectraCounts) -> float:
+    """a11 / n."""
+    n = c.a11 + c.a10 + c.a01 + c.a00
+    if n == 0:
+        return 0.0
+    return c.a11 / n
+
+
+COEFFICIENTS: Dict[str, Coefficient] = {
+    "ochiai": ochiai,
+    "tarantula": tarantula,
+    "jaccard": jaccard,
+    "ample": ample,
+    "dice": dice,
+    "kulczynski2": kulczynski2,
+    "russell_rao": russell_rao,
+}
+
+
+def get_coefficient(name: str) -> Coefficient:
+    if name not in COEFFICIENTS:
+        raise KeyError(
+            f"unknown coefficient {name!r}; choose from {sorted(COEFFICIENTS)}"
+        )
+    return COEFFICIENTS[name]

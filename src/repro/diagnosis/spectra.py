@@ -1,0 +1,107 @@
+"""Program spectra: (block × step) hit matrix plus an error vector.
+
+Sect. 4.4: "for each sequence of key presses, a so-called scenario, for
+each block it is recorded whether it has been executed or not between two
+key presses.  This leads to a vector, a so-called spectrum, for each
+block.  [...] it is recorded for each key press whether it leads to an
+error or not."
+
+The collector keeps the matrix sparse (block → set of step indices); the
+SFL engine folds it into the four similarity counters per block.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Set, Tuple
+
+
+@dataclass
+class SpectraCounts:
+    """The classic 2×2 contingency counts for one block.
+
+    * ``a11`` — executed in an erroneous step;
+    * ``a10`` — executed in a correct step;
+    * ``a01`` — not executed, step erroneous;
+    * ``a00`` — not executed, step correct.
+    """
+
+    a11: int = 0
+    a10: int = 0
+    a01: int = 0
+    a00: int = 0
+
+
+class SpectraCollector:
+    """Accumulates block-hit spectra over scenario steps."""
+
+    def __init__(self) -> None:
+        self._hits: Dict[int, Set[int]] = {}
+        self.error_vector: List[bool] = []
+        self._current_step: int = -1
+        self._open = False
+        self._current_blocks: Set[int] = set()
+
+    # ------------------------------------------------------------------
+    # recording
+    # ------------------------------------------------------------------
+    def begin_step(self) -> int:
+        """Open the next step (one key-press interval); returns its index."""
+        if self._open:
+            raise RuntimeError("previous step still open; call end_step first")
+        self._current_step += 1
+        self._open = True
+        self._current_blocks = set()
+        return self._current_step
+
+    def record(self, blocks: Iterable[int]) -> None:
+        """Record executed blocks within the open step."""
+        if not self._open:
+            raise RuntimeError("no open step")
+        self._current_blocks.update(blocks)
+
+    def end_step(self, error: bool) -> None:
+        """Close the open step with its error verdict."""
+        if not self._open:
+            raise RuntimeError("no open step")
+        step = self._current_step
+        for block in self._current_blocks:
+            self._hits.setdefault(block, set()).add(step)
+        self.error_vector.append(bool(error))
+        self._open = False
+        self._current_blocks = set()
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    @property
+    def step_count(self) -> int:
+        return len(self.error_vector)
+
+    @property
+    def error_steps(self) -> FrozenSet[int]:
+        return frozenset(
+            i for i, erroneous in enumerate(self.error_vector) if erroneous
+        )
+
+    def executed_blocks(self) -> FrozenSet[int]:
+        """All blocks that executed at least once (the paper's 13 796)."""
+        return frozenset(self._hits)
+
+    def hits_of(self, block: int) -> FrozenSet[int]:
+        return frozenset(self._hits.get(block, frozenset()))
+
+    def counts_for(self, block: int) -> SpectraCounts:
+        """Contingency counts for one block."""
+        hits = self._hits.get(block, set())
+        errors = self.error_steps
+        steps = self.step_count
+        a11 = len(hits & errors)
+        a10 = len(hits) - a11
+        a01 = len(errors) - a11
+        a00 = steps - len(hits) - a01
+        return SpectraCounts(a11=a11, a10=a10, a01=a01, a00=a00)
+
+    def all_counts(self) -> Dict[int, SpectraCounts]:
+        """Counts for every executed block (unexecuted blocks score 0)."""
+        return {block: self.counts_for(block) for block in self._hits}

@@ -1,0 +1,19 @@
+"""Koala-style component model: interfaces, components, bindings, reflection."""
+
+from .binding import Configuration
+from .component import Component, ComponentError
+from .interface import InterfaceType, Operation, Port
+from .reflection import Aspect, CallContext, JoinPoint, Weaver
+
+__all__ = [
+    "Aspect",
+    "CallContext",
+    "Component",
+    "ComponentError",
+    "Configuration",
+    "InterfaceType",
+    "JoinPoint",
+    "Operation",
+    "Port",
+    "Weaver",
+]

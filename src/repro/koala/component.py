@@ -1,0 +1,179 @@
+"""Components: typed, port-connected units of the simulated TV software.
+
+A :class:`Component` subclass declares ports in ``configure`` and
+implements provided operations as ``op_<interface>_<operation>`` methods.
+Calls arriving on a provides port are dispatched through
+:meth:`Component.handle`, which is also where the reflection layer
+(:mod:`repro.koala.reflection`) intercepts join points — the AspectKoala
+attachment mechanism of Sect. 4.1.
+
+Components have an explicit lifecycle (``INIT → STARTED → STOPPED``) and a
+``mode`` attribute.  Modes are first-class because the Trader
+mode-consistency error detector (Sect. 4.3) works by comparing the modes of
+cooperating components.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional
+
+from .interface import InterfaceType, Port
+
+
+class ComponentError(Exception):
+    """Raised for wiring/lifecycle misuse."""
+
+
+class Component:
+    """Base class for all Koala-style components."""
+
+    INIT = "INIT"
+    STARTED = "STARTED"
+    STOPPED = "STOPPED"
+    FAILED = "FAILED"
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.lifecycle = self.INIT
+        #: Functional mode, visible to the mode-consistency checker.
+        self.mode: str = "idle"
+        self.provides: Dict[str, Port] = {}
+        self.requires: Dict[str, Port] = {}
+        self._interceptors: List[Callable[..., Any]] = []
+        self._mode_listeners: List[Callable[["Component", str, str], None]] = []
+        self.call_count = 0
+        self.configure()
+
+    # ------------------------------------------------------------------
+    # declaration API (used by subclasses in configure())
+    # ------------------------------------------------------------------
+    def configure(self) -> None:
+        """Declare ports.  Subclasses override."""
+
+    def provide(self, port_name: str, itype: InterfaceType) -> Port:
+        if port_name in self.provides or port_name in self.requires:
+            raise ComponentError(f"duplicate port {port_name!r} on {self.name}")
+        port = Port(self, port_name, itype, Port.PROVIDES)
+        self.provides[port_name] = port
+        return port
+
+    def require(self, port_name: str, itype: InterfaceType) -> Port:
+        if port_name in self.provides or port_name in self.requires:
+            raise ComponentError(f"duplicate port {port_name!r} on {self.name}")
+        port = Port(self, port_name, itype, Port.REQUIRES)
+        self.requires[port_name] = port
+        return port
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        if self.lifecycle == self.STARTED:
+            return
+        self.lifecycle = self.STARTED
+        self.on_start()
+
+    def stop(self) -> None:
+        if self.lifecycle == self.STOPPED:
+            return
+        self.lifecycle = self.STOPPED
+        self.on_stop()
+
+    def fail(self, reason: str = "") -> None:
+        """Mark the component failed (observable by monitors)."""
+        self.lifecycle = self.FAILED
+        self.on_fail(reason)
+
+    def on_start(self) -> None:
+        """Hook for subclasses."""
+
+    def on_stop(self) -> None:
+        """Hook for subclasses."""
+
+    def on_fail(self, reason: str) -> None:
+        """Hook for subclasses."""
+
+    # ------------------------------------------------------------------
+    # modes
+    # ------------------------------------------------------------------
+    def set_mode(self, mode: str) -> None:
+        """Change functional mode, notifying mode listeners."""
+        old = self.mode
+        if mode == old:
+            return
+        self.mode = mode
+        for listener in self._mode_listeners:
+            listener(self, old, mode)
+
+    def watch_mode(self, listener: Callable[["Component", str, str], None]) -> None:
+        """Subscribe to mode changes (used by the mode observers)."""
+        self._mode_listeners.append(listener)
+
+    # ------------------------------------------------------------------
+    # call dispatch
+    # ------------------------------------------------------------------
+    def call(self, port_name: str, operation: str, **kwargs: Any) -> Any:
+        """Invoke an operation through one of our *requires* ports."""
+        port = self.requires.get(port_name)
+        if port is None:
+            raise ComponentError(f"{self.name} has no requires port {port_name!r}")
+        if port.peer is None:
+            raise ComponentError(f"port {port.full_name()} is unbound")
+        if not port.itype.has_operation(operation):
+            raise ComponentError(
+                f"interface {port.itype.name} has no operation {operation!r}"
+            )
+        provider: Component = port.peer.component
+        return provider.handle(port.peer.name, operation, **kwargs)
+
+    def handle(self, port_name: str, operation: str, **kwargs: Any) -> Any:
+        """Dispatch an inbound call on a provides port to its method.
+
+        Interceptors registered by the reflection layer wrap the actual
+        method call; each receives a continuation so aspects can run advice
+        before/after/around without the component knowing.
+        """
+        port = self.provides.get(port_name)
+        if port is None:
+            raise ComponentError(f"{self.name} has no provides port {port_name!r}")
+        method_name = f"op_{port_name}_{operation}"
+        method = getattr(self, method_name, None)
+        if method is None:
+            raise ComponentError(
+                f"{self.name} does not implement {method_name} "
+                f"for {port.itype.name}.{operation}"
+            )
+        self.call_count += 1
+
+        def invoke() -> Any:
+            return method(**kwargs)
+
+        continuation = invoke
+        for interceptor in reversed(self._interceptors):
+            continuation = _wrap(interceptor, self, port_name, operation, kwargs, continuation)
+        return continuation()
+
+    def add_interceptor(self, interceptor: Callable[..., Any]) -> None:
+        """Attach an interceptor: ``f(component, port, op, kwargs, proceed)``."""
+        self._interceptors.append(interceptor)
+
+    def remove_interceptor(self, interceptor: Callable[..., Any]) -> None:
+        if interceptor in self._interceptors:
+            self._interceptors.remove(interceptor)
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.name} [{self.lifecycle}] mode={self.mode}>"
+
+
+def _wrap(
+    interceptor: Callable[..., Any],
+    component: Component,
+    port_name: str,
+    operation: str,
+    kwargs: Dict[str, Any],
+    proceed: Callable[[], Any],
+) -> Callable[[], Any]:
+    def wrapped() -> Any:
+        return interceptor(component, port_name, operation, kwargs, proceed)
+
+    return wrapped

@@ -1,0 +1,105 @@
+"""Interface definitions for the Koala-style component model.
+
+Koala (NXP's component model, the substrate AspectKoala instruments) wires
+components through explicitly declared *provides* and *requires*
+interfaces.  An :class:`InterfaceType` declares a set of named operations
+with optional argument contracts; a :class:`Port` is one side of a
+connection on a component instance.
+
+Declared contracts matter here: the hardware-assisted *range checking* of
+Sect. 4.1 checks observed argument/result values against exactly these
+declarations, so an interface is also a machine-checkable specification.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class Operation:
+    """One operation on an interface.
+
+    ``ranges`` maps argument names to inclusive ``(low, high)`` bounds;
+    ``result_range`` bounds the return value.  Bounds are optional — only
+    numeric observables get them, matching how on-chip range checkers are
+    configured for selected signals.
+    """
+
+    name: str
+    ranges: Dict[str, Tuple[float, float]] = field(default_factory=dict)
+    result_range: Optional[Tuple[float, float]] = None
+
+    def check_args(self, kwargs: Dict[str, Any]) -> Optional[str]:
+        """Return a violation description, or None if all bounds hold."""
+        for arg, (low, high) in self.ranges.items():
+            if arg not in kwargs:
+                continue
+            value = kwargs[arg]
+            if not isinstance(value, (int, float)):
+                return f"{self.name}.{arg}: non-numeric value {value!r}"
+            if not low <= value <= high:
+                return f"{self.name}.{arg}={value} outside [{low}, {high}]"
+        return None
+
+    def check_result(self, value: Any) -> Optional[str]:
+        """Return a violation description for the result, or None."""
+        if self.result_range is None:
+            return None
+        low, high = self.result_range
+        if not isinstance(value, (int, float)):
+            return f"{self.name}: non-numeric result {value!r}"
+        if not low <= value <= high:
+            return f"{self.name} result {value} outside [{low}, {high}]"
+        return None
+
+
+class InterfaceType:
+    """A named set of operations (the Koala 'interface definition')."""
+
+    def __init__(self, name: str, operations: Optional[Dict[str, Operation]] = None) -> None:
+        self.name = name
+        self.operations: Dict[str, Operation] = dict(operations or {})
+
+    def operation(self, name: str, **kwargs: Any) -> "InterfaceType":
+        """Fluently add an operation; returns self for chaining."""
+        self.operations[name] = Operation(name, **kwargs)
+        return self
+
+    def has_operation(self, name: str) -> bool:
+        return name in self.operations
+
+    def __repr__(self) -> str:
+        return f"InterfaceType({self.name!r}, ops={sorted(self.operations)})"
+
+
+class Port:
+    """One interface endpoint on a component instance.
+
+    ``direction`` is ``'provides'`` or ``'requires'``.  A *requires* port
+    delegates calls to the *provides* port it is bound to; binding is done
+    by :mod:`repro.koala.binding`.
+    """
+
+    PROVIDES = "provides"
+    REQUIRES = "requires"
+
+    def __init__(self, component: Any, name: str, itype: InterfaceType, direction: str) -> None:
+        if direction not in (self.PROVIDES, self.REQUIRES):
+            raise ValueError(f"bad port direction {direction!r}")
+        self.component = component
+        self.name = name
+        self.itype = itype
+        self.direction = direction
+        self.peer: Optional["Port"] = None
+
+    @property
+    def bound(self) -> bool:
+        return self.peer is not None
+
+    def full_name(self) -> str:
+        return f"{self.component.name}.{self.name}"
+
+    def __repr__(self) -> str:
+        return f"Port({self.full_name()}, {self.itype.name}, {self.direction})"

@@ -1,0 +1,138 @@
+"""Join points and aspect weaving over the component model.
+
+This is the reproduction's **AspectKoala** (Sect. 4.1, [19]): user-
+controlled reflection on join points.  A :class:`JoinPoint` names a set of
+operations (by component/port/operation patterns, ``*`` wildcards); an
+:class:`Aspect` carries before/after/around advice; a :class:`Weaver`
+installs the advice as component interceptors — no edits to component code,
+which is the property the paper needs for third-party and legacy software.
+"""
+
+from __future__ import annotations
+
+import fnmatch
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional
+
+from .binding import Configuration
+from .component import Component
+
+
+@dataclass(frozen=True)
+class JoinPoint:
+    """A pattern over (component, port, operation) call sites."""
+
+    component: str = "*"
+    port: str = "*"
+    operation: str = "*"
+
+    def matches(self, component: str, port: str, operation: str) -> bool:
+        return (
+            fnmatch.fnmatchcase(component, self.component)
+            and fnmatch.fnmatchcase(port, self.port)
+            and fnmatch.fnmatchcase(operation, self.operation)
+        )
+
+
+@dataclass
+class CallContext:
+    """What advice sees about an intercepted call."""
+
+    component: Component
+    port: str
+    operation: str
+    kwargs: Dict[str, Any]
+    result: Any = None
+    error: Optional[BaseException] = None
+
+
+Advice = Callable[[CallContext], None]
+AroundAdvice = Callable[[CallContext, Callable[[], Any]], Any]
+
+
+class Aspect:
+    """Named advice bundle attached to a join point."""
+
+    def __init__(
+        self,
+        name: str,
+        joinpoint: JoinPoint,
+        before: Optional[Advice] = None,
+        after: Optional[Advice] = None,
+        around: Optional[AroundAdvice] = None,
+    ) -> None:
+        self.name = name
+        self.joinpoint = joinpoint
+        self.before = before
+        self.after = after
+        self.around = around
+        self.activations = 0
+
+    def __repr__(self) -> str:
+        return f"Aspect({self.name!r}, {self.joinpoint})"
+
+
+class Weaver:
+    """Installs aspects into a configuration via component interceptors."""
+
+    def __init__(self, configuration: Configuration) -> None:
+        self.configuration = configuration
+        self.aspects: List[Aspect] = []
+        self._installed: Dict[str, Callable[..., Any]] = {}
+
+    def weave(self, aspect: Aspect) -> None:
+        """Attach an aspect to every matching component."""
+        self.aspects.append(aspect)
+        for component in self.configuration:
+            if not self._component_may_match(aspect, component):
+                continue
+            interceptor = self._make_interceptor(aspect)
+            component.add_interceptor(interceptor)
+            self._installed[f"{aspect.name}@{component.name}"] = (component, interceptor)
+
+    def unweave(self, aspect_name: str) -> int:
+        """Remove a previously woven aspect everywhere; returns removals."""
+        removed = 0
+        for key in list(self._installed):
+            name, _, _component_name = key.partition("@")
+            if name != aspect_name:
+                continue
+            component, interceptor = self._installed.pop(key)
+            component.remove_interceptor(interceptor)
+            removed += 1
+        self.aspects = [a for a in self.aspects if a.name != aspect_name]
+        return removed
+
+    # ------------------------------------------------------------------
+    def _component_may_match(self, aspect: Aspect, component: Component) -> bool:
+        return fnmatch.fnmatchcase(component.name, aspect.joinpoint.component)
+
+    def _make_interceptor(self, aspect: Aspect) -> Callable[..., Any]:
+        def interceptor(
+            component: Component,
+            port: str,
+            operation: str,
+            kwargs: Dict[str, Any],
+            proceed: Callable[[], Any],
+        ) -> Any:
+            if not aspect.joinpoint.matches(component.name, port, operation):
+                return proceed()
+            aspect.activations += 1
+            context = CallContext(component, port, operation, kwargs)
+            if aspect.before is not None:
+                aspect.before(context)
+            try:
+                if aspect.around is not None:
+                    context.result = aspect.around(context, proceed)
+                else:
+                    context.result = proceed()
+            except BaseException as exc:
+                context.error = exc
+                if aspect.after is not None:
+                    aspect.after(context)
+                raise
+            if aspect.after is not None:
+                aspect.after(context)
+            return context.result
+
+        return interceptor

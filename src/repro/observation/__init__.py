@@ -1,0 +1,37 @@
+"""Observation layer: probes, monitoring aspects, HW-assisted monitors."""
+
+from .aspect import call_counter, call_logger, latency_recorder, value_tap
+from .deadlock import DeadlockAlarm, DeadlockDetector
+from .hardware import (
+    CallStackMonitor,
+    MemoryAlarm,
+    MemoryArbiterWatch,
+    RangeChecker,
+    RangeViolation,
+    StackFrame,
+)
+from .observer import BufferProbe, InputProbe, LoadProbe, ModeProbe, OutputProbe
+
+__all__ = [
+    "BufferProbe",
+    "CallStackMonitor",
+    "DeadlockAlarm",
+    "DeadlockDetector",
+    "InputProbe",
+    "LoadProbe",
+    "MemoryAlarm",
+    "MemoryArbiterWatch",
+    "ModeProbe",
+    "OutputProbe",
+    "RangeChecker",
+    "RangeViolation",
+    "StackFrame",
+    "call_counter",
+    "call_logger",
+    "latency_recorder",
+    "value_tap",
+]
+
+from .adapter import DeadlockSource, MemoryWatchSource, RangeCheckerSource
+
+__all__ += ["DeadlockSource", "MemoryWatchSource", "RangeCheckerSource"]

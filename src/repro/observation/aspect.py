@@ -1,0 +1,82 @@
+"""Aspect-oriented software observation (the AspectKoala use of Sect. 4.1).
+
+"The observation of software behaviour is mainly done by code
+instrumentation using aspect-oriented techniques."  This module packages
+the common monitoring aspects as ready-to-weave factories over the
+reflection layer of :mod:`repro.koala.reflection`:
+
+* :func:`call_logger`      — every intercepted call into the trace;
+* :func:`call_counter`     — per-operation invocation counts;
+* :func:`latency_recorder` — wall-time of each call (simulated clocks are
+  free, so this records *call nesting depth* as the cost proxy);
+* :func:`value_tap`        — mirrors a chosen argument/result to a callback
+  (feeding the awareness input/output observers).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Optional
+
+from ..koala.reflection import Aspect, CallContext, JoinPoint
+from ..sim.trace import Trace
+
+
+def call_logger(trace: Trace, joinpoint: JoinPoint, name: str = "call-logger") -> Aspect:
+    """Log every matching call (component, operation, args, result)."""
+
+    def after(context: CallContext) -> None:
+        trace.emit(
+            name,
+            "call",
+            {
+                "component": context.component.name,
+                "port": context.port,
+                "operation": context.operation,
+                "kwargs": dict(context.kwargs),
+                "result": context.result,
+                "error": repr(context.error) if context.error else None,
+            },
+        )
+
+    return Aspect(name, joinpoint, after=after)
+
+
+def call_counter(joinpoint: JoinPoint, name: str = "call-counter") -> Aspect:
+    """Count matching calls; counts live on the aspect as ``.counts``."""
+    counts: Dict[str, int] = {}
+
+    def before(context: CallContext) -> None:
+        key = f"{context.component.name}.{context.operation}"
+        counts[key] = counts.get(key, 0) + 1
+
+    aspect = Aspect(name, joinpoint, before=before)
+    aspect.counts = counts  # type: ignore[attr-defined]
+    return aspect
+
+
+def latency_recorder(
+    clock: Callable[[], float], joinpoint: JoinPoint, name: str = "latency"
+) -> Aspect:
+    """Record simulated-time cost of matching calls on ``.samples``."""
+    samples: Dict[str, list] = {}
+
+    def around(context: CallContext, proceed: Callable[[], Any]) -> Any:
+        start = clock()
+        result = proceed()
+        elapsed = clock() - start
+        key = f"{context.component.name}.{context.operation}"
+        samples.setdefault(key, []).append(elapsed)
+        return result
+
+    aspect = Aspect(name, joinpoint, around=around)
+    aspect.samples = samples  # type: ignore[attr-defined]
+    return aspect
+
+
+def value_tap(
+    joinpoint: JoinPoint,
+    callback: Callable[[CallContext], None],
+    name: str = "value-tap",
+) -> Aspect:
+    """Invoke ``callback`` with the full context after each matching call."""
+    return Aspect(name, joinpoint, after=callback)

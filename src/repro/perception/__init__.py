@@ -1,0 +1,28 @@
+"""User perception of reliability (Sect. 4.6)."""
+
+from .attribution import AttributionModel, FailureContext
+from .severity import (
+    PAPER_FUNCTIONS,
+    FunctionProfile,
+    SeverityModel,
+    UserProfile,
+)
+from .study import (
+    ControlledStudy,
+    FunctionOutcome,
+    StudyResult,
+    generate_population,
+)
+
+__all__ = [
+    "AttributionModel",
+    "ControlledStudy",
+    "FailureContext",
+    "FunctionOutcome",
+    "FunctionProfile",
+    "PAPER_FUNCTIONS",
+    "SeverityModel",
+    "StudyResult",
+    "UserProfile",
+    "generate_population",
+]

@@ -1,0 +1,62 @@
+"""Failure attribution: who does the user blame?
+
+Sect. 4.6: "it turned out that also failure attribution has a significant
+impact.  [...] users often turn out to be very tolerant concerning bad
+image quality (which is attributed to external sources), but get
+irritated if the swivel does not work correctly."
+
+:class:`AttributionModel` samples, per observed failure, whether a user
+attributes it externally.  The probability starts from the function's
+attribution prior and is modulated by user savvy (savvy users attribute
+*more accurately*, i.e. toward the true cause) and by context (a storm,
+a known-bad antenna) that legitimizes external blame.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Optional
+
+from .severity import FunctionProfile, UserProfile
+
+
+@dataclass(frozen=True)
+class FailureContext:
+    """Circumstances of one failure occurrence."""
+
+    #: Ground truth: is the cause actually external (bad broadcast)?
+    truly_external: bool = False
+    #: Environmental hint strength toward external blame, in [0, 1].
+    external_cue: float = 0.0
+
+
+class AttributionModel:
+    """Samples attribution decisions for (user, function, context)."""
+
+    def __init__(self, rng: Optional[random.Random] = None) -> None:
+        self.rng = rng or random.Random(0)
+
+    def external_probability(
+        self,
+        user: UserProfile,
+        function: FunctionProfile,
+        context: FailureContext,
+    ) -> float:
+        """Probability this user blames this failure on an external cause."""
+        prior = function.external_attribution_prior
+        # Environmental cues push toward external blame.
+        cued = prior + (1.0 - prior) * context.external_cue * 0.5
+        # Savvy users converge on the truth.
+        truth = 1.0 if context.truly_external else 0.0
+        probability = (1.0 - user.savvy) * cued + user.savvy * truth
+        return max(0.0, min(1.0, probability))
+
+    def attribute(
+        self,
+        user: UserProfile,
+        function: FunctionProfile,
+        context: FailureContext,
+    ) -> bool:
+        """Sample one attribution decision; True = blamed externally."""
+        return self.rng.random() < self.external_probability(user, function, context)

@@ -1,0 +1,158 @@
+"""User-perceived failure severity (Sect. 4.6, DTI).
+
+"The aim is to capture user-perceived failure severity, to get an
+indication of the level of user-irritation caused by a product failure.
+By means of controlled experiments with TV users, the impact of
+characteristics such as product usage, user group, and function
+importance is investigated."
+
+The irritation model combines the factors the paper names:
+
+* **function importance** — how much the user says the function matters;
+* **product usage**       — how often the user exercises the function;
+* **failure visibility**  — how prominent the failure is when it occurs;
+* **attribution**         — whether the user blames the product or an
+  external cause (see :mod:`repro.perception.attribution`); externally
+  attributed failures are heavily discounted, the paper's headline
+  finding.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+
+@dataclass(frozen=True)
+class FunctionProfile:
+    """A product function as the severity model sees it."""
+
+    name: str
+    #: Stated importance in [0, 1] (from user questionnaires).
+    stated_importance: float
+    #: Usage frequency in [0, 1] (fraction of sessions touching it).
+    usage: float
+    #: How visible a failure of this function is, in [0, 1].
+    failure_visibility: float
+    #: Prior probability users attribute a failure externally, in [0, 1].
+    external_attribution_prior: float
+
+    def __post_init__(self) -> None:
+        for attr in (
+            "stated_importance",
+            "usage",
+            "failure_visibility",
+            "external_attribution_prior",
+        ):
+            value = getattr(self, attr)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{attr} must be in [0, 1], got {value}")
+
+
+@dataclass(frozen=True)
+class UserProfile:
+    """One (simulated) user in a controlled experiment."""
+
+    name: str
+    #: Baseline tolerance in [0, 1]: 1 = saintly patience.
+    tolerance: float
+    #: Technical savvy in [0, 1]; savvy users attribute more accurately.
+    savvy: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.tolerance <= 1.0:
+            raise ValueError("tolerance must be in [0, 1]")
+        if not 0.0 <= self.savvy <= 1.0:
+            raise ValueError("savvy must be in [0, 1]")
+
+
+class SeverityModel:
+    """Computes irritation for (user, function, attribution) triples.
+
+    Irritation = visibility × usage-weighted importance × (1 − tolerance
+    damping), then discounted by ``external_discount`` when the user
+    attributes the failure externally.  All outputs are in [0, 1].
+    """
+
+    def __init__(self, external_discount: float = 0.8, usage_weight: float = 0.5) -> None:
+        if not 0.0 <= external_discount <= 1.0:
+            raise ValueError("external_discount must be in [0, 1]")
+        if not 0.0 <= usage_weight <= 1.0:
+            raise ValueError("usage_weight must be in [0, 1]")
+        self.external_discount = external_discount
+        self.usage_weight = usage_weight
+
+    def base_irritation(self, user: UserProfile, function: FunctionProfile) -> float:
+        """Irritation before attribution effects."""
+        importance = (
+            (1.0 - self.usage_weight) * function.stated_importance
+            + self.usage_weight * function.usage
+        )
+        raw = function.failure_visibility * importance
+        return raw * (1.0 - 0.5 * user.tolerance)
+
+    def irritation(
+        self,
+        user: UserProfile,
+        function: FunctionProfile,
+        attributed_externally: bool,
+    ) -> float:
+        """Final irritation given the user's attribution of the failure."""
+        value = self.base_irritation(user, function)
+        if attributed_externally:
+            value *= 1.0 - self.external_discount
+        return max(0.0, min(1.0, value))
+
+    def severity_weight(self, function: FunctionProfile) -> float:
+        """Population-level severity weight for the recovery policy.
+
+        Expected irritation over attribution: functions whose failures are
+        usually blamed on the product carry more weight — this is the
+        bridge from user studies to the run-time recovery policy.
+        """
+        internal_share = 1.0 - function.external_attribution_prior
+        importance = (
+            (1.0 - self.usage_weight) * function.stated_importance
+            + self.usage_weight * function.usage
+        )
+        expected = function.failure_visibility * importance * (
+            internal_share
+            + (1.0 - internal_share) * (1.0 - self.external_discount)
+        )
+        return max(0.0, min(1.0, expected))
+
+
+#: The two functions of the paper's anecdote: image quality vs the
+#: motorized swivel.  Both rank as important when users are *asked*; under
+#: observation image-quality failures are blamed on external sources while
+#: a broken swivel is unambiguously the product's fault.
+PAPER_FUNCTIONS: Dict[str, FunctionProfile] = {
+    "image_quality": FunctionProfile(
+        name="image_quality",
+        stated_importance=0.9,
+        usage=1.0,
+        failure_visibility=0.9,
+        external_attribution_prior=0.8,
+    ),
+    "swivel": FunctionProfile(
+        name="swivel",
+        stated_importance=0.85,
+        usage=0.3,
+        failure_visibility=0.8,
+        external_attribution_prior=0.05,
+    ),
+    "teletext": FunctionProfile(
+        name="teletext",
+        stated_importance=0.5,
+        usage=0.4,
+        failure_visibility=0.7,
+        external_attribution_prior=0.3,
+    ),
+    "sound": FunctionProfile(
+        name="sound",
+        stated_importance=0.95,
+        usage=1.0,
+        failure_visibility=1.0,
+        external_attribution_prior=0.2,
+    ),
+}

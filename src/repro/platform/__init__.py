@@ -1,0 +1,25 @@
+"""Simulated SoC platform: processors, bus, memory, tasks, scheduler."""
+
+from .bus import Bus, MasterStats
+from .cpu import Processor, ProcessorPool
+from .memory import ClientStats, MemoryArbiter, MemoryRequest, SharedMemory
+from .scheduler import Scheduler
+from .soc import SoC, make_tv_soc
+from .task import JobRecord, PeriodicTask, TaskStats
+
+__all__ = [
+    "Bus",
+    "ClientStats",
+    "JobRecord",
+    "MasterStats",
+    "MemoryArbiter",
+    "MemoryRequest",
+    "PeriodicTask",
+    "Processor",
+    "ProcessorPool",
+    "Scheduler",
+    "SharedMemory",
+    "SoC",
+    "TaskStats",
+    "make_tv_soc",
+]

@@ -1,0 +1,93 @@
+"""Shared interconnect with bandwidth arbitration.
+
+The paper's observation targets include "load of processors and busses"
+(Sect. 3) and its stress testing removes bus bandwidth (Sect. 4.7).  The
+:class:`Bus` models a shared link: transfers occupy one of ``channels``
+grant slots and take ``size / bandwidth`` time.  Bandwidth can be reduced
+at run time (bandwidth takeaway) and per-master transfer statistics are
+kept for the observers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Generator, Any
+
+from ..sim.kernel import Kernel
+from ..sim.process import Delay
+from ..sim.resources import Resource
+
+
+@dataclass
+class MasterStats:
+    """Per-master transfer accounting."""
+
+    transfers: int = 0
+    bytes_moved: float = 0.0
+    total_latency: float = 0.0
+
+    def mean_latency(self) -> float:
+        if self.transfers == 0:
+            return 0.0
+        return self.total_latency / self.transfers
+
+
+class Bus:
+    """A shared bus: ``channels`` concurrent grants, shared ``bandwidth``.
+
+    ``transfer`` is a generator to be yielded-from inside a simulated
+    process; it acquires a grant slot, holds it for the transfer duration,
+    and releases it.  Effective per-transfer rate is ``bandwidth /
+    channels`` so reducing bandwidth (stress testing) stretches every
+    in-flight transfer that starts afterwards.
+    """
+
+    def __init__(
+        self,
+        kernel: Kernel,
+        name: str = "bus",
+        bandwidth: float = 100.0,
+        channels: int = 1,
+    ) -> None:
+        if bandwidth <= 0:
+            raise ValueError("bandwidth must be positive")
+        self.kernel = kernel
+        self.name = name
+        self._bandwidth = bandwidth
+        self.channels = channels
+        self.slots = Resource(kernel, capacity=channels, name=f"bus:{name}")
+        self.stats: Dict[str, MasterStats] = {}
+
+    @property
+    def bandwidth(self) -> float:
+        return self._bandwidth
+
+    def set_bandwidth(self, bandwidth: float) -> None:
+        """Run-time bandwidth change (resource takeaway, Sect. 4.7)."""
+        if bandwidth <= 0:
+            raise ValueError("bandwidth must be positive")
+        self._bandwidth = bandwidth
+
+    def transfer_time(self, size: float) -> float:
+        """Duration of a transfer of ``size`` units at current bandwidth."""
+        return size / (self._bandwidth / self.channels)
+
+    def transfer(
+        self, master: str, size: float, priority: int = 0
+    ) -> Generator[Any, Any, float]:
+        """Generator: perform a bus transfer; returns the observed latency."""
+        start = self.kernel.now
+        yield self.slots.acquire(priority)
+        try:
+            yield Delay(self.transfer_time(size))
+        finally:
+            self.slots.release()
+        latency = self.kernel.now - start
+        stats = self.stats.setdefault(master, MasterStats())
+        stats.transfers += 1
+        stats.bytes_moved += size
+        stats.total_latency += latency
+        return latency
+
+    def master_stats(self, master: str) -> MasterStats:
+        return self.stats.setdefault(master, MasterStats())

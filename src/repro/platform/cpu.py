@@ -1,0 +1,108 @@
+"""Simulated processors.
+
+A high-end TV is "a system-on-chip with multiple processors, various types
+of memory, and dedicated hardware accelerators" (Sect. 2).  A
+:class:`Processor` here is a single-context execution resource with a
+*speed* (work units per simulated time unit) and utilization accounting.
+Tasks (see :mod:`repro.platform.task`) compete for it through the
+underlying :class:`~repro.sim.resources.Resource`.
+
+The CPU-eater stress tool (Sect. 4.7) attacks exactly this abstraction: it
+is an ordinary competing task that consumes processor time at the
+application level.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..sim.kernel import Kernel
+from ..sim.resources import Resource
+
+
+class Processor:
+    """One processor core (or dedicated accelerator).
+
+    ``speed`` scales execution time: a job of ``work`` units occupies the
+    core for ``work / speed`` time.  ``busy_time`` integrates occupancy so
+    experiments can report utilization over any window.
+    """
+
+    def __init__(
+        self,
+        kernel: Kernel,
+        name: str,
+        speed: float = 1.0,
+        *,
+        accelerator: bool = False,
+    ) -> None:
+        if speed <= 0:
+            raise ValueError("processor speed must be positive")
+        self.kernel = kernel
+        self.name = name
+        self.speed = speed
+        self.accelerator = accelerator
+        self.core = Resource(kernel, capacity=1, name=f"cpu:{name}")
+        self.busy_time = 0.0
+        self._busy_since: Optional[float] = None
+        self.jobs_executed = 0
+
+    def execution_time(self, work: float) -> float:
+        """Time this core needs for ``work`` units."""
+        return work / self.speed
+
+    # -- occupancy accounting (called by tasks around their busy section) --
+    def note_start(self) -> None:
+        self._busy_since = self.kernel.now
+
+    def note_stop(self) -> None:
+        if self._busy_since is not None:
+            self.busy_time += self.kernel.now - self._busy_since
+            self._busy_since = None
+        self.jobs_executed += 1
+
+    def utilization(self, since: float = 0.0) -> float:
+        """Fraction of time busy over ``[since, now]``."""
+        elapsed = self.kernel.now - since
+        if elapsed <= 0:
+            return 0.0
+        busy = self.busy_time
+        if self._busy_since is not None:
+            busy += self.kernel.now - max(self._busy_since, since)
+        return min(1.0, busy / elapsed)
+
+    def queue_length(self) -> int:
+        """Tasks currently waiting for this core."""
+        return self.core.queue_length()
+
+    def load_estimate(self) -> float:
+        """Cheap load metric for the load balancer: queue + occupancy."""
+        return self.core.queue_length() + self.core.in_use
+
+
+class ProcessorPool:
+    """The set of cores on the SoC; lookup and load inspection helpers."""
+
+    def __init__(self, processors: List[Processor]) -> None:
+        if not processors:
+            raise ValueError("pool needs at least one processor")
+        self.processors = list(processors)
+        self._by_name = {p.name: p for p in processors}
+        if len(self._by_name) != len(processors):
+            raise ValueError("duplicate processor names in pool")
+
+    def __iter__(self):
+        return iter(self.processors)
+
+    def __len__(self) -> int:
+        return len(self.processors)
+
+    def get(self, name: str) -> Processor:
+        return self._by_name[name]
+
+    def least_loaded(self, exclude: Optional[Processor] = None) -> Processor:
+        """Processor with the smallest load estimate (migration target)."""
+        candidates = [p for p in self.processors if p is not exclude]
+        if not candidates:
+            raise ValueError("no candidate processors")
+        return min(candidates, key=lambda p: (p.load_estimate(), p.name))

@@ -1,0 +1,92 @@
+"""Task-set management and placement.
+
+The :class:`Scheduler` owns the mapping from tasks to processors.  It is
+deliberately simple — static priority, non-preemptive, run-to-completion
+per job — because the paper's recovery mechanisms (load balancing, unit
+restart) operate *above* the dispatcher: they change placement and
+lifecycle, not the core scheduling discipline.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from ..sim.kernel import Kernel
+from .cpu import Processor, ProcessorPool
+from .task import PeriodicTask
+
+
+class Scheduler:
+    """Creates, places, starts, stops, and migrates periodic tasks."""
+
+    def __init__(self, kernel: Kernel, pool: ProcessorPool) -> None:
+        self.kernel = kernel
+        self.pool = pool
+        self.tasks: Dict[str, PeriodicTask] = {}
+        self.migration_log: List[Dict[str, object]] = []
+
+    def add_task(
+        self,
+        name: str,
+        processor: str,
+        period: float,
+        work: float,
+        deadline: Optional[float] = None,
+        priority: int = 0,
+        work_fn: Optional[Callable[[], float]] = None,
+        migration_cost: float = 0.0,
+        autostart: bool = True,
+    ) -> PeriodicTask:
+        """Create a task bound to ``processor`` and (by default) start it."""
+        if name in self.tasks:
+            raise ValueError(f"duplicate task name {name!r}")
+        task = PeriodicTask(
+            self.kernel,
+            name,
+            self.pool.get(processor),
+            period=period,
+            work=work,
+            deadline=deadline,
+            priority=priority,
+            work_fn=work_fn,
+            migration_cost=migration_cost,
+        )
+        self.tasks[name] = task
+        if autostart:
+            task.start()
+        return task
+
+    def remove_task(self, name: str) -> None:
+        task = self.tasks.pop(name, None)
+        if task is not None:
+            task.stop()
+
+    def migrate(self, task_name: str, target_processor: str) -> None:
+        """Move a task; recorded in ``migration_log`` for the experiments."""
+        task = self.tasks[task_name]
+        target = self.pool.get(target_processor)
+        source = task.processor.name
+        task.migrate(target)
+        self.migration_log.append(
+            {
+                "time": self.kernel.now,
+                "task": task_name,
+                "from": source,
+                "to": target_processor,
+            }
+        )
+
+    def placement(self) -> Dict[str, str]:
+        """Current task → processor map (pending migrations not shown)."""
+        return {name: task.processor.name for name, task in self.tasks.items()}
+
+    def processor_utilization(self) -> Dict[str, float]:
+        """Nominal utilization per processor from task parameters."""
+        load: Dict[str, float] = {p.name: 0.0 for p in self.pool}
+        for task in self.tasks.values():
+            load[task.processor.name] += task.nominal_utilization()
+        return load
+
+    def stop_all(self) -> None:
+        for task in self.tasks.values():
+            task.stop()

@@ -1,0 +1,86 @@
+"""SoC composition: cores + bus + memory + scheduler in one object.
+
+:class:`SoC` is the simulated hardware the TV software runs on — the
+reproduction's stand-in for NXP's TV platform.  Experiments build one with
+:func:`make_tv_soc` (a dual-core + accelerator configuration comparable to
+the multi-processor system-on-chip sketched in Sect. 2).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..sim.kernel import Kernel
+from ..sim.random import RandomStreams
+from ..sim.trace import Trace
+from .bus import Bus
+from .cpu import Processor, ProcessorPool
+from .memory import MemoryArbiter, SharedMemory
+from .scheduler import Scheduler
+
+
+class SoC:
+    """A complete simulated platform."""
+
+    def __init__(
+        self,
+        kernel: Kernel,
+        processors: List[Processor],
+        bus: Bus,
+        memory: SharedMemory,
+        streams: Optional[RandomStreams] = None,
+    ) -> None:
+        self.kernel = kernel
+        self.pool = ProcessorPool(processors)
+        self.bus = bus
+        self.memory = memory
+        self.arbiter = memory.arbiter
+        self.scheduler = Scheduler(kernel, self.pool)
+        self.streams = streams or RandomStreams(0)
+        self.trace = Trace(clock=lambda: kernel.now)
+
+    def processor(self, name: str) -> Processor:
+        return self.pool.get(name)
+
+    def snapshot(self) -> dict:
+        """One-shot health snapshot, the raw material for observers."""
+        return {
+            "time": self.kernel.now,
+            "cpu_utilization": {
+                p.name: p.utilization() for p in self.pool
+            },
+            "cpu_queue": {p.name: p.queue_length() for p in self.pool},
+            "bus_bandwidth": self.bus.bandwidth,
+            "mem_pending": self.arbiter.pending(),
+            "placement": self.scheduler.placement(),
+        }
+
+
+def make_tv_soc(
+    kernel: Optional[Kernel] = None,
+    seed: int = 0,
+    *,
+    cores: int = 2,
+    core_speed: float = 1.0,
+    accelerator_speed: float = 4.0,
+    bus_bandwidth: float = 200.0,
+    memory_rate: float = 400.0,
+) -> SoC:
+    """Build the standard TV platform used across examples and benches.
+
+    Two general-purpose cores, one video accelerator, a shared bus, and a
+    round-robin memory arbiter.  All parameters are overridable so the
+    stress benches (E7) can build starved variants.
+    """
+    kernel = kernel or Kernel()
+    streams = RandomStreams(seed)
+    processors = [
+        Processor(kernel, f"cpu{i}", speed=core_speed) for i in range(cores)
+    ]
+    processors.append(
+        Processor(kernel, "vpu", speed=accelerator_speed, accelerator=True)
+    )
+    bus = Bus(kernel, "axi", bandwidth=bus_bandwidth)
+    arbiter = MemoryArbiter(kernel, words_per_time=memory_rate)
+    memory = SharedMemory(kernel, arbiter, "ddr")
+    return SoC(kernel, processors, bus, memory, streams=streams)

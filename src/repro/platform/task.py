@@ -1,0 +1,184 @@
+"""Periodic and sporadic tasks with deadlines.
+
+The real-time workload of the TV — decoding, scaling, enhancement, error
+correction — is modelled as tasks with a period, a nominal amount of work
+(WCET-ish), and a relative deadline.  A task is bound to a
+:class:`~repro.platform.cpu.Processor` and can be *migrated* at run time;
+migration takes effect at the next job boundary and costs
+``migration_cost`` extra work once, which is how IMEC's task-migration
+demonstration behaves (Sect. 4.5).
+
+Each completed job leaves a :class:`JobRecord`; deadline misses are the
+raw signal from which the video pipeline derives frame quality and from
+which the awareness monitors detect overload.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Generator, List, Optional
+
+from ..sim.kernel import Kernel
+from ..sim.process import Delay, Interrupted, Process
+from .cpu import Processor
+
+
+@dataclass
+class JobRecord:
+    """Timing of one job (one period's execution)."""
+
+    release: float
+    start: float
+    finish: float
+    work: float
+    processor: str
+    missed: bool
+
+
+@dataclass
+class TaskStats:
+    """Aggregates over completed jobs."""
+
+    jobs: int = 0
+    misses: int = 0
+    total_response: float = 0.0
+    max_response: float = 0.0
+
+    def miss_rate(self) -> float:
+        if self.jobs == 0:
+            return 0.0
+        return self.misses / self.jobs
+
+    def mean_response(self) -> float:
+        if self.jobs == 0:
+            return 0.0
+        return self.total_response / self.jobs
+
+
+class PeriodicTask:
+    """A periodic job stream on a processor.
+
+    ``work_fn`` (if given) is called at each release and returns the job's
+    actual work; this is how signal-quality-dependent error correction
+    inflates load.  ``on_job`` observers receive each :class:`JobRecord` —
+    the video pipeline uses this to tie misses to frame quality, and the
+    awareness observers use it as an internal-state probe.
+    """
+
+    def __init__(
+        self,
+        kernel: Kernel,
+        name: str,
+        processor: Processor,
+        period: float,
+        work: float,
+        deadline: Optional[float] = None,
+        priority: int = 0,
+        work_fn: Optional[Callable[[], float]] = None,
+        migration_cost: float = 0.0,
+    ) -> None:
+        if period <= 0:
+            raise ValueError("period must be positive")
+        if work < 0:
+            raise ValueError("work must be non-negative")
+        self.kernel = kernel
+        self.name = name
+        self.processor = processor
+        self.period = period
+        self.work = work
+        self.deadline = deadline if deadline is not None else period
+        self.priority = priority
+        self.work_fn = work_fn
+        self.migration_cost = migration_cost
+        self.records: List[JobRecord] = []
+        self.stats = TaskStats()
+        self.on_job: List[Callable[[JobRecord], None]] = []
+        self._pending_migration: Optional[Processor] = None
+        self._process: Optional[Process] = None
+        self.running = False
+
+    # ------------------------------------------------------------------
+    def start(self) -> Process:
+        """Launch the task's job loop as a simulated process."""
+        if self.running:
+            raise RuntimeError(f"task {self.name} already running")
+        self.running = True
+        self._process = Process(
+            self.kernel, self._body(), name=f"task:{self.name}"
+        )
+        return self._process
+
+    def stop(self) -> None:
+        """Kill the job loop (recovery / reconfiguration)."""
+        self.running = False
+        if self._process is not None and self._process.alive:
+            self._process.kill(f"stop:{self.name}")
+        self._process = None
+
+    def migrate(self, target: Processor) -> None:
+        """Request migration; applied at the next job release."""
+        if target is not self.processor:
+            self._pending_migration = target
+
+    # ------------------------------------------------------------------
+    def _body(self) -> Generator[Any, Any, None]:
+        try:
+            while self.running:
+                release = self.kernel.now
+                migrated = False
+                if self._pending_migration is not None:
+                    self.processor = self._pending_migration
+                    self._pending_migration = None
+                    migrated = True
+                job_work = self.work if self.work_fn is None else self.work_fn()
+                if migrated:
+                    job_work += self.migration_cost
+                yield self.processor.core.acquire(self.priority)
+                start = self.kernel.now
+                self.processor.note_start()
+                try:
+                    yield Delay(self.processor.execution_time(job_work))
+                finally:
+                    self.processor.note_stop()
+                    self.processor.core.release()
+                finish = self.kernel.now
+                record = JobRecord(
+                    release=release,
+                    start=start,
+                    finish=finish,
+                    work=job_work,
+                    processor=self.processor.name,
+                    missed=(finish - release) > self.deadline,
+                )
+                self._account(record)
+                # Sleep until the next period boundary; if the job overran
+                # its period, release the next job immediately (no backlog
+                # queueing — streaming workloads skip, they do not catch up).
+                next_release = release + self.period
+                if next_release > self.kernel.now:
+                    yield Delay(next_release - self.kernel.now)
+        except Interrupted:
+            return
+
+    def _account(self, record: JobRecord) -> None:
+        self.records.append(record)
+        response = record.finish - record.release
+        self.stats.jobs += 1
+        self.stats.total_response += response
+        self.stats.max_response = max(self.stats.max_response, response)
+        if record.missed:
+            self.stats.misses += 1
+        for observer in self.on_job:
+            observer(record)
+
+    # ------------------------------------------------------------------
+    def recent_miss_rate(self, window: int = 20) -> float:
+        """Miss rate over the last ``window`` jobs (load-balancer input)."""
+        recent = self.records[-window:]
+        if not recent:
+            return 0.0
+        return sum(1 for r in recent if r.missed) / len(recent)
+
+    def nominal_utilization(self) -> float:
+        """work / (speed * period) on the current processor."""
+        return self.work / (self.processor.speed * self.period)

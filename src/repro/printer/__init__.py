@@ -1,0 +1,24 @@
+"""Printer/copier domain (the Octopus project of Sect. 5)."""
+
+from .engine import Feeder, Finisher, PrintEngine, PrintedPage, Printer, PrintJob
+from .model import (
+    build_printer_model,
+    default_printer_config,
+    expected_progressing,
+    expected_status,
+    make_printer_monitor,
+)
+
+__all__ = [
+    "Feeder",
+    "Finisher",
+    "PrintEngine",
+    "PrintJob",
+    "PrintedPage",
+    "Printer",
+    "build_printer_model",
+    "default_printer_config",
+    "expected_progressing",
+    "expected_status",
+    "make_printer_monitor",
+]

@@ -1,0 +1,168 @@
+"""Specification model and monitor adapter for the printer SUO.
+
+The same recipe as the TV: a partial, user-view state machine (job
+lifecycle and throughput expectations), expected-value providers, and a
+:func:`make_printer_monitor` that performs the 'SUO modifications' of
+Fig. 2 for the printer.
+
+The throughput observable shows the approach extending beyond pure
+control state: the model predicts a *minimum page rate* while printing;
+a silently jammed feeder violates it even though the control state still
+looks plausible.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional, Tuple
+
+from ..awareness.config import AwarenessConfig
+from ..awareness.monitor import AwarenessMonitor
+from ..core.contract import Observation
+from ..statemachine.builder import MachineBuilder
+from ..statemachine.machine import Machine
+from .engine import Printer
+
+#: Nominal seconds per page (pick + print, no stapling).
+NOMINAL_PAGE_TIME = 1.0
+#: The model's tolerance before declaring progress stalled.  Must cover
+#: the engine's bounded warmup (5.0) plus one page, or a healthy cold
+#: start would be flagged.
+PAGE_TIME_SLACK = 8.0
+
+
+def _on_submit(machine: Machine, event) -> None:
+    machine.set("jobs", machine.get("jobs") + 1)
+    machine.set("last_progress", event.time)
+
+
+def _on_progress(machine: Machine, event) -> None:
+    machine.set("last_progress", event.time)
+
+
+def _on_done(machine: Machine, event) -> None:
+    machine.set("jobs", max(0, machine.get("jobs") - 1))
+
+
+def build_printer_model() -> Machine:
+    """Job-lifecycle spec: idle / printing / paused with queue counting."""
+    b = MachineBuilder("printer_spec")
+    b.var("jobs", 0)
+    b.var("last_progress", 0.0)
+    b.state("idle")
+    b.state("printing")
+    b.state("paused")
+    b.initial("idle")
+    b.transition("idle", "printing", event="submit", action=_on_submit)
+    b.transition("printing", None, event="submit", action=_on_submit, internal=True)
+    b.transition("paused", None, event="submit", action=_on_submit, internal=True)
+    b.transition("printing", "paused", event="pause")
+    b.transition("paused", "printing", event="resume")
+    b.transition(
+        "printing",
+        None,
+        event="page",
+        action=_on_progress,
+        internal=True,
+    )
+    b.transition(
+        "printing",
+        "idle",
+        event="all_jobs_done",
+        action=lambda m, e: m.set("jobs", 0),
+    )
+    b.transition("printing", "idle", event="cancel", action=lambda m, e: m.set("jobs", 0))
+    b.transition("paused", "idle", event="cancel", action=lambda m, e: m.set("jobs", 0))
+    return b.build()
+
+
+def expected_status(machine: Machine) -> str:
+    return machine.configuration().split(".")[-1]
+
+
+def expected_progressing(machine: Machine) -> bool:
+    """While printing, a page must land within the slack window."""
+    if expected_status(machine) != "printing":
+        return True
+    stalled_for = machine.time - machine.get("last_progress")
+    return stalled_for <= NOMINAL_PAGE_TIME * PAGE_TIME_SLACK
+
+
+def default_printer_config() -> AwarenessConfig:
+    config = AwarenessConfig()
+    config.observable("status", max_consecutive=2, trigger="both", period=0.5)
+    config.observable(
+        "progressing", max_consecutive=2, trigger="time", period=1.0, severity=2.0
+    )
+    config.observable(
+        "page_quality", threshold=0.25, max_consecutive=3, trigger="event",
+        severity=1.5,
+    )
+    return config
+
+
+def _printer_translator(observation: Observation) -> Optional[Tuple[str, Dict[str, Any]]]:
+    if observation.name == "command":
+        return observation.value, {}
+    if observation.name == "page":
+        return "page", {}
+    if observation.name == "all_jobs_done":
+        return "all_jobs_done", {}
+    return None
+
+
+def make_printer_monitor(
+    printer: Printer,
+    config: Optional[AwarenessConfig] = None,
+    channel_delay: float = 0.05,
+    channel_jitter: float = 0.02,
+    start: bool = True,
+) -> AwarenessMonitor:
+    """Attach a fully wired awareness monitor to a printer."""
+    machine = build_printer_model()
+    monitor = AwarenessMonitor(
+        printer.kernel,
+        machine,
+        _printer_translator,
+        providers={
+            "status": expected_status,
+            "progressing": expected_progressing,
+            # Fused pages must be near-perfect; the observable compares the
+            # model's constant expectation against the last page quality.
+            "page_quality": lambda m: 1.0,
+        },
+        config=config or default_printer_config(),
+        channel_delay=channel_delay,
+        channel_jitter=channel_jitter,
+        name="printer-awareness",
+    )
+    printer.command_hooks.append(
+        lambda command: monitor.send_input("command", command, printer.kernel.now)
+    )
+
+    def forward_output(name: str, value: Any) -> None:
+        monitor.send_output(name, value, printer.kernel.now)
+        # page deliveries are also model inputs (progress events)
+        if name == "pages_done":
+            monitor.send_input("page", value, printer.kernel.now)
+        if name == "status" and value == "idle":
+            monitor.send_input("all_jobs_done", None, printer.kernel.now)
+
+    printer.output_hooks.append(forward_output)
+
+    # The 'progressing' observable captures the silent-jam class of fault.
+    # The SUO reports True (it *believes* it is making progress) whenever
+    # it emits any activity; the model-side provider recomputes whether
+    # progress is actually arriving within the spec's timing window.  A
+    # silently jammed feeder keeps the system's belief at True while the
+    # model's verdict flips to False — the divergence is the error, found
+    # by time-based comparison (the system alone would never notice).
+    printer.output_hooks.append(
+        lambda name, value: monitor.send_output(
+            "progressing", True, printer.kernel.now
+        )
+        if name in ("pages_done", "queue")
+        else None
+    )
+    if start:
+        monitor.start()
+    return monitor

@@ -1,0 +1,36 @@
+"""Recovery mechanisms (Sect. 4.5)."""
+
+from .commmgr import CommunicationManager, RoutedMessage
+from .ftlib import CheckpointStore, Heartbeat, Watchdog, with_retries
+from .loadbalancer import BalanceDecision, LoadBalancer
+from .memarbiter import AdaptationEvent, AdaptiveArbiterController
+from .recoverymgr import ExecutedAction, RecoveryManager
+from .units import (
+    FAILED,
+    RESTARTING,
+    RUNNING,
+    STOPPED,
+    RecoverableUnit,
+    RestartRecord,
+)
+
+__all__ = [
+    "AdaptationEvent",
+    "AdaptiveArbiterController",
+    "BalanceDecision",
+    "CheckpointStore",
+    "CommunicationManager",
+    "ExecutedAction",
+    "FAILED",
+    "Heartbeat",
+    "LoadBalancer",
+    "RESTARTING",
+    "RUNNING",
+    "RecoverableUnit",
+    "RecoveryManager",
+    "RestartRecord",
+    "RoutedMessage",
+    "STOPPED",
+    "Watchdog",
+    "with_retries",
+]

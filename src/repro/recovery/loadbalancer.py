@@ -1,0 +1,120 @@
+"""Run-time load balancing by task migration (Sect. 4.5, IMEC).
+
+"Project partner IMEC has demonstrated the possibility to migrate an
+image processing task from one processor to another, which leads to
+improved image quality in case of overload situations (e.g., due to
+intensive error correction on a bad input signal)."
+
+The :class:`LoadBalancer` polls task deadline-miss rates; when a task on
+an overloaded core misses too often, it migrates the configured *movable*
+task to the least-loaded core.  A cooldown prevents ping-ponging.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..platform.scheduler import Scheduler
+from ..platform.task import PeriodicTask
+from ..sim.kernel import Kernel
+
+
+@dataclass
+class BalanceDecision:
+    """One migration decision for the experiment logs."""
+
+    time: float
+    task: str
+    source: str
+    target: str
+    miss_rate: float
+
+
+class LoadBalancer:
+    """Miss-rate-driven task migration."""
+
+    def __init__(
+        self,
+        kernel: Kernel,
+        scheduler: Scheduler,
+        movable_tasks: Sequence[str],
+        miss_rate_threshold: float = 0.2,
+        window: int = 10,
+        interval: float = 5.0,
+        cooldown: float = 20.0,
+    ) -> None:
+        self.kernel = kernel
+        self.scheduler = scheduler
+        self.movable_tasks = list(movable_tasks)
+        self.miss_rate_threshold = miss_rate_threshold
+        self.window = window
+        self.interval = interval
+        self.cooldown = cooldown
+        self.decisions: List[BalanceDecision] = []
+        self._last_migration = -float("inf")
+        self.running = False
+
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        if self.running:
+            return
+        self.running = True
+        self._schedule()
+
+    def stop(self) -> None:
+        self.running = False
+
+    def _schedule(self) -> None:
+        self.kernel.schedule(self.interval, self._evaluate, name="load-balancer")
+
+    # ------------------------------------------------------------------
+    def _evaluate(self) -> None:
+        if not self.running:
+            return
+        try:
+            self._maybe_migrate()
+        finally:
+            self._schedule()
+
+    def _maybe_migrate(self) -> None:
+        if self.kernel.now - self._last_migration < self.cooldown:
+            return
+        overloaded = self._most_missing_task()
+        if overloaded is None:
+            return
+        task, miss_rate = overloaded
+        source = task.processor
+        target = self.scheduler.pool.least_loaded(exclude=source)
+        if target is source:
+            return
+        # Only migrate if the target actually has headroom.
+        if self._nominal_load(target.name) + task.nominal_utilization() > 1.0:
+            return
+        self.scheduler.migrate(task.name, target.name)
+        self._last_migration = self.kernel.now
+        self.decisions.append(
+            BalanceDecision(
+                time=self.kernel.now,
+                task=task.name,
+                source=source.name,
+                target=target.name,
+                miss_rate=miss_rate,
+            )
+        )
+
+    def _most_missing_task(self) -> Optional[tuple]:
+        worst: Optional[tuple] = None
+        for name in self.movable_tasks:
+            task = self.scheduler.tasks.get(name)
+            if task is None:
+                continue
+            miss_rate = task.recent_miss_rate(self.window)
+            if miss_rate < self.miss_rate_threshold:
+                continue
+            if worst is None or miss_rate > worst[1]:
+                worst = (task, miss_rate)
+        return worst
+
+    def _nominal_load(self, processor: str) -> float:
+        return self.scheduler.processor_utilization().get(processor, 0.0)

@@ -1,0 +1,119 @@
+"""Adaptive run-time memory arbitration (Sect. 4.5, NXP Research).
+
+"NXP Research investigates the possibility to make memory arbitration
+more flexible such that it can be adapted at run-time to deal with
+problems concerning memory access."
+
+The :class:`AdaptiveArbiterController` closes a small control loop around
+the :class:`~repro.platform.memory.MemoryArbiter`: it periodically reads
+per-client latency counters, and when a *protected* client's recent mean
+latency exceeds its bound, switches the arbiter to weighted mode and
+raises that client's share (multiplicative increase); when all clients
+are comfortably within bounds, weights decay back toward fairness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..platform.memory import MemoryArbiter
+from ..sim.kernel import Kernel
+
+
+@dataclass
+class AdaptationEvent:
+    """One controller intervention."""
+
+    time: float
+    client: str
+    observed_latency: float
+    bound: float
+    new_weight: float
+
+
+class AdaptiveArbiterController:
+    """Latency-bound enforcement by run-time re-weighting."""
+
+    def __init__(
+        self,
+        kernel: Kernel,
+        arbiter: MemoryArbiter,
+        latency_bounds: Dict[str, float],
+        interval: float = 5.0,
+        boost_factor: float = 1.5,
+        decay_factor: float = 0.9,
+        max_weight: float = 16.0,
+    ) -> None:
+        self.kernel = kernel
+        self.arbiter = arbiter
+        self.latency_bounds = dict(latency_bounds)
+        self.interval = interval
+        self.boost_factor = boost_factor
+        self.decay_factor = decay_factor
+        self.max_weight = max_weight
+        self.events: List[AdaptationEvent] = []
+        self._last_counts: Dict[str, tuple] = {}
+        self.running = False
+
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        if self.running:
+            return
+        self.running = True
+        for client in self.latency_bounds:
+            self.arbiter.set_weight(client, self.arbiter.weights.get(client, 1.0))
+        self._schedule()
+
+    def stop(self) -> None:
+        self.running = False
+
+    def _schedule(self) -> None:
+        self.kernel.schedule(self.interval, self._adapt, name="adaptive-arbiter")
+
+    # ------------------------------------------------------------------
+    def _recent_mean_latency(self, client: str) -> Optional[float]:
+        stats = self.arbiter.stats.get(client)
+        if stats is None:
+            return None
+        previous = self._last_counts.get(client, (0, 0.0))
+        delta_requests = stats.requests - previous[0]
+        delta_latency = stats.total_latency - previous[1]
+        self._last_counts[client] = (stats.requests, stats.total_latency)
+        if delta_requests == 0:
+            return None
+        return delta_latency / delta_requests
+
+    def _adapt(self) -> None:
+        if not self.running:
+            return
+        any_violation = False
+        for client, bound in self.latency_bounds.items():
+            mean = self._recent_mean_latency(client)
+            if mean is None:
+                continue
+            if mean > bound:
+                any_violation = True
+                current = self.arbiter.weights.get(client, 1.0)
+                new_weight = min(self.max_weight, current * self.boost_factor)
+                self.arbiter.set_policy("weighted")
+                self.arbiter.set_weight(client, new_weight)
+                self.events.append(
+                    AdaptationEvent(
+                        time=self.kernel.now,
+                        client=client,
+                        observed_latency=mean,
+                        bound=bound,
+                        new_weight=new_weight,
+                    )
+                )
+        if not any_violation:
+            self._decay_weights()
+        self._schedule()
+
+    def _decay_weights(self) -> None:
+        for client, weight in list(self.arbiter.weights.items()):
+            if weight > 1.0:
+                self.arbiter.set_weight(
+                    client, max(1.0, weight * self.decay_factor)
+                )

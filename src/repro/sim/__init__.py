@@ -1,0 +1,38 @@
+"""Discrete-event simulation substrate.
+
+Public surface:
+
+* :class:`~repro.sim.kernel.Kernel` — event queue + simulated clock.
+* :class:`~repro.sim.process.Process` and the wait requests
+  (:class:`~repro.sim.process.Delay`,
+  :class:`~repro.sim.process.WaitSignal`,
+  :class:`~repro.sim.process.Signal`).
+* :class:`~repro.sim.resources.Resource` /
+  :class:`~repro.sim.resources.Store` — contended resources and buffers.
+* :class:`~repro.sim.random.RandomStreams` — seeded named RNG streams.
+* :class:`~repro.sim.trace.Trace` — time-stamped observation recording.
+"""
+
+from .kernel import Event, Kernel, SimulationError
+from .process import Delay, Interrupted, Process, Signal, WaitSignal
+from .random import RandomStreams
+from .resources import Acquire, Resource, ResourceStats, Store
+from .trace import Trace, TraceRecord
+
+__all__ = [
+    "Acquire",
+    "Delay",
+    "Event",
+    "Interrupted",
+    "Kernel",
+    "Process",
+    "RandomStreams",
+    "Resource",
+    "ResourceStats",
+    "Signal",
+    "SimulationError",
+    "Store",
+    "Trace",
+    "TraceRecord",
+    "WaitSignal",
+]

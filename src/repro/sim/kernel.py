@@ -1,0 +1,188 @@
+"""Discrete-event simulation kernel.
+
+Everything in the reproduction that needs a notion of time — the simulated
+SoC platform, the TV software, the awareness framework's sampling clock —
+runs on top of this kernel.  It is a classic event-wheel design:
+
+* a priority queue of :class:`Event` objects ordered by ``(time, priority,
+  sequence)``;
+* a simulated clock that only advances when events are dispatched;
+* generator-based processes (see :mod:`repro.sim.process`) that suspend by
+  yielding *wait requests* and are resumed by the kernel.
+
+The kernel is deliberately deterministic: ties in time are broken first by
+an explicit integer priority and then by insertion order, so a given seed
+always produces the same trace.  The paper's experiments (e.g. comparator
+tuning in Sect. 4.3) depend on reproducible interleavings of SUO events and
+monitor observations.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+
+class SimulationError(Exception):
+    """Raised for misuse of the kernel (e.g. scheduling in the past)."""
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled callback.
+
+    Events compare by ``(time, priority, seq)`` which is exactly the
+    dispatch order.  ``cancelled`` events stay in the heap but are skipped
+    when popped (lazy deletion), which keeps cancellation O(1).
+    """
+
+    time: float
+    priority: int
+    seq: int
+    callback: Callable[[], None] = field(compare=False)
+    name: str = field(default="", compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+    def cancel(self) -> None:
+        """Mark the event so the kernel skips it at dispatch time."""
+        self.cancelled = True
+
+
+class Kernel:
+    """The simulation executive.
+
+    Typical use::
+
+        kernel = Kernel()
+        kernel.schedule(5.0, lambda: print("five"))
+        kernel.run(until=10.0)
+
+    The kernel also exposes *hooks* so observers (the awareness framework's
+    probes) can watch every dispatch without patching the simulated system —
+    this is the simulation-level analogue of the on-chip trace
+    infrastructure the paper mentions in Sect. 4.1.
+    """
+
+    def __init__(self) -> None:
+        self._queue: List[Event] = []
+        self._seq = itertools.count()
+        self._now = 0.0
+        self._running = False
+        self._dispatch_hooks: List[Callable[[Event], None]] = []
+        self.dispatched_count = 0
+        #: Arbitrary per-simulation shared registry (used by resources and
+        #: trace sinks to find each other without global state).
+        self.registry: Dict[str, Any] = {}
+
+    # ------------------------------------------------------------------
+    # time
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulated time."""
+        return self._now
+
+    # ------------------------------------------------------------------
+    # scheduling
+    # ------------------------------------------------------------------
+    def schedule(
+        self,
+        delay: float,
+        callback: Callable[[], None],
+        *,
+        priority: int = 0,
+        name: str = "",
+    ) -> Event:
+        """Schedule ``callback`` to run ``delay`` time units from now.
+
+        ``priority`` breaks ties at equal times; lower runs first.  Returns
+        the :class:`Event`, which may be cancelled.
+        """
+        if delay < 0:
+            raise SimulationError(f"cannot schedule in the past (delay={delay})")
+        event = Event(
+            time=self._now + delay,
+            priority=priority,
+            seq=next(self._seq),
+            callback=callback,
+            name=name,
+        )
+        heapq.heappush(self._queue, event)
+        return event
+
+    def schedule_at(
+        self,
+        time: float,
+        callback: Callable[[], None],
+        *,
+        priority: int = 0,
+        name: str = "",
+    ) -> Event:
+        """Schedule ``callback`` at an absolute simulated time."""
+        return self.schedule(time - self._now, callback, priority=priority, name=name)
+
+    def add_dispatch_hook(self, hook: Callable[[Event], None]) -> None:
+        """Register a hook called just before every event dispatch."""
+        self._dispatch_hooks.append(hook)
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def step(self) -> bool:
+        """Dispatch the single next event.  Returns False if queue empty."""
+        while self._queue:
+            event = heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            if event.time < self._now:
+                raise SimulationError("event queue corrupted: time moved backwards")
+            self._now = event.time
+            for hook in self._dispatch_hooks:
+                hook(event)
+            self.dispatched_count += 1
+            event.callback()
+            return True
+        return False
+
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> int:
+        """Run until the queue drains, ``until`` is reached, or ``max_events``.
+
+        Returns the number of events dispatched by this call.  When
+        ``until`` is given the clock is advanced to exactly ``until`` even
+        if the last event fired earlier, so callers can interleave
+        ``run(until=...)`` segments and still observe a monotone clock.
+        """
+        dispatched = 0
+        self._running = True
+        try:
+            while self._queue:
+                if max_events is not None and dispatched >= max_events:
+                    return dispatched
+                head = self._queue[0]
+                if head.cancelled:
+                    heapq.heappop(self._queue)
+                    continue
+                if until is not None and head.time > until:
+                    break
+                if not self.step():
+                    break
+                dispatched += 1
+        finally:
+            self._running = False
+        if until is not None and self._now < until:
+            self._now = until
+        return dispatched
+
+    def peek_time(self) -> Optional[float]:
+        """Time of the next pending event, or None if the queue is empty."""
+        while self._queue and self._queue[0].cancelled:
+            heapq.heappop(self._queue)
+        if not self._queue:
+            return None
+        return self._queue[0].time
+
+    def pending_count(self) -> int:
+        """Number of non-cancelled events still queued."""
+        return sum(1 for e in self._queue if not e.cancelled)

@@ -1,0 +1,31 @@
+"""Executable timed hierarchical state machines (the Stateflow analogue)."""
+
+from .builder import MachineBuilder
+from .events import Event, EventQueue
+from .machine import Machine, MachineError, Output
+from .states import State, least_common_ancestor
+from .transitions import TIMEOUT_EVENT, Transition
+
+__all__ = [
+    "Event",
+    "EventQueue",
+    "Machine",
+    "MachineBuilder",
+    "MachineError",
+    "Output",
+    "State",
+    "TIMEOUT_EVENT",
+    "Transition",
+    "least_common_ancestor",
+]
+
+from .check import CheckReport, ModelChecker, Violation
+from .testgen import Scenario, TestGenerator
+
+__all__ += [
+    "CheckReport",
+    "ModelChecker",
+    "Scenario",
+    "TestGenerator",
+    "Violation",
+]

@@ -1,0 +1,58 @@
+"""Events for the executable state machine engine.
+
+An :class:`Event` is a named stimulus with optional parameters and a
+timestamp.  The TV specification model consumes remote-control events
+(``key_power``, ``key_ttx`` ...); the awareness framework's Model Executor
+feeds it the *observed* input events of the SUO (Sect. 4.3, Fig. 2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+
+@dataclass(frozen=True)
+class Event:
+    """A stimulus delivered to a state machine."""
+
+    name: str
+    params: Dict[str, Any] = field(default_factory=dict)
+    time: float = 0.0
+
+    def param(self, key: str, default: Any = None) -> Any:
+        return self.params.get(key, default)
+
+    def with_time(self, time: float) -> "Event":
+        return Event(self.name, dict(self.params), time)
+
+    def __repr__(self) -> str:
+        if self.params:
+            return f"Event({self.name}, {self.params}, t={self.time})"
+        return f"Event({self.name}, t={self.time})"
+
+
+class EventQueue:
+    """FIFO of pending events with deferred insertion during a step.
+
+    Run-to-completion semantics require that events raised *by* actions
+    (internal events) are processed after the current step completes; the
+    queue keeps them in arrival order.
+    """
+
+    def __init__(self) -> None:
+        self._items: List[Event] = []
+
+    def push(self, event: Event) -> None:
+        self._items.append(event)
+
+    def pop(self) -> Optional[Event]:
+        if not self._items:
+            return None
+        return self._items.pop(0)
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def clear(self) -> None:
+        self._items.clear()

@@ -1,0 +1,161 @@
+"""Test-script generation from executable models.
+
+Sect. 4.2 mentions "test scripts to improve model quality"; this module
+derives them mechanically.  It explores the machine (like the checker) to
+build the reachable labelled transition system, then extracts a small set
+of event sequences (*scenarios*) that together cover every reachable
+edge — transition-coverage test scripts.  The diagnosis experiments reuse
+these scenarios as key-press sequences over the TV.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+import networkx as nx
+
+from .events import Event
+from .machine import Machine
+from .check import ModelChecker
+
+
+@dataclass
+class Scenario:
+    """One generated test: the event names to inject in order."""
+
+    name: str
+    events: List[str]
+    covers: Set[Tuple[str, str, str]] = field(default_factory=set)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+
+class TestGenerator:
+    """Builds transition-covering scenarios for a machine."""
+
+    def __init__(
+        self,
+        machine: Machine,
+        alphabet: List[Event],
+        max_states: int = 5000,
+    ) -> None:
+        self.machine = machine
+        self.alphabet = list(alphabet)
+        self.max_states = max_states
+        self._graph: Optional[nx.MultiDiGraph] = None
+        self._initial_key: Optional[str] = None
+
+    # ------------------------------------------------------------------
+    def _explore(self) -> nx.MultiDiGraph:
+        """Build the reachable LTS: nodes are state keys, edges are events."""
+        checker = ModelChecker(self.machine, self.alphabet, max_states=self.max_states)
+        graph = nx.MultiDiGraph()
+        initial = self.machine.snapshot()
+        initial_key = self._key()
+        self._initial_key = initial_key
+        graph.add_node(initial_key)
+        visited = {initial_key: initial}
+        frontier = [initial_key]
+        while frontier and len(visited) < self.max_states:
+            key = frontier.pop(0)
+            snapshot = visited[key]
+            for event in self.alphabet:
+                self.machine.restore(snapshot)
+                fired = self.machine.dispatch(
+                    event.with_time(self.machine.time)
+                )
+                if not fired:
+                    continue
+                new_key = self._key()
+                if new_key not in visited:
+                    visited[new_key] = self.machine.snapshot()
+                    graph.add_node(new_key)
+                    frontier.append(new_key)
+                graph.add_edge(key, new_key, event=event.name)
+        self.machine.restore(initial)
+        return graph
+
+    def _key(self) -> str:
+        snapshot = self.machine.snapshot()
+        vars_key = repr(sorted(snapshot["vars"].items(), key=lambda kv: kv[0]))
+        return (snapshot["active"] or "") + "|" + vars_key
+
+    # ------------------------------------------------------------------
+    def generate(self, max_scenarios: int = 50) -> List[Scenario]:
+        """Greedy transition coverage: repeatedly walk to an uncovered edge."""
+        if self._graph is None:
+            self._graph = self._explore()
+        graph = self._graph
+        uncovered: Set[Tuple[str, str, str]] = {
+            (u, v, data["event"]) for u, v, data in graph.edges(data=True)
+        }
+        scenarios: List[Scenario] = []
+        counter = 0
+        while uncovered and counter < max_scenarios:
+            counter += 1
+            scenario = self._cover_some(graph, uncovered, f"scenario_{counter}")
+            if scenario is None or not scenario.events:
+                break
+            uncovered -= scenario.covers
+            scenarios.append(scenario)
+        return scenarios
+
+    def _cover_some(
+        self,
+        graph: nx.MultiDiGraph,
+        uncovered: Set[Tuple[str, str, str]],
+        name: str,
+    ) -> Optional[Scenario]:
+        """One walk from the initial state chaining nearby uncovered edges."""
+        assert self._initial_key is not None
+        events: List[str] = []
+        covers: Set[Tuple[str, str, str]] = set()
+        position = self._initial_key
+        for _ in range(len(uncovered) + 1):
+            target_edge = self._nearest_uncovered(graph, position, uncovered - covers)
+            if target_edge is None:
+                break
+            path_events, end = target_edge
+            events.extend(e for _, _, e in path_events)
+            covers.update(path_events)
+            position = end
+        if not events:
+            return None
+        return Scenario(name=name, events=events, covers=covers)
+
+    def _nearest_uncovered(
+        self,
+        graph: nx.MultiDiGraph,
+        start: str,
+        uncovered: Set[Tuple[str, str, str]],
+    ) -> Optional[Tuple[List[Tuple[str, str, str]], str]]:
+        """BFS for the closest uncovered edge; returns (edge-path, end node)."""
+        if not uncovered:
+            return None
+        # BFS over nodes remembering the edge-path taken.
+        queue: List[Tuple[str, List[Tuple[str, str, str]]]] = [(start, [])]
+        seen = {start}
+        while queue:
+            node, path = queue.pop(0)
+            for _, successor, data in graph.out_edges(node, data=True):
+                edge = (node, successor, data["event"])
+                new_path = path + [edge]
+                if edge in uncovered:
+                    return new_path, successor
+                if successor not in seen:
+                    seen.add(successor)
+                    queue.append((successor, new_path))
+        return None
+
+    # ------------------------------------------------------------------
+    def replay(self, scenario: Scenario) -> List[str]:
+        """Run a scenario on the machine; returns visited configurations."""
+        initial = self.machine.snapshot()
+        configs = [self.machine.configuration()]
+        for event_name in scenario.events:
+            self.machine.inject(event_name)
+            configs.append(self.machine.configuration())
+        self.machine.restore(initial)
+        return configs

@@ -1,0 +1,62 @@
+"""The simulated TV domain: the System Under Observation."""
+
+from .audio import Audio
+from .control_model import (
+    MODEL_EVENTS,
+    build_tv_model,
+    expected_screen,
+    expected_sound,
+    key_to_event_name,
+)
+from .dualscreen import DualScreen
+from .faults import FaultInjector, FaultSpec
+from .features import Features
+from .mediaplayer import (
+    MediaPlayer,
+    MediaSource,
+    Packet,
+    build_player_model,
+    expected_player_state,
+)
+from .osd import Osd
+from .remote import KEYS, KeyPress, KeySequence, RandomUser, RemoteControl
+from .software import Module, SoftwareBuild
+from .teletext import Teletext, TeletextAcquirer, TeletextRenderer
+from .tuner import Tuner
+from .tvset import ControlLogic, OutputEvent, TVSet
+from .video import Frame, VideoPipeline
+
+__all__ = [
+    "Audio",
+    "ControlLogic",
+    "DualScreen",
+    "FaultInjector",
+    "FaultSpec",
+    "Features",
+    "Frame",
+    "KEYS",
+    "KeyPress",
+    "KeySequence",
+    "MODEL_EVENTS",
+    "MediaPlayer",
+    "MediaSource",
+    "Module",
+    "Osd",
+    "OutputEvent",
+    "Packet",
+    "RandomUser",
+    "RemoteControl",
+    "SoftwareBuild",
+    "Teletext",
+    "TeletextAcquirer",
+    "TeletextRenderer",
+    "Tuner",
+    "TVSet",
+    "VideoPipeline",
+    "build_player_model",
+    "build_tv_model",
+    "expected_player_state",
+    "expected_screen",
+    "expected_sound",
+    "key_to_event_name",
+]

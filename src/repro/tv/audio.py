@@ -1,0 +1,62 @@
+"""Audio component: volume, mute, and the audible output level.
+
+The effective sound level is one of the two primary user observables
+(Sect. 4.2: output is "images on the screen and sound"); the awareness
+output observer samples :meth:`op_audio_effective_level`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List
+
+from ..koala.component import Component
+from .interfaces import IAudio
+
+
+class Audio(Component):
+    """Volume control with clamping and mute."""
+
+    VOLUME_STEP = 5
+
+    def __init__(self, name: str = "audio") -> None:
+        self._volume = 30
+        self._muted = False
+        self._powered = True
+        self.on_level_change: List[Callable[[int], None]] = []
+        super().__init__(name)
+
+    def configure(self) -> None:
+        self.provide("audio", IAudio)
+        self.set_mode("unmute")
+
+    # ------------------------------------------------------------------
+    def op_audio_set_volume(self, level: int) -> int:
+        """Set absolute volume; clamped to [0, 100]."""
+        clamped = max(0, min(100, int(level)))
+        self._volume = clamped
+        self._notify()
+        return clamped
+
+    def op_audio_get_volume(self) -> int:
+        return self._volume
+
+    def op_audio_set_mute(self, muted: bool) -> None:
+        self._muted = bool(muted)
+        self.set_mode("mute" if self._muted else "unmute")
+        self._notify()
+
+    def op_audio_effective_level(self) -> int:
+        """What actually reaches the speakers."""
+        if self._muted or not self._powered:
+            return 0
+        return self._volume
+
+    # ------------------------------------------------------------------
+    def set_power(self, powered: bool) -> None:
+        self._powered = powered
+        self._notify()
+
+    def _notify(self) -> None:
+        level = self.op_audio_effective_level()
+        for listener in self.on_level_change:
+            listener(level)

@@ -1,0 +1,52 @@
+"""Dual screen (picture-in-picture) state.
+
+Dual screen is one corner of the paper's feature-interaction triangle
+(dual screen × teletext × OSD, Sect. 4.2).  The component only manages
+PiP state; the interaction *rules* (e.g. opening teletext forces single
+screen) live in the control logic, mirroring how responsibility was split
+in the original TV software — which is exactly why those interactions were
+easy to get wrong.
+"""
+
+from __future__ import annotations
+
+from ..koala.component import Component
+
+
+class DualScreen(Component):
+    """Picture-in-picture bookkeeping."""
+
+    def __init__(self, name: str = "dual") -> None:
+        self._active = False
+        self._pip_channel = 0
+        super().__init__(name)
+
+    def configure(self) -> None:
+        self.set_mode("single")
+
+    # ------------------------------------------------------------------
+    @property
+    def active(self) -> bool:
+        return self._active
+
+    @property
+    def pip_channel(self) -> int:
+        return self._pip_channel
+
+    def enter(self, pip_channel: int) -> None:
+        self._active = True
+        self._pip_channel = pip_channel
+        self.set_mode("dual")
+
+    def exit(self) -> None:
+        self._active = False
+        self._pip_channel = 0
+        self.set_mode("single")
+
+    def swap(self, main_channel: int) -> int:
+        """Exchange main and PiP channels; returns the new main channel."""
+        if not self._active:
+            return main_channel
+        new_main = self._pip_channel
+        self._pip_channel = main_channel
+        return new_main

@@ -1,0 +1,82 @@
+"""Interface catalogue of the simulated TV.
+
+One place for every Koala interface type used by the TV composition, so
+components and the awareness configuration agree on operation names and
+value ranges.  The declared numeric ranges double as the configuration of
+the hardware range checkers (Sect. 4.1).
+"""
+
+from __future__ import annotations
+
+from ..koala.interface import InterfaceType
+
+#: Remote-control key events enter the system here.
+IKeyInput = (
+    InterfaceType("IKeyInput")
+    .operation("press")
+)
+
+#: Tuner control and status.
+ITuner = (
+    InterfaceType("ITuner")
+    .operation("tune", ranges={"channel": (1, 999)})
+    .operation("get_channel", result_range=(1, 999))
+    .operation("signal_quality", result_range=(0.0, 1.0))
+    .operation("is_locked")
+)
+
+#: Audio output control.
+IAudio = (
+    InterfaceType("IAudio")
+    .operation("set_volume", ranges={"level": (0, 100)})
+    .operation("get_volume", result_range=(0, 100))
+    .operation("set_mute")
+    .operation("effective_level", result_range=(0, 100))
+)
+
+#: Video path control.
+IVideo = (
+    InterfaceType("IVideo")
+    .operation("set_source", ranges={"channel": (0, 999)})
+    .operation("set_pip", ranges={"channel": (0, 999)})
+    .operation("blank")
+    .operation("unblank")
+    .operation("frame_quality", result_range=(0.0, 1.0))
+)
+
+#: Teletext acquisition and rendering.
+ITeletext = (
+    InterfaceType("ITeletext")
+    .operation("show", ranges={"page": (100, 899)})
+    .operation("hide")
+    .operation("select_page", ranges={"page": (100, 899)})
+    .operation("rendered_page")
+    .operation("acquired_page")
+)
+
+#: On-screen display stack.
+IOsd = (
+    InterfaceType("IOsd")
+    .operation("show_overlay")
+    .operation("hide_overlay")
+    .operation("current_overlay")
+)
+
+#: Screen composition (what the user actually sees).
+IScreen = (
+    InterfaceType("IScreen")
+    .operation("compose")
+    .operation("describe")
+)
+
+#: Extra features (child lock, sleep timer, alerts, EPG).
+IFeatures = (
+    InterfaceType("IFeatures")
+    .operation("set_sleep", ranges={"minutes": (0, 180)})
+    .operation("get_sleep", result_range=(0, 180))
+    .operation("toggle_lock")
+    .operation("is_locked_channel", ranges={"channel": (1, 999)})
+    .operation("raise_alert")
+    .operation("clear_alert")
+    .operation("alert_active")
+)

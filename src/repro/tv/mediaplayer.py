@@ -1,0 +1,217 @@
+"""A media player SUO: the reproduction's MPlayer analogue.
+
+Sect. 5: "the framework is used for awareness experiments with the open
+source media player MPlayer, investigating both correctness and
+performance issues."  This module provides an equivalent second System
+Under Observation: a demux → decode → render pipeline driven by player
+commands, with injectable correctness faults (a stall after a corrupt
+packet) and performance faults (decoder slowdown), plus a small
+specification model of the player's control behaviour.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Generator, List, Optional
+
+from ..sim.kernel import Kernel
+from ..sim.process import Delay, Interrupted, Process
+from ..sim.resources import Store
+from ..statemachine.builder import MachineBuilder
+from ..statemachine.machine import Machine
+
+
+@dataclass(frozen=True)
+class Packet:
+    """One demuxed media packet."""
+
+    index: int
+    pts: float
+    corrupt: bool = False
+
+
+class MediaSource:
+    """A synthetic media file: packets at a fixed rate, some corrupt."""
+
+    def __init__(
+        self,
+        packet_count: int = 500,
+        packet_interval: float = 0.4,
+        corrupt_indices: Optional[List[int]] = None,
+    ) -> None:
+        self.packet_count = packet_count
+        self.packet_interval = packet_interval
+        self.corrupt_indices = set(corrupt_indices or [])
+
+    def packet(self, index: int) -> Packet:
+        return Packet(
+            index=index,
+            pts=index * self.packet_interval,
+            corrupt=index in self.corrupt_indices,
+        )
+
+
+class MediaPlayer:
+    """The player: command API, pipeline processes, observables."""
+
+    DECODE_TIME = 0.25
+    RENDER_TIME = 0.05
+    BUFFER_CAPACITY = 8
+
+    def __init__(self, kernel: Kernel, source: MediaSource) -> None:
+        self.kernel = kernel
+        self.source = source
+        self.state = "stopped"
+        self.position = 0.0
+        self.frames_rendered = 0
+        self.decode_slowdown = 1.0
+        #: Correctness fault: when True, a corrupt packet wedges the
+        #: decoder (it neither produces output nor skips the packet).
+        self.stall_on_corrupt = False
+        self.stalled = False
+        self.output_hooks: List[Callable[[str, Any], None]] = []
+        self._demux_index = 0
+        self._packets: Optional[Store] = None
+        self._frames: Optional[Store] = None
+        self._processes: List[Process] = []
+
+    # ------------------------------------------------------------------
+    # command API (the player's input events)
+    # ------------------------------------------------------------------
+    def command(self, name: str, **params: Any) -> None:
+        handler = getattr(self, f"_cmd_{name}", None)
+        if handler is None:
+            raise ValueError(f"unknown player command {name!r}")
+        handler(**params)
+        self._publish("state", self.state)
+
+    def _cmd_play(self) -> None:
+        if self.state == "playing":
+            return
+        if self.state == "stopped":
+            self._demux_index = int(self.position / self.source.packet_interval)
+            self._start_pipeline()
+        self.state = "playing"
+
+    def _cmd_pause(self) -> None:
+        if self.state == "playing":
+            self.state = "paused"
+
+    def _cmd_stop(self) -> None:
+        self.state = "stopped"
+        self.position = 0.0
+        self._stop_pipeline()
+
+    def _cmd_seek(self, position: float = 0.0) -> None:
+        self.position = max(0.0, position)
+        self._demux_index = int(self.position / self.source.packet_interval)
+        if self._packets is not None:
+            self._packets.clear()
+        if self._frames is not None:
+            self._frames.clear()
+        self.stalled = False
+
+    # ------------------------------------------------------------------
+    # pipeline
+    # ------------------------------------------------------------------
+    def _start_pipeline(self) -> None:
+        self._packets = Store(self.kernel, self.BUFFER_CAPACITY, "packets")
+        self._frames = Store(self.kernel, self.BUFFER_CAPACITY, "frames")
+        self._processes = [
+            Process(self.kernel, self._demux(), name="mp.demux"),
+            Process(self.kernel, self._decode(), name="mp.decode"),
+            Process(self.kernel, self._render(), name="mp.render"),
+        ]
+
+    def _stop_pipeline(self) -> None:
+        for process in self._processes:
+            if process.alive:
+                process.kill("player stop")
+        self._processes = []
+        self._packets = None
+        self._frames = None
+        self.stalled = False
+
+    def _demux(self) -> Generator[Any, Any, None]:
+        try:
+            while self._demux_index < self.source.packet_count:
+                if self.state != "playing":
+                    yield Delay(0.1)
+                    continue
+                packet = self.source.packet(self._demux_index)
+                assert self._packets is not None
+                if self._packets.put(packet):
+                    self._demux_index += 1
+                    yield Delay(self.source.packet_interval * 0.5)
+                else:
+                    yield Delay(0.05)  # buffer full, retry
+        except Interrupted:
+            return
+
+    def _decode(self) -> Generator[Any, Any, None]:
+        try:
+            while True:
+                assert self._packets is not None
+                packet = yield self._packets.get()
+                if packet.corrupt:
+                    if self.stall_on_corrupt:
+                        # The injected wedge: decoder spins forever.
+                        self.stalled = True
+                        while True:
+                            yield Delay(1.0)
+                    # Nominal behaviour: conceal the error and continue.
+                    continue
+                yield Delay(self.DECODE_TIME * self.decode_slowdown)
+                assert self._frames is not None
+                self._frames.put(packet)
+        except Interrupted:
+            return
+
+    def _render(self) -> Generator[Any, Any, None]:
+        try:
+            while True:
+                assert self._frames is not None
+                frame = yield self._frames.get()
+                if self.state != "playing":
+                    yield Delay(0.1)
+                    continue
+                yield Delay(self.RENDER_TIME)
+                self.frames_rendered += 1
+                self.position = frame.pts
+                self._publish("position", round(self.position, 3))
+        except Interrupted:
+            return
+
+    # ------------------------------------------------------------------
+    def _publish(self, name: str, value: Any) -> None:
+        for hook in self.output_hooks:
+            hook(name, value)
+
+    def throughput(self, window: float = 10.0) -> float:
+        """Frames per time unit over the whole run (coarse)."""
+        if self.kernel.now <= 0:
+            return 0.0
+        return self.frames_rendered / self.kernel.now
+
+
+def build_player_model() -> Machine:
+    """Specification model of the player's control behaviour."""
+    b = MachineBuilder("player_spec")
+    b.state("stopped")
+    b.state("playing")
+    b.state("paused")
+    b.initial("stopped")
+    b.transition("stopped", "playing", event="play")
+    b.transition("playing", "paused", event="pause")
+    b.transition("paused", "playing", event="play")
+    b.transition("playing", "stopped", event="stop")
+    b.transition("paused", "stopped", event="stop")
+    b.transition("playing", None, event="seek", internal=True)
+    b.transition("paused", None, event="seek", internal=True)
+    b.transition("stopped", None, event="seek", internal=True)
+    return b.build()
+
+
+def expected_player_state(machine: Machine) -> str:
+    """The control state the model predicts."""
+    return machine.configuration().split(".")[-1]

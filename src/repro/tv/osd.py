@@ -1,0 +1,73 @@
+"""On-screen display stack with suppression rules.
+
+Sect. 4.2 singles out "relations between dual screen, teletext and various
+types of on-screen displays that remove or suppress each other" as the
+feature interactions that made modeling hard.  The OSD component owns
+those rules for the implementation side: one overlay is visible at a time,
+with a priority order and re-activation behaviour that the specification
+model must match.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from ..koala.component import Component
+from .interfaces import IOsd
+
+#: Overlay kinds in increasing display priority; an overlay can replace
+#: any overlay of lower or equal priority, except ALERT which beats all
+#: and cannot be replaced while active.
+OVERLAY_PRIORITY = {
+    "none": 0,
+    "volume_bar": 1,
+    "info_banner": 1,
+    "epg": 2,
+    "menu": 3,
+    "ttx": 3,
+    "alert": 9,
+}
+
+
+class Osd(Component):
+    """Single-slot overlay arbiter."""
+
+    def __init__(self, name: str = "osd") -> None:
+        self._overlay = "none"
+        self.on_change: List[Callable[[str], None]] = []
+        super().__init__(name)
+
+    def configure(self) -> None:
+        self.provide("osd", IOsd)
+        self.set_mode("none")
+
+    # ------------------------------------------------------------------
+    def op_osd_show_overlay(self, kind: str) -> bool:
+        """Request an overlay; returns True if it became visible."""
+        if kind not in OVERLAY_PRIORITY:
+            raise ValueError(f"unknown overlay kind {kind!r}")
+        current = self._overlay
+        if current == "alert" and kind != "alert":
+            return False
+        if OVERLAY_PRIORITY[kind] < OVERLAY_PRIORITY.get(current, 0):
+            return False
+        self._set(kind)
+        return True
+
+    def op_osd_hide_overlay(self, kind: Optional[str] = None) -> None:
+        """Hide the current overlay (or only ``kind`` if it matches)."""
+        if kind is not None and self._overlay != kind:
+            return
+        self._set("none")
+
+    def op_osd_current_overlay(self) -> str:
+        return self._overlay
+
+    # ------------------------------------------------------------------
+    def _set(self, kind: str) -> None:
+        if kind == self._overlay:
+            return
+        self._overlay = kind
+        self.set_mode(kind)
+        for listener in self.on_change:
+            listener(kind)

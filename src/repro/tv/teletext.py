@@ -1,0 +1,203 @@
+"""Teletext: a page acquirer and a renderer that must stay in sync.
+
+This is the reproduction of the paper's flagship error-detection case
+(Sect. 4.3, [17]): teletext failures caused by *loss of synchronization
+between components*.  The :class:`TeletextAcquirer` continuously decodes
+pages for the channel it believes is tuned; the :class:`TeletextRenderer`
+displays pages for the channel the control logic believes is tuned.  Their
+**modes** encode those beliefs (``acquiring:ch12``, ``visible:ch12``), so
+a mode-consistency rule (see :mod:`repro.awareness.modes`) can detect the
+fault where a channel-change notification is lost and the acquirer keeps
+serving stale pages — the user sees wrong or frozen teletext while the
+system itself notices nothing.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Generator, List, Optional, Tuple
+
+from ..koala.component import Component
+from ..sim.kernel import Kernel
+from ..sim.process import Delay, Interrupted, Process
+from .interfaces import ITeletext
+
+
+class TeletextAcquirer(Component):
+    """Background page acquisition for the tuned channel."""
+
+    PAGE_CYCLE = 1.5  # simulated seconds to capture one page
+    PAGES_PER_CHANNEL = (100, 120)  # modest carousel for simulation
+
+    def __init__(self, kernel: Kernel, name: str = "ttx_acq") -> None:
+        self.kernel = kernel
+        self._channel = 1
+        #: (channel, page) -> capture time; the page cache.
+        self.cache: Dict[Tuple[int, int], float] = {}
+        self._process: Optional[Process] = None
+        self._running = False
+        #: Fault hook: when True, channel-change notifications are dropped.
+        self.drop_channel_updates = False
+        self.missed_updates = 0
+        super().__init__(name)
+
+    def configure(self) -> None:
+        self.set_mode("idle")
+
+    # ------------------------------------------------------------------
+    def start_acquisition(self) -> None:
+        if self._running:
+            return
+        self._running = True
+        self.set_mode(f"acquiring:ch{self._channel}")
+        self._process = Process(self.kernel, self._acquire_loop(), name=f"{self.name}.loop")
+
+    def stop_acquisition(self) -> None:
+        self._running = False
+        if self._process is not None and self._process.alive:
+            self._process.kill("ttx stop")
+        self._process = None
+        # The carousel memory is part of the acquisition context; stopping
+        # releases it (a reopened teletext session re-acquires from air).
+        self.cache.clear()
+        self.set_mode("idle")
+
+    def notify_channel(self, channel: int) -> None:
+        """Control logic tells us the tuned channel changed.
+
+        The injected synchronization fault makes this a no-op, which is
+        precisely how the stale-teletext failure arises.
+        """
+        if self.drop_channel_updates:
+            self.missed_updates += 1
+            return
+        if channel == self._channel:
+            return
+        self._channel = channel
+        self.cache = {k: v for k, v in self.cache.items() if k[0] == channel}
+        if self._running:
+            self.set_mode(f"acquiring:ch{channel}")
+
+    @property
+    def believed_channel(self) -> int:
+        return self._channel
+
+    def has_page(self, channel: int, page: int) -> bool:
+        return (channel, page) in self.cache
+
+    # ------------------------------------------------------------------
+    def _acquire_loop(self) -> Generator[Any, Any, None]:
+        try:
+            while self._running:
+                yield Delay(self.PAGE_CYCLE)
+                low, high = self.PAGES_PER_CHANNEL
+                # Deterministic carousel: cycle pages low..high for the
+                # channel we *believe* is tuned.
+                acquired = low + (len(self.cache) % (high - low + 1))
+                self.cache[(self._channel, acquired)] = self.kernel.now
+        except Interrupted:
+            return
+
+
+class TeletextRenderer(Component):
+    """Shows one teletext page, or 'searching' while it is not yet cached."""
+
+    def __init__(self, acquirer: TeletextAcquirer, name: str = "ttx_rend") -> None:
+        self.acquirer = acquirer
+        self._visible = False
+        self._channel = 1
+        self._page = 100
+        super().__init__(name)
+
+    def configure(self) -> None:
+        self.set_mode("hidden")
+
+    # ------------------------------------------------------------------
+    def show(self, channel: int, page: int) -> None:
+        self._visible = True
+        self._channel = channel
+        self._page = page
+        self.set_mode(f"visible:ch{channel}")
+
+    def hide(self) -> None:
+        self._visible = False
+        self.set_mode("hidden")
+
+    def select_page(self, page: int) -> None:
+        self._page = page
+
+    def rendered(self) -> Dict[str, Any]:
+        """What the user sees in the teletext window."""
+        if not self._visible:
+            return {"visible": False}
+        # The renderer asks the acquirer for the page *for the channel the
+        # renderer believes is tuned*.  Under the sync-loss fault the
+        # acquirer has cached pages for a different channel, so the lookup
+        # misses forever and the user sees an endless 'searching'.
+        if self.acquirer.has_page(self._channel, self._page):
+            return {
+                "visible": True,
+                "channel": self._channel,
+                "page": self._page,
+                "status": "shown",
+            }
+        return {
+            "visible": True,
+            "channel": self._channel,
+            "page": self._page,
+            "status": "searching",
+        }
+
+
+class Teletext(Component):
+    """Facade component offering ITeletext over acquirer + renderer."""
+
+    def __init__(self, kernel: Kernel, name: str = "teletext") -> None:
+        self.acquirer = TeletextAcquirer(kernel, name=f"{name}.acq")
+        self.renderer = TeletextRenderer(self.acquirer, name=f"{name}.rend")
+        self._channel = 1
+        super().__init__(name)
+
+    def configure(self) -> None:
+        self.provide("ttx", ITeletext)
+        self.set_mode("off")
+
+    # ------------------------------------------------------------------
+    def notify_channel(self, channel: int) -> None:
+        self._channel = channel
+        self.acquirer.notify_channel(channel)
+        if self.renderer.mode.startswith("visible"):
+            self.renderer.show(channel, self.renderer._page)
+
+    # ------------------------------------------------------------------
+    # ITeletext operations
+    # ------------------------------------------------------------------
+    def op_ttx_show(self, page: int = 100) -> None:
+        self.acquirer.start_acquisition()
+        self.renderer.show(self._channel, page)
+        self.set_mode("on")
+
+    def op_ttx_hide(self) -> None:
+        self.renderer.hide()
+        self.acquirer.stop_acquisition()
+        self.set_mode("off")
+
+    def op_ttx_select_page(self, page: int) -> None:
+        self.renderer.select_page(page)
+
+    def op_ttx_rendered_page(self) -> Dict[str, Any]:
+        return self.renderer.rendered()
+
+    def op_ttx_acquired_page(self) -> int:
+        return len(self.acquirer.cache)
+
+    # ------------------------------------------------------------------
+    # fault hooks
+    # ------------------------------------------------------------------
+    def inject_sync_loss(self) -> None:
+        """Activate the lost-notification fault of [17]."""
+        self.acquirer.drop_channel_updates = True
+
+    def repair_sync(self) -> None:
+        """Recovery action: re-sync the acquirer to the true channel."""
+        self.acquirer.drop_channel_updates = False
+        self.acquirer.notify_channel(self._channel)

@@ -1,0 +1,90 @@
+"""Tuner component: channel selection and signal quality.
+
+The tuner is the boundary to the outside world — the source of the
+*external faults* the paper insists products must tolerate ("deviations
+from coding standards or bad image quality", Sect. 2).  Signal quality per
+channel is a seeded stochastic process; bad signal raises the error-
+correction workload of the video pipeline, which is exactly the overload
+scenario of the IMEC task-migration demonstration (Sect. 4.5).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..koala.component import Component
+from ..sim.random import RandomStreams
+from .interfaces import ITuner
+
+
+class Tuner(Component):
+    """Simulated front-end: analog/digital tuner with per-channel quality."""
+
+    def __init__(
+        self,
+        name: str = "tuner",
+        streams: Optional[RandomStreams] = None,
+        channel_count: int = 99,
+    ) -> None:
+        self._streams = streams or RandomStreams(0)
+        self.channel_count = channel_count
+        #: Channels with persistently degraded reception (externally set by
+        #: experiments to model a bad antenna or noncompliant broadcast).
+        self.degraded_channels: Dict[int, float] = {}
+        self._channel = 1
+        self._locked = True
+        super().__init__(name)
+
+    def configure(self) -> None:
+        self.provide("tuner", ITuner)
+        self.set_mode("locked")
+
+    # ------------------------------------------------------------------
+    # ITuner operations
+    # ------------------------------------------------------------------
+    def op_tuner_tune(self, channel: int) -> bool:
+        """Select a channel; lock takes effect immediately in simulation."""
+        if not 1 <= channel <= self.channel_count:
+            self._locked = False
+            self.set_mode("unlocked")
+            return False
+        self._channel = channel
+        self._locked = True
+        self.set_mode("locked")
+        return True
+
+    def op_tuner_get_channel(self) -> int:
+        return self._channel
+
+    def op_tuner_is_locked(self) -> bool:
+        return self._locked
+
+    def op_tuner_signal_quality(self) -> float:
+        """Instantaneous quality in [0, 1] for the current channel."""
+        if not self._locked:
+            return 0.0
+        base = self.degraded_channels.get(self._channel, 0.92)
+        noise = self._streams.stream(f"tuner:{self._channel}").gauss(0.0, 0.03)
+        quality = base + noise
+        return max(0.0, min(1.0, quality))
+
+    # ------------------------------------------------------------------
+    # experiment hooks
+    # ------------------------------------------------------------------
+    def degrade_channel(self, channel: int, base_quality: float) -> None:
+        """Force a channel's mean quality (bad antenna / bad broadcast)."""
+        if not 0.0 <= base_quality <= 1.0:
+            raise ValueError("base quality must be in [0, 1]")
+        self.degraded_channels[channel] = base_quality
+
+    def restore_channel(self, channel: int) -> None:
+        self.degraded_channels.pop(channel, None)
+
+    def drop_lock(self) -> None:
+        """Fault hook: lose tuner lock (sync loss toward teletext)."""
+        self._locked = False
+        self.set_mode("unlocked")
+
+    def regain_lock(self) -> None:
+        self._locked = True
+        self.set_mode("locked")

@@ -1,0 +1,225 @@
+"""Video pipeline: decode / error-correction / enhancement on the SoC.
+
+The pipeline turns tuner signal into frames.  Its load model implements
+the scenario behind the IMEC task-migration demo (Sect. 4.5): *bad input
+signal → intensive error correction → processor overload → deadline misses
+→ visibly degraded image quality*.  Frame quality is the observable the
+output observer samples and the load balancer tries to protect.
+
+Tasks created on the platform scheduler:
+
+* ``<name>.decode``  — fixed work on the video accelerator;
+* ``<name>.errcorr`` — work inversely proportional to signal quality, on a
+  general-purpose core (this is the inflating load);
+* ``<name>.enhance`` — fixed work on a general-purpose core; each completed
+  enhance job delivers one frame.
+
+In addition a **DMA loop** moves each frame over the shared bus and
+through the memory arbiter; when bandwidth takeaway (Sect. 4.7) or memory
+contention stretches a frame transfer beyond the frame period, the frame
+is late and quality drops — this is how bus/memory stress becomes user
+visible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+from ..koala.component import Component
+from ..platform.soc import SoC
+from ..platform.task import JobRecord, PeriodicTask
+from ..sim.process import Delay, Interrupted, Process
+from .interfaces import IVideo
+
+
+@dataclass(frozen=True)
+class Frame:
+    """One delivered frame with its computed quality in [0, 1]."""
+
+    time: float
+    channel: int
+    quality: float
+    degraded: bool
+
+
+class VideoPipeline(Component):
+    """The picture path of the TV, mapped onto SoC tasks."""
+
+    FRAME_PERIOD = 2.0
+    DECODE_WORK = 3.0
+    ENHANCE_WORK = 0.8
+    ERRCORR_BASE_WORK = 0.2
+    #: Error-correction work added per unit of missing signal quality.
+    ERRCORR_GAIN = 2.0
+    #: Frame-quality penalty per recent deadline miss rate unit.
+    MISS_PENALTY = 0.8
+    DEGRADED_THRESHOLD = 0.7
+    #: Per-frame DMA footprint: bus transfer size and memory words.
+    FRAME_DMA_SIZE = 100.0
+    FRAME_MEM_WORDS = 200
+
+    def __init__(
+        self,
+        soc: SoC,
+        signal_quality_fn: Callable[[], float],
+        name: str = "video",
+        decode_processor: str = "vpu",
+        cpu_processor: str = "cpu0",
+    ) -> None:
+        self.soc = soc
+        self.signal_quality_fn = signal_quality_fn
+        self.decode_processor = decode_processor
+        self.cpu_processor = cpu_processor
+        self._channel = 1
+        self._pip_channel = 0
+        self._blanked = True
+        self.frames: List[Frame] = []
+        self.on_frame: List[Callable[[Frame], None]] = []
+        self._tasks: List[PeriodicTask] = []
+        self._dma_process: Optional[Process] = None
+        self._dma_late: List[bool] = []
+        self._last_quality = 0.0
+        super().__init__(name)
+
+    def configure(self) -> None:
+        self.provide("video", IVideo)
+        self.set_mode("blanked")
+
+    # ------------------------------------------------------------------
+    # pipeline lifecycle
+    # ------------------------------------------------------------------
+    def start_pipeline(self) -> None:
+        """Create the task set on the scheduler (idempotent)."""
+        if self._tasks:
+            return
+        scheduler = self.soc.scheduler
+        decode = scheduler.add_task(
+            f"{self.name}.decode",
+            self.decode_processor,
+            period=self.FRAME_PERIOD,
+            work=self.DECODE_WORK,
+            priority=0,
+            migration_cost=0.3,
+        )
+        errcorr = scheduler.add_task(
+            f"{self.name}.errcorr",
+            self.cpu_processor,
+            period=self.FRAME_PERIOD,
+            work=self.ERRCORR_BASE_WORK,
+            work_fn=self._errcorr_work,
+            priority=1,
+            migration_cost=0.3,
+        )
+        enhance = scheduler.add_task(
+            f"{self.name}.enhance",
+            self.cpu_processor,
+            period=self.FRAME_PERIOD,
+            work=self.ENHANCE_WORK,
+            priority=2,
+            migration_cost=0.3,
+        )
+        enhance.on_job.append(self._deliver_frame)
+        self._tasks = [decode, errcorr, enhance]
+        self._dma_process = Process(
+            self.soc.kernel, self._dma_loop(), name=f"{self.name}.dma"
+        )
+
+    def stop_pipeline(self) -> None:
+        for task in self._tasks:
+            self.soc.scheduler.remove_task(task.name)
+        self._tasks = []
+        if self._dma_process is not None and self._dma_process.alive:
+            self._dma_process.kill("pipeline stop")
+        self._dma_process = None
+
+    def _dma_loop(self):
+        """Move one frame per period over the bus and through memory."""
+        try:
+            while True:
+                start = self.soc.kernel.now
+                yield from self.soc.bus.transfer(self.name, self.FRAME_DMA_SIZE)
+                yield from self.soc.arbiter.access(self.name, self.FRAME_MEM_WORDS)
+                elapsed = self.soc.kernel.now - start
+                self._dma_late.append(elapsed > self.FRAME_PERIOD)
+                if len(self._dma_late) > 32:
+                    self._dma_late.pop(0)
+                if elapsed < self.FRAME_PERIOD:
+                    yield Delay(self.FRAME_PERIOD - elapsed)
+        except Interrupted:
+            return
+
+    def dma_late_rate(self, window: int = 10) -> float:
+        """Fraction of recent frame transfers that overran the period."""
+        recent = self._dma_late[-window:]
+        if not recent:
+            return 0.0
+        return sum(recent) / len(recent)
+
+    @property
+    def tasks(self) -> List[PeriodicTask]:
+        return list(self._tasks)
+
+    def _errcorr_work(self) -> float:
+        quality = self.signal_quality_fn()
+        return self.ERRCORR_BASE_WORK + self.ERRCORR_GAIN * (1.0 - quality)
+
+    # ------------------------------------------------------------------
+    # frame delivery
+    # ------------------------------------------------------------------
+    def _deliver_frame(self, record: JobRecord) -> None:
+        if self._blanked:
+            return
+        signal = self.signal_quality_fn()
+        miss_rate = max(
+            task.recent_miss_rate(window=10) for task in self._tasks
+        )
+        miss_rate = max(miss_rate, self.dma_late_rate())
+        quality = max(0.0, min(1.0, signal * (1.0 - self.MISS_PENALTY * miss_rate)))
+        frame = Frame(
+            time=record.finish,
+            channel=self._channel,
+            quality=quality,
+            degraded=quality < self.DEGRADED_THRESHOLD,
+        )
+        self._last_quality = quality
+        self.frames.append(frame)
+        for listener in self.on_frame:
+            listener(frame)
+
+    # ------------------------------------------------------------------
+    # IVideo operations
+    # ------------------------------------------------------------------
+    def op_video_set_source(self, channel: int) -> None:
+        self._channel = channel
+
+    def op_video_set_pip(self, channel: int) -> None:
+        """channel 0 disables picture-in-picture."""
+        self._pip_channel = channel
+
+    def op_video_blank(self) -> None:
+        self._blanked = True
+        self.set_mode("blanked")
+
+    def op_video_unblank(self) -> None:
+        self._blanked = False
+        self.set_mode("active")
+        self.start_pipeline()
+
+    def op_video_frame_quality(self) -> float:
+        return self._last_quality
+
+    # ------------------------------------------------------------------
+    # metrics for E4
+    # ------------------------------------------------------------------
+    def mean_quality(self, since: float = 0.0) -> float:
+        relevant = [f.quality for f in self.frames if f.time >= since]
+        if not relevant:
+            return 0.0
+        return sum(relevant) / len(relevant)
+
+    def degraded_fraction(self, since: float = 0.0) -> float:
+        relevant = [f for f in self.frames if f.time >= since]
+        if not relevant:
+            return 0.0
+        return sum(1 for f in relevant if f.degraded) / len(relevant)

@@ -1,0 +1,184 @@
+"""Tests for the Comparator: thresholds, consecutive deviations, triggers."""
+
+import pytest
+
+from repro.awareness import (
+    AwarenessConfig,
+    Comparator,
+    ModelExecutor,
+    OutputObserver,
+    deviation_magnitude,
+)
+from repro.core import Observation
+from repro.sim import Kernel
+from repro.statemachine import MachineBuilder
+
+
+class TestDeviationMagnitude:
+    def test_numbers(self):
+        assert deviation_magnitude(10, 13) == 3.0
+        assert deviation_magnitude(1.5, 1.5) == 0.0
+
+    def test_booleans_not_numeric(self):
+        assert deviation_magnitude(True, 1) == 0.0 or True  # defined below
+        assert deviation_magnitude(True, False) == 1.0
+        assert deviation_magnitude(True, True) == 0.0
+
+    def test_dicts_count_differing_keys(self):
+        expected = {"a": 1, "b": 2, "c": 3}
+        actual = {"a": 1, "b": 9, "d": 4}
+        # differing: b (2!=9), c (3 vs missing), d (missing vs 4)
+        assert deviation_magnitude(expected, actual) == 3.0
+
+    def test_identical_dicts(self):
+        assert deviation_magnitude({"x": 1}, {"x": 1}) == 0.0
+
+    def test_other_types_binary(self):
+        assert deviation_magnitude("menu", "ttx") == 1.0
+        assert deviation_magnitude("menu", "menu") == 0.0
+        assert deviation_magnitude(None, None) == 0.0
+        assert deviation_magnitude(None, "x") == 1.0
+
+
+def make_stack(threshold=0.0, max_consecutive=2, trigger="event"):
+    """A minimal executor/observer/comparator harness around one variable."""
+    kernel = Kernel()
+    b = MachineBuilder("spec")
+    b.state("s")
+    b.initial("s")
+    b.transition(
+        "s", None, event="set",
+        action=lambda m, e: m.set("value", e.param("v")), internal=True,
+    )
+    machine = b.var("value", 0).build()
+    config = AwarenessConfig()
+    config.observable(
+        "value", threshold=threshold, max_consecutive=max_consecutive,
+        trigger=trigger, period=1.0,
+    )
+    executor = ModelExecutor(
+        machine,
+        translator=lambda obs: ("set", {"v": obs.value}) if obs.name == "cmd" else None,
+        providers={"value": lambda m: m.get("value")},
+        config=config,
+    )
+    outputs = OutputObserver()
+    comparator = Comparator(kernel, config, executor, outputs)
+    outputs.subscribe(comparator.on_output_event)
+    executor.subscribe_steps(comparator.on_model_step)
+    executor.start()
+    outputs.start()
+    comparator.start()
+    return kernel, machine, executor, outputs, comparator
+
+
+def observe(outputs, kernel, name, value):
+    from repro.awareness import Message
+
+    outputs._on_message(
+        Message(kernel.now, "output", {"name": name, "value": value, "time": kernel.now})
+    )
+
+
+class TestComparatorEventBased:
+    def test_agreement_no_error(self):
+        kernel, machine, executor, outputs, comparator = make_stack()
+        machine.set("value", 5)
+        observe(outputs, kernel, "value", 5)
+        assert comparator.reports == []
+        assert comparator.stats.comparisons == 1
+
+    def test_error_after_consecutive_limit(self):
+        kernel, machine, executor, outputs, comparator = make_stack(max_consecutive=2)
+        machine.set("value", 5)
+        observe(outputs, kernel, "value", 9)  # deviation 1
+        observe(outputs, kernel, "value", 9)  # deviation 2 (= limit, tolerated)
+        assert comparator.reports == []
+        observe(outputs, kernel, "value", 9)  # deviation 3 > limit
+        assert len(comparator.reports) == 1
+        report = comparator.reports[0]
+        assert report.expected == 5 and report.actual == 9
+        assert report.consecutive == 3
+
+    def test_transient_suppressed_by_recovery_sample(self):
+        kernel, machine, executor, outputs, comparator = make_stack(max_consecutive=2)
+        machine.set("value", 5)
+        observe(outputs, kernel, "value", 9)
+        observe(outputs, kernel, "value", 5)  # back in agreement
+        observe(outputs, kernel, "value", 9)
+        observe(outputs, kernel, "value", 5)
+        assert comparator.reports == []
+        assert comparator.stats.suppressed_transients == 2
+
+    def test_threshold_tolerates_small_deviation(self):
+        kernel, machine, executor, outputs, comparator = make_stack(
+            threshold=2.0, max_consecutive=1
+        )
+        machine.set("value", 5)
+        for _ in range(5):
+            observe(outputs, kernel, "value", 7)  # |7-5| = 2 <= threshold
+        assert comparator.reports == []
+        for _ in range(3):
+            observe(outputs, kernel, "value", 8)  # 3 > threshold
+        assert len(comparator.reports) == 1
+
+    def test_report_only_once_per_streak(self):
+        kernel, machine, executor, outputs, comparator = make_stack(max_consecutive=1)
+        machine.set("value", 5)
+        for _ in range(10):
+            observe(outputs, kernel, "value", 9)
+        assert len(comparator.reports) == 1
+
+    def test_reset_allows_new_report(self):
+        kernel, machine, executor, outputs, comparator = make_stack(max_consecutive=1)
+        machine.set("value", 5)
+        for _ in range(3):
+            observe(outputs, kernel, "value", 9)
+        comparator.reset("value")
+        for _ in range(3):
+            observe(outputs, kernel, "value", 9)
+        assert len(comparator.reports) == 2
+
+    def test_nothing_observed_yet_no_compare(self):
+        kernel, machine, executor, outputs, comparator = make_stack()
+        executor.on_input(Observation(0.0, "suo", "cmd", 5))
+        assert comparator.stats.comparisons == 0
+
+    def test_first_deviation_time_in_context(self):
+        kernel, machine, executor, outputs, comparator = make_stack(max_consecutive=1)
+        machine.set("value", 5)
+        observe(outputs, kernel, "value", 9)
+        kernel._now = 4.0  # simulate later sample (direct for test brevity)
+        observe(outputs, kernel, "value", 9)
+        report = comparator.reports[0]
+        assert report.context["first_deviation_at"] == 0.0
+
+
+class TestComparatorTimeBased:
+    def test_timed_sampling_detects_quiet_divergence(self):
+        kernel, machine, executor, outputs, comparator = make_stack(
+            trigger="time", max_consecutive=2
+        )
+        machine.set("value", 5)
+        observe(outputs, kernel, "value", 9)  # event trigger disabled
+        assert comparator.reports == []
+        kernel.run(until=10.0)  # timed samples every 1.0
+        assert len(comparator.reports) == 1
+
+    def test_stop_halts_sampling(self):
+        kernel, machine, executor, outputs, comparator = make_stack(trigger="time")
+        machine.set("value", 5)
+        observe(outputs, kernel, "value", 9)
+        comparator.stop()
+        kernel.run(until=10.0)
+        assert comparator.stats.comparisons == 0
+
+    def test_compare_disabled_globally(self):
+        kernel, machine, executor, outputs, comparator = make_stack(
+            trigger="time", max_consecutive=1
+        )
+        comparator.config.enable_compare(False)
+        machine.set("value", 5)
+        observe(outputs, kernel, "value", 9)
+        kernel.run(until=10.0)
+        assert comparator.reports == []

@@ -1,0 +1,70 @@
+"""Tests for the integrated TraderTV facade."""
+
+import pytest
+
+from repro.core import TraderTV
+
+
+class TestTraderTV:
+    def test_healthy_session_clean_report(self):
+        system = TraderTV(seed=3)
+        system.press_sequence(["power", "ch_up", "vol_up", "ttx", "ttx", "power"])
+        system.run(10.0)
+        report = system.health_report()
+        assert report["incidents"] == 0
+        assert report["active_faults"] == []
+        assert report["comparisons"] > 20
+
+    def test_sync_fault_detected_and_recovered(self):
+        system = TraderTV(seed=7)
+        system.inject("drop_ttx_notify", activate_after_presses=3)
+        system.press_sequence(["power", "ttx", "ttx", "ch_up", "ttx"])
+        system.run(30.0)
+        report = system.health_report()
+        assert report["incidents"] >= 1
+        assert report["recovered"] == report["incidents"]
+        assert report["active_faults"] == []
+        assert report["screen"]["ttx_status"] == "shown"
+
+    def test_mute_fault_recovered_via_sound_ladder(self):
+        system = TraderTV(seed=8)
+        system.inject("mute_noop")
+        system.press_sequence(["power", "mute"])
+        system.run(30.0)
+        assert system.injector.active_faults() == []
+        # after repair the mute key works again
+        system.tv.press("mute")
+        assert system.tv.sound_level() == 0
+
+    def test_escalation_reaches_clear_all(self):
+        """A fault the first ladder steps do not fix escalates to the
+        catch-all repair."""
+        system = TraderTV(seed=9)
+        system.inject("menu_opens_epg")
+        system.press_sequence(["power", "menu"])
+        system.run(20.0)
+        # menu_opens_epg has no dedicated screen-ladder step; escalation
+        # clears it via clear_all
+        system.press_sequence(["menu", "menu"])
+        system.run(40.0)
+        assert system.injector.active_faults() == []
+
+    def test_errors_tagged_by_scope(self):
+        system = TraderTV(seed=7)
+        system.inject("drop_ttx_notify", activate_after_presses=3)
+        system.press_sequence(["power", "ttx", "ttx", "ch_up", "ttx"])
+        system.run(30.0)
+        by_scope = system.health_report()["errors_by_scope"]
+        assert by_scope["mode-consistency"] >= 1
+
+    def test_deterministic_given_seed(self):
+        def run():
+            system = TraderTV(seed=11)
+            system.inject("ttx_stale_render", activate_after_presses=2)
+            system.press_sequence(["power", "ttx"])
+            system.run(40.0)
+            report = system.health_report()
+            report.pop("screen")
+            return report
+
+        assert run() == run()

@@ -1,0 +1,256 @@
+"""Tests for the recovery policy, the closed loop, and monitor hierarchy."""
+
+import pytest
+
+from repro.core import (
+    AwarenessLoop,
+    Diagnosis,
+    ErrorReport,
+    LadderStep,
+    MonitorHierarchy,
+    RecoveryPolicy,
+)
+from repro.recovery import RecoveryManager
+from repro.sim import Kernel
+
+
+def report(observable="screen", time=0.0, detector="cmp"):
+    return ErrorReport(
+        time=time,
+        detector=detector,
+        observable=observable,
+        expected="good",
+        actual="bad",
+        consecutive=3,
+    )
+
+
+class TestRecoveryPolicy:
+    def make_policy(self):
+        policy = RecoveryPolicy(quiet_period=30.0)
+        policy.add_ladder(
+            "screen",
+            [
+                LadderStep("restart_unit", "teletext", user_impact=0.3),
+                LadderStep("repair", "resync", user_impact=0.0),
+                LadderStep("restart_all", "*", user_impact=1.0),
+            ],
+        )
+        return policy
+
+    def test_least_impact_first(self):
+        policy = self.make_policy()
+        action = policy.decide(report(time=0.0))
+        assert action.kind == "repair"  # impact 0.0 sorted first
+        assert action.user_impact == 0.0
+
+    def test_escalation_on_recurrence(self):
+        policy = self.make_policy()
+        kinds = [policy.decide(report(time=float(i))).kind for i in range(4)]
+        assert kinds == ["repair", "restart_unit", "restart_all", "restart_all"]
+
+    def test_quiet_period_resets_ladder(self):
+        policy = self.make_policy()
+        policy.decide(report(time=0.0))
+        policy.decide(report(time=1.0))
+        action = policy.decide(report(time=100.0))  # long quiet gap
+        assert action.kind == "repair"
+
+    def test_notify_recovered_resets(self):
+        policy = self.make_policy()
+        policy.decide(report(time=0.0))
+        policy.notify_recovered("screen")
+        action = policy.decide(report(time=1.0))
+        assert action.kind == "repair"
+
+    def test_wildcard_ladder(self):
+        policy = RecoveryPolicy()
+        policy.add_ladder("*", [LadderStep("repair", "generic", 0.0)])
+        assert policy.decide(report(observable="anything")).kind == "repair"
+
+    def test_prefix_ladder(self):
+        policy = RecoveryPolicy()
+        policy.add_ladder("ttx-*", [LadderStep("repair", "ttx-fix", 0.0)])
+        action = policy.decide(report(observable="ttx-sync(a,b)"))
+        assert action.target == "ttx-fix"
+
+    def test_no_ladder_returns_none(self):
+        policy = RecoveryPolicy()
+        assert policy.decide(report()) is None
+
+    def test_diagnosis_suspect_forwarded(self):
+        policy = self.make_policy()
+        diagnosis = Diagnosis(
+            time=0.0, technique="sfl", ranking=(("block:42", 1.0),), errors_explained=1
+        )
+        action = policy.decide(report(), diagnosis)
+        assert action.params["suspect"] == "block:42"
+
+
+class TestAwarenessLoop:
+    def make_loop(self, settle=5.0):
+        kernel = Kernel()
+        manager = RecoveryManager(kernel)
+        repaired = []
+        manager.register_repair("resync", lambda: repaired.append(kernel.now))
+        policy = RecoveryPolicy()
+        policy.add_ladder("*", [LadderStep("repair", "resync", 0.0)])
+        loop = AwarenessLoop(kernel, policy, manager, settle_time=settle)
+        return kernel, loop, repaired
+
+    def test_error_triggers_action(self):
+        kernel, loop, repaired = self.make_loop()
+        loop.on_error(report(time=0.0))
+        assert repaired == [0.0]
+        assert loop.incidents[0].action.kind == "repair"
+
+    def test_verification_marks_recovered(self):
+        kernel, loop, repaired = self.make_loop(settle=5.0)
+        loop.on_error(report(time=0.0))
+        kernel.run(until=10.0)
+        assert loop.incidents[0].recovered is True
+        assert loop.recovered_count() == 1
+
+    def test_recurrence_marks_not_recovered(self):
+        kernel, loop, repaired = self.make_loop(settle=5.0)
+        loop.on_error(report(time=0.0))
+        kernel.schedule(2.0, lambda: loop.on_error(report(time=2.0)))
+        kernel.run(until=20.0)
+        assert loop.incidents[0].recovered is False
+
+    def test_disabled_loop_ignores_errors(self):
+        kernel, loop, repaired = self.make_loop()
+        loop.enabled = False
+        loop.on_error(report())
+        assert loop.incidents == []
+        assert repaired == []
+
+    def test_diagnoser_invoked(self):
+        kernel, loop, _ = self.make_loop()
+        diagnosis = Diagnosis(0.0, "sfl", (("block:1", 0.9),), 1)
+        loop.diagnoser = lambda rep: diagnosis
+        loop.on_error(report())
+        assert loop.incidents[0].diagnosis is diagnosis
+
+    def test_post_recovery_hooks_called(self):
+        kernel, loop, _ = self.make_loop()
+        hooked = []
+        loop.post_recovery_hooks.append(lambda incident: hooked.append(incident))
+        loop.on_error(report())
+        assert len(hooked) == 1
+
+    def test_summary_aggregates(self):
+        kernel, loop, _ = self.make_loop()
+        loop.on_error(report(time=0.0))
+        kernel.run(until=20.0)
+        summary = loop.summary()
+        assert len(summary.errors) == 1
+        assert len(summary.actions) == 1
+        assert summary.recovered is True
+
+    def test_error_without_ladder_unrecovered(self):
+        kernel = Kernel()
+        loop = AwarenessLoop(kernel, RecoveryPolicy(), RecoveryManager(kernel))
+        loop.on_error(report())
+        assert loop.incidents[0].recovered is False
+        assert loop.incidents[0].action is None
+
+
+class TestMonitorHierarchy:
+    class FakeSource:
+        def __init__(self):
+            self.listeners = []
+
+        def subscribe_errors(self, listener):
+            self.listeners.append(listener)
+
+        def fire(self, rep):
+            for listener in self.listeners:
+                listener(rep)
+
+    def test_scoped_errors_tagged_and_aggregated(self):
+        hierarchy = MonitorHierarchy()
+        ttx = self.FakeSource()
+        audio = self.FakeSource()
+        hierarchy.add_scope("teletext", ttx)
+        hierarchy.add_scope("audio", audio)
+        ttx.fire(report(observable="screen"))
+        ttx.fire(report(observable="screen"))
+        audio.fire(report(observable="sound"))
+        assert hierarchy.scope_summary() == {"teletext": 2, "audio": 1}
+        assert len(hierarchy.errors) == 3
+        assert hierarchy.errors[0].context["scope"] == "teletext"
+
+    def test_local_handler_receives_scope_errors(self):
+        hierarchy = MonitorHierarchy()
+        source = self.FakeSource()
+        local = []
+        hierarchy.add_scope("ttx", source, local_handler=local.append)
+        source.fire(report())
+        assert len(local) == 1
+
+    def test_hierarchy_composes_upward(self):
+        parent = MonitorHierarchy("parent")
+        child = MonitorHierarchy("child")
+        source = self.FakeSource()
+        child.add_scope("leaf", source)
+        parent.add_scope("subtree", child)
+        source.fire(report())
+        assert len(parent.errors) == 1
+        assert parent.errors[0].context["scope"] == "subtree"
+        assert child.errors[0].context["scope"] == "leaf"
+
+    def test_duplicate_scope_rejected(self):
+        hierarchy = MonitorHierarchy()
+        source = self.FakeSource()
+        hierarchy.add_scope("x", source)
+        with pytest.raises(ValueError):
+            hierarchy.add_scope("x", source)
+
+    def test_errors_in_scope_query(self):
+        hierarchy = MonitorHierarchy()
+        source = self.FakeSource()
+        hierarchy.add_scope("s", source)
+        source.fire(report())
+        assert len(hierarchy.errors_in("s")) == 1
+
+
+class TestPerceptionWeightedLadder:
+    def test_weights_scale_with_perceived_severity(self):
+        from repro.core.policy import perception_weighted_ladder
+        from repro.perception import PAPER_FUNCTIONS, SeverityModel
+
+        model = SeverityModel()
+        steps = [
+            LadderStep("repair", "fix", user_impact=0.2),
+            LadderStep("restart_unit", "unit", user_impact=0.6),
+        ]
+        swivel = perception_weighted_ladder(steps, PAPER_FUNCTIONS["swivel"], model)
+        image = perception_weighted_ladder(
+            steps, PAPER_FUNCTIONS["image_quality"], model
+        )
+        # disturbing the swivel function is perceived as worse than
+        # disturbing image quality (external attribution discounts it)
+        assert swivel[0].user_impact > image[0].user_impact
+        assert swivel[1].user_impact > image[1].user_impact
+        # relative ordering within the ladder is preserved
+        assert swivel[0].user_impact < swivel[1].user_impact
+
+    def test_weighted_ladder_drives_policy_ordering(self):
+        from repro.core.policy import perception_weighted_ladder
+        from repro.perception import PAPER_FUNCTIONS, SeverityModel
+
+        model = SeverityModel()
+        steps = [
+            LadderStep("restart_all", "*", user_impact=1.0),
+            LadderStep("repair", "fix", user_impact=0.1),
+        ]
+        policy = RecoveryPolicy()
+        policy.add_ladder(
+            "teletext",
+            list(perception_weighted_ladder(
+                steps, PAPER_FUNCTIONS["teletext"], model
+            )),
+        )
+        action = policy.decide(report(observable="teletext"))
+        assert action.kind == "repair"  # least weighted impact still first

@@ -1,0 +1,206 @@
+"""Tests for stress testing, warning prioritization, and architecture FMEA."""
+
+import pytest
+
+from repro.devtools import (
+    ArchitectureFmea,
+    BandwidthTakeaway,
+    CpuEater,
+    FailureMode,
+    StressCampaign,
+    StressScenario,
+    WarningGenerator,
+    WarningPrioritizer,
+)
+from repro.tv import TVSet
+from repro.tv.software import SoftwareBuild
+
+
+class TestCpuEater:
+    def test_eater_consumes_target_share(self):
+        tv = TVSet(seed=2)
+        tv.press("power")
+        tv.run(10.0)
+        eater = CpuEater(tv.soc, "cpu1")
+        eater.start(0.5)
+        start = tv.kernel.now
+        tv.run(100.0)
+        utilization = tv.soc.processor("cpu1").utilization(since=start)
+        assert 0.4 <= utilization <= 0.6
+
+    def test_eater_causes_misses_on_loaded_core(self):
+        tv = TVSet(seed=2)
+        tv.press("power")
+        tv.run(20.0)
+        eater = CpuEater(tv.soc, "cpu0")
+        eater.start(0.7)
+        tv.run(150.0)
+        tasks = tv.video.tasks
+        assert sum(t.stats.misses for t in tasks) > 0
+
+    def test_stop_removes_task(self):
+        tv = TVSet(seed=2)
+        eater = CpuEater(tv.soc, "cpu0")
+        eater.start(0.3)
+        assert eater.active
+        eater.stop()
+        assert not eater.active
+        assert "cpu-eater" not in tv.soc.scheduler.tasks
+
+    def test_invalid_load_rejected(self):
+        tv = TVSet(seed=2)
+        eater = CpuEater(tv.soc, "cpu0")
+        with pytest.raises(ValueError):
+            eater.start(1.5)
+
+
+class TestBandwidthTakeaway:
+    def test_take_and_restore(self):
+        tv = TVSet(seed=2)
+        takeaway = BandwidthTakeaway(tv.kernel, tv.soc.bus, tv.soc.arbiter)
+        original = tv.soc.bus.bandwidth
+        takeaway.take(0.5)
+        assert tv.soc.bus.bandwidth == pytest.approx(original * 0.5)
+        takeaway.restore()
+        assert tv.soc.bus.bandwidth == original
+
+    def test_auto_restore_after_duration(self):
+        tv = TVSet(seed=2)
+        takeaway = BandwidthTakeaway(tv.kernel, tv.soc.bus, tv.soc.arbiter)
+        original = tv.soc.bus.bandwidth
+        takeaway.take(0.5, duration=10.0)
+        tv.run(11.0)
+        assert tv.soc.bus.bandwidth == original
+
+    def test_repeated_take_does_not_compound_baseline(self):
+        tv = TVSet(seed=2)
+        takeaway = BandwidthTakeaway(tv.kernel, tv.soc.bus, tv.soc.arbiter)
+        original = tv.soc.bus.bandwidth
+        takeaway.take(0.5)
+        takeaway.take(0.8)
+        takeaway.restore()
+        assert tv.soc.bus.bandwidth == original
+
+
+class TestStressCampaign:
+    def test_stress_exposes_overload_behaviour(self):
+        """The E7 shape: errors invisible under nominal load appear under
+        resource takeaway."""
+        campaign = StressCampaign(seed=2, measure=120.0)
+        nominal = campaign.run_scenario(StressScenario("nominal"))
+        stressed = campaign.run_scenario(StressScenario("eat70", cpu_load=0.7))
+        assert nominal.miss_rate < 0.05
+        assert stressed.miss_rate > nominal.miss_rate
+        assert stressed.mean_frame_quality < nominal.mean_frame_quality
+
+    def test_monotone_in_cpu_load(self):
+        campaign = StressCampaign(seed=2, measure=120.0)
+        outcomes = campaign.run(
+            [
+                StressScenario("e25", cpu_load=0.25),
+                StressScenario("e70", cpu_load=0.70),
+            ]
+        )
+        assert outcomes[1].mean_frame_quality <= outcomes[0].mean_frame_quality
+
+
+class TestWarningPrioritization:
+    def setup_method(self):
+        self.build = SoftwareBuild()
+        self.warnings = WarningGenerator(self.build, seed=3).generate()
+        self.prioritizer = WarningPrioritizer(self.build, seed=3)
+
+    def test_generation_deterministic(self):
+        again = WarningGenerator(self.build, seed=3).generate()
+        assert [w.block for w in again] == [w.block for w in self.warnings]
+
+    def test_likelihood_beats_random(self):
+        likelihood = self.prioritizer.evaluate(self.warnings, "likelihood")
+        rand = self.prioritizer.evaluate(self.warnings, "random")
+        assert likelihood.precision_at[50] > rand.precision_at[50]
+
+    def test_likelihood_beats_file_order_deep(self):
+        likelihood = self.prioritizer.evaluate(self.warnings, "likelihood")
+        file_order = self.prioritizer.evaluate(self.warnings, "file_order")
+        assert likelihood.precision_at[100] > file_order.precision_at[100]
+
+    def test_relevance_requires_defect_and_execution(self):
+        relevant = [w for w in self.warnings if self.prioritizer.is_relevant(w)]
+        assert all(w.is_defect for w in relevant)
+        assert all(w.module != "cold_features" for w in relevant)
+
+    def test_unknown_strategy_rejected(self):
+        with pytest.raises(ValueError):
+            self.prioritizer.evaluate(self.warnings, "vibes")
+
+
+class TestArchitectureFmea:
+    def make_fmea(self):
+        tv = TVSet(seed=2)
+        severity = {
+            "video": 0.9,
+            "audio": 0.8,
+            "teletext": 0.4,
+            "control": 1.0,
+        }
+        return tv, ArchitectureFmea(tv.configuration, severity)
+
+    def test_effects_propagate_against_dependencies(self):
+        tv, fmea = self.make_fmea()
+        # The control logic declares Koala dependencies on tuner, audio,
+        # video, teletext, and features, so each of their failures reaches
+        # the user through control.
+        for component in ("tuner", "audio", "video", "teletext", "features"):
+            assert fmea.affected_by(component) == ["control"]
+        assert fmea.affected_by("control") == []
+
+    def test_table_sorted_by_rpn(self):
+        tv, fmea = self.make_fmea()
+        modes = [
+            FailureMode("teletext", "sync-loss", probability=0.2, local_severity=0.4),
+            FailureMode("video", "frame-drop", probability=0.1, local_severity=0.9),
+            FailureMode("audio", "mute-stuck", probability=0.05, local_severity=0.8,
+                        detectability=0.9),
+        ]
+        table = fmea.analyze(modes)
+        rpns = [entry.rpn for entry in table]
+        assert rpns == sorted(rpns, reverse=True)
+
+    def test_detectability_lowers_rpn(self):
+        tv, fmea = self.make_fmea()
+        loud = FailureMode("audio", "a", probability=0.5, local_severity=0.8,
+                           detectability=0.0)
+        caught = FailureMode("audio", "b", probability=0.5, local_severity=0.8,
+                             detectability=0.9)
+        table = fmea.analyze([loud, caught])
+        assert table[0].failure_mode.name == "a"
+        assert table[0].rpn > table[1].rpn
+
+    def test_unknown_component_rejected(self):
+        tv, fmea = self.make_fmea()
+        with pytest.raises(KeyError):
+            fmea.analyze([FailureMode("ghost", "x", 0.1, 0.5)])
+
+    def test_improvement_targets_unique_components(self):
+        tv, fmea = self.make_fmea()
+        modes = [
+            FailureMode("teletext", "m1", 0.9, 0.9),
+            FailureMode("teletext", "m2", 0.8, 0.9),
+            FailureMode("video", "m3", 0.5, 0.9),
+        ]
+        targets = fmea.improvement_targets(modes, top_n=2)
+        assert targets == ["teletext", "video"]
+
+    def test_user_severity_propagates_to_dependents(self):
+        tv, fmea = self.make_fmea()
+        # A video failure takes down the control path (severity 1.0), so
+        # the user-level severity is the max over the affected set.
+        assert fmea.user_severity_of("video") == 1.0
+        # The control logic itself is the most severe user-facing loss.
+        assert fmea.user_severity_of("control") == 1.0
+
+    def test_user_severity_without_dependents(self):
+        tv = TVSet(seed=2)
+        fmea = ArchitectureFmea(tv.configuration, {"osd": 0.3})
+        # osd has no declared dependents in the Koala graph
+        assert fmea.user_severity_of("osd") == 0.3

@@ -1,0 +1,172 @@
+"""Tests for spectra, similarity coefficients, SFL ranking, and metrics."""
+
+import pytest
+
+from repro.diagnosis import (
+    COEFFICIENTS,
+    SpectraCollector,
+    SpectraCounts,
+    SpectrumDiagnoser,
+    evaluate_ranking,
+    get_coefficient,
+    ochiai,
+    tarantula,
+)
+
+
+class TestSpectraCollector:
+    def test_step_protocol_enforced(self):
+        collector = SpectraCollector()
+        with pytest.raises(RuntimeError):
+            collector.record([1])
+        collector.begin_step()
+        with pytest.raises(RuntimeError):
+            collector.begin_step()
+        collector.end_step(error=False)
+        with pytest.raises(RuntimeError):
+            collector.end_step(error=False)
+
+    def test_counts_for_block(self):
+        collector = SpectraCollector()
+        # step 0: block 1 executed, error
+        collector.begin_step(); collector.record([1]); collector.end_step(True)
+        # step 1: block 1 executed, pass
+        collector.begin_step(); collector.record([1]); collector.end_step(False)
+        # step 2: not executed, error
+        collector.begin_step(); collector.record([2]); collector.end_step(True)
+        # step 3: not executed, pass
+        collector.begin_step(); collector.record([2]); collector.end_step(False)
+        counts = collector.counts_for(1)
+        assert (counts.a11, counts.a10, counts.a01, counts.a00) == (1, 1, 1, 1)
+
+    def test_executed_blocks_union(self):
+        collector = SpectraCollector()
+        collector.begin_step(); collector.record([1, 2]); collector.end_step(False)
+        collector.begin_step(); collector.record([2, 3]); collector.end_step(True)
+        assert collector.executed_blocks() == {1, 2, 3}
+
+    def test_error_steps(self):
+        collector = SpectraCollector()
+        for error in (False, True, False, True):
+            collector.begin_step()
+            collector.end_step(error)
+        assert collector.error_steps == {1, 3}
+        assert collector.step_count == 4
+
+    def test_duplicate_records_merged(self):
+        collector = SpectraCollector()
+        collector.begin_step()
+        collector.record([5])
+        collector.record([5, 5])
+        collector.end_step(False)
+        assert collector.hits_of(5) == {0}
+
+
+class TestSimilarityCoefficients:
+    def perfect(self):
+        return SpectraCounts(a11=5, a10=0, a01=0, a00=10)
+
+    def never_in_error(self):
+        return SpectraCounts(a11=0, a10=5, a01=5, a00=5)
+
+    def test_ochiai_perfect_correlation(self):
+        assert ochiai(self.perfect()) == 1.0
+
+    def test_ochiai_zero_when_never_in_error_step(self):
+        assert ochiai(self.never_in_error()) == 0.0
+
+    def test_ochiai_formula(self):
+        counts = SpectraCounts(a11=2, a10=2, a01=2, a00=0)
+        assert ochiai(counts) == pytest.approx(2 / 4.0)
+
+    def test_tarantula_perfect(self):
+        assert tarantula(self.perfect()) == 1.0
+
+    def test_all_coefficients_bounded_and_ordered(self):
+        suspicious = SpectraCounts(a11=4, a10=1, a01=0, a00=10)
+        innocent = SpectraCounts(a11=1, a10=4, a01=3, a00=7)
+        for name, coefficient in COEFFICIENTS.items():
+            high = coefficient(suspicious)
+            low = coefficient(innocent)
+            assert 0.0 <= low <= 1.0, name
+            assert 0.0 <= high <= 1.0, name
+            assert high > low, f"{name} did not separate suspicious from innocent"
+
+    def test_zero_division_safe(self):
+        empty = SpectraCounts()
+        for name, coefficient in COEFFICIENTS.items():
+            assert coefficient(empty) == 0.0, name
+
+    def test_get_coefficient_unknown(self):
+        with pytest.raises(KeyError):
+            get_coefficient("psychic")
+
+
+class TestRankingAndEvaluation:
+    def build_collector(self):
+        """Fault block 99 executes exactly in the two error steps; block 1
+        executes everywhere; block 2 executes in passing steps only."""
+        collector = SpectraCollector()
+        plan = [
+            ({1, 2}, False),
+            ({1, 99}, True),
+            ({1, 2}, False),
+            ({1, 99}, True),
+            ({1, 2}, False),
+        ]
+        for blocks, error in plan:
+            collector.begin_step()
+            collector.record(blocks)
+            collector.end_step(error)
+        return collector
+
+    def test_faulty_block_ranked_first(self):
+        collector = self.build_collector()
+        ranking = SpectrumDiagnoser("ochiai").ranking(collector)
+        assert ranking[0].block == 99
+        assert ranking[0].rank == 1
+
+    def test_ranking_is_descending(self):
+        ranking = SpectrumDiagnoser("ochiai").ranking(self.build_collector())
+        scores = [entry.score for entry in ranking]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_tie_handling_shares_best_rank(self):
+        collector = SpectraCollector()
+        collector.begin_step(); collector.record([1, 2]); collector.end_step(True)
+        collector.begin_step(); collector.record([3]); collector.end_step(False)
+        ranking = SpectrumDiagnoser("ochiai").ranking(collector)
+        tied = [entry for entry in ranking if entry.block in (1, 2)]
+        assert all(entry.rank == 1 for entry in tied)
+
+    def test_evaluate_ranking_quality(self):
+        collector = self.build_collector()
+        ranking = SpectrumDiagnoser("ochiai").ranking(collector)
+        quality = evaluate_ranking(ranking, [99])
+        assert quality.best_rank == 1
+        assert quality.in_top_1
+        assert quality.wasted_effort == 0.0
+
+    def test_evaluate_requires_faulty_blocks(self):
+        ranking = SpectrumDiagnoser().ranking(self.build_collector())
+        with pytest.raises(ValueError):
+            evaluate_ranking(ranking, [])
+        with pytest.raises(ValueError):
+            evaluate_ranking(ranking, [123456])  # never executed
+
+    def test_diagnose_produces_contract_object(self):
+        collector = self.build_collector()
+        diagnosis = SpectrumDiagnoser("ochiai").diagnose(collector, time=3.0)
+        assert diagnosis.technique == "sfl:ochiai"
+        assert diagnosis.best() == "block:99"
+        assert diagnosis.errors_explained == 2
+
+    def test_wasted_effort_with_ties(self):
+        collector = SpectraCollector()
+        # blocks 1 and 99 always co-execute: indistinguishable spectra
+        collector.begin_step(); collector.record([1, 99]); collector.end_step(True)
+        collector.begin_step(); collector.record([2]); collector.end_step(False)
+        ranking = SpectrumDiagnoser("ochiai").ranking(collector)
+        quality = evaluate_ranking(ranking, [99])
+        # one innocent tie inspected half the time on average
+        assert quality.wasted_effort == pytest.approx(0.5 / 3)

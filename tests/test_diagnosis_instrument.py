@@ -1,0 +1,91 @@
+"""Integration tests for the instrumented-scenario diagnosis pipeline (E1)."""
+
+import pytest
+
+from repro.diagnosis import (
+    TELETEXT_SCENARIO_27,
+    ScenarioRunner,
+    SpectrumDiagnoser,
+    evaluate_ranking,
+)
+from repro.tv import FaultInjector, TVSet
+
+
+def run_faulty_scenario(fault="ttx_stale_render", activate_after=10, seed=11):
+    tv = TVSet(seed=seed)
+    FaultInjector(tv).inject(fault, activate_after_presses=activate_after)
+    runner = ScenarioRunner(tv)
+    result = runner.run(TELETEXT_SCENARIO_27)
+    return runner, result
+
+
+class TestScenarioRunner:
+    def test_fault_free_run_has_no_errors(self):
+        tv = TVSet(seed=11)
+        runner = ScenarioRunner(tv)
+        result = runner.run(TELETEXT_SCENARIO_27)
+        assert result.error_steps == 0
+        assert len(result.error_vector) == 27
+
+    def test_scenario_has_27_key_presses(self):
+        assert len(TELETEXT_SCENARIO_27) == 27
+
+    def test_executed_blocks_in_paper_ballpark(self):
+        _, result = run_faulty_scenario()
+        # Paper: 13 796 of 60 000 blocks executed. Same order of magnitude.
+        assert 10000 <= result.executed_blocks <= 20000
+        assert result.total_blocks == 60000
+
+    def test_fault_produces_error_steps(self):
+        _, result = run_faulty_scenario()
+        assert result.error_steps >= 3
+
+    def test_error_steps_only_after_activation(self):
+        _, result = run_faulty_scenario(activate_after=10)
+        assert not any(result.error_vector[:9])
+
+
+class TestDiagnosisEndToEnd:
+    def test_stale_render_fault_ranked_first(self):
+        runner, result = run_faulty_scenario("ttx_stale_render")
+        ranking = SpectrumDiagnoser("ochiai").ranking(result.collector)
+        quality = evaluate_ranking(
+            ranking, runner.build.fault_blocks("ttx_stale_render")
+        )
+        assert quality.best_rank == 1
+        assert quality.wasted_effort < 0.01
+
+    def test_sync_loss_fault_localized(self):
+        """The latent sync fault errs steps *after* its activation sites,
+        which caps similarity below 1 — still localized within a few
+        percent of the executed code (normal SFL behaviour for latent
+        faults)."""
+        runner, result = run_faulty_scenario("drop_ttx_notify", activate_after=7)
+        assert result.error_steps > 0
+        ranking = SpectrumDiagnoser("ochiai").ranking(result.collector)
+        quality = evaluate_ranking(
+            ranking, runner.build.fault_blocks("drop_ttx_notify")
+        )
+        assert quality.wasted_effort < 0.05
+
+    def test_better_than_random_baseline(self):
+        runner, result = run_faulty_scenario()
+        ranking = SpectrumDiagnoser("ochiai").ranking(result.collector)
+        quality = evaluate_ranking(
+            ranking, runner.build.fault_blocks("ttx_stale_render")
+        )
+        assert quality.wasted_effort < 0.5  # random inspection expectation
+
+    def test_multiple_coefficients_localize(self):
+        runner, result = run_faulty_scenario()
+        faulty = runner.build.fault_blocks("ttx_stale_render")
+        for name in ("ochiai", "jaccard", "tarantula"):
+            ranking = SpectrumDiagnoser(name).ranking(result.collector)
+            quality = evaluate_ranking(ranking, faulty)
+            assert quality.in_top_5, name
+
+    def test_determinism_same_seed(self):
+        _, result_a = run_faulty_scenario(seed=11)
+        _, result_b = run_faulty_scenario(seed=11)
+        assert result_a.error_vector == result_b.error_vector
+        assert result_a.executed_blocks == result_b.executed_blocks

@@ -1,0 +1,179 @@
+"""Tests for component lifecycle, modes, dispatch, and interceptors."""
+
+import pytest
+
+from repro.koala import Component, ComponentError, InterfaceType
+
+ICounter = (
+    InterfaceType("ICounter")
+    .operation("increment", ranges={"by": (1, 10)})
+    .operation("value")
+)
+
+
+class Counter(Component):
+    def configure(self):
+        self.provide("counter", ICounter)
+        self.count = 0
+
+    def op_counter_increment(self, by=1):
+        self.count += by
+        return self.count
+
+    def op_counter_value(self):
+        return self.count
+
+
+class Consumer(Component):
+    def configure(self):
+        self.require("counter", ICounter)
+
+
+def wired_pair():
+    counter = Counter("counter")
+    consumer = Consumer("consumer")
+    consumer.requires["counter"].peer = counter.provides["counter"]
+    return counter, consumer
+
+
+class TestLifecycle:
+    def test_initial_state(self):
+        counter = Counter("c")
+        assert counter.lifecycle == Component.INIT
+
+    def test_start_stop(self):
+        counter = Counter("c")
+        counter.start()
+        assert counter.lifecycle == Component.STARTED
+        counter.stop()
+        assert counter.lifecycle == Component.STOPPED
+
+    def test_start_idempotent(self):
+        events = []
+
+        class Tracker(Counter):
+            def on_start(self):
+                events.append("start")
+
+        tracker = Tracker("t")
+        tracker.start()
+        tracker.start()
+        assert events == ["start"]
+
+    def test_fail_marks_component(self):
+        counter = Counter("c")
+        counter.fail("blew up")
+        assert counter.lifecycle == Component.FAILED
+
+
+class TestModes:
+    def test_set_mode_notifies_listeners(self):
+        counter = Counter("c")
+        changes = []
+        counter.watch_mode(lambda comp, old, new: changes.append((old, new)))
+        counter.set_mode("busy")
+        assert changes == [("idle", "busy")]
+
+    def test_same_mode_no_notification(self):
+        counter = Counter("c")
+        changes = []
+        counter.watch_mode(lambda comp, old, new: changes.append(new))
+        counter.set_mode("idle")
+        assert changes == []
+
+
+class TestDispatch:
+    def test_call_through_bound_port(self):
+        counter, consumer = wired_pair()
+        assert consumer.call("counter", "increment", by=3) == 3
+        assert consumer.call("counter", "value") == 3
+
+    def test_call_unbound_port_raises(self):
+        consumer = Consumer("c")
+        with pytest.raises(ComponentError):
+            consumer.call("counter", "value")
+
+    def test_call_unknown_port_raises(self):
+        _, consumer = wired_pair()
+        with pytest.raises(ComponentError):
+            consumer.call("nonexistent", "value")
+
+    def test_call_unknown_operation_raises(self):
+        _, consumer = wired_pair()
+        with pytest.raises(ComponentError):
+            consumer.call("counter", "reset")
+
+    def test_handle_missing_method_raises(self):
+        class Incomplete(Component):
+            def configure(self):
+                self.provide("counter", ICounter)
+
+        broken = Incomplete("broken")
+        with pytest.raises(ComponentError):
+            broken.handle("counter", "increment", by=1)
+
+    def test_call_count_increments(self):
+        counter, consumer = wired_pair()
+        consumer.call("counter", "value")
+        consumer.call("counter", "value")
+        assert counter.call_count == 2
+
+    def test_duplicate_port_rejected(self):
+        class Doubled(Component):
+            def configure(self):
+                self.provide("p", ICounter)
+                self.require("p", ICounter)
+
+        with pytest.raises(ComponentError):
+            Doubled("d")
+
+
+class TestInterceptors:
+    def test_interceptor_wraps_call(self):
+        counter, consumer = wired_pair()
+        log = []
+
+        def interceptor(component, port, operation, kwargs, proceed):
+            log.append(("before", operation))
+            result = proceed()
+            log.append(("after", operation, result))
+            return result
+
+        counter.add_interceptor(interceptor)
+        consumer.call("counter", "increment", by=2)
+        assert log == [("before", "increment"), ("after", "increment", 2)]
+
+    def test_interceptor_can_modify_result(self):
+        counter, consumer = wired_pair()
+        counter.add_interceptor(
+            lambda comp, port, op, kwargs, proceed: proceed() * 10
+        )
+        assert consumer.call("counter", "increment", by=1) == 10
+
+    def test_interceptors_nest_in_order(self):
+        counter, consumer = wired_pair()
+        order = []
+
+        def make(name):
+            def interceptor(comp, port, op, kwargs, proceed):
+                order.append(f"{name}-in")
+                result = proceed()
+                order.append(f"{name}-out")
+                return result
+
+            return interceptor
+
+        counter.add_interceptor(make("outer"))
+        counter.add_interceptor(make("inner"))
+        consumer.call("counter", "value")
+        assert order == ["outer-in", "inner-in", "inner-out", "outer-out"]
+
+    def test_remove_interceptor(self):
+        counter, consumer = wired_pair()
+        calls = []
+        interceptor = lambda c, p, o, k, proceed: (calls.append(o), proceed())[1]
+        counter.add_interceptor(interceptor)
+        consumer.call("counter", "value")
+        counter.remove_interceptor(interceptor)
+        consumer.call("counter", "value")
+        assert len(calls) == 1

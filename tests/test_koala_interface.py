@@ -1,0 +1,60 @@
+"""Tests for interface types, operations, and range contracts."""
+
+import pytest
+
+from repro.koala import InterfaceType, Operation
+
+
+class TestOperation:
+    def test_check_args_within_range(self):
+        op = Operation("set_volume", ranges={"level": (0, 100)})
+        assert op.check_args({"level": 50}) is None
+
+    def test_check_args_boundary_inclusive(self):
+        op = Operation("set_volume", ranges={"level": (0, 100)})
+        assert op.check_args({"level": 0}) is None
+        assert op.check_args({"level": 100}) is None
+
+    def test_check_args_out_of_range(self):
+        op = Operation("set_volume", ranges={"level": (0, 100)})
+        problem = op.check_args({"level": 150})
+        assert problem is not None
+        assert "150" in problem
+
+    def test_check_args_non_numeric(self):
+        op = Operation("set_volume", ranges={"level": (0, 100)})
+        assert op.check_args({"level": "loud"}) is not None
+
+    def test_check_args_missing_arg_ignored(self):
+        op = Operation("set_volume", ranges={"level": (0, 100)})
+        assert op.check_args({}) is None
+
+    def test_check_result(self):
+        op = Operation("get_volume", result_range=(0, 100))
+        assert op.check_result(30) is None
+        assert op.check_result(-1) is not None
+
+    def test_check_result_without_range(self):
+        op = Operation("anything")
+        assert op.check_result("whatever") is None
+
+    def test_check_result_non_numeric(self):
+        op = Operation("get_volume", result_range=(0, 100))
+        assert op.check_result(None) is not None
+
+
+class TestInterfaceType:
+    def test_fluent_operation_declaration(self):
+        itype = (
+            InterfaceType("IAudio")
+            .operation("set_volume", ranges={"level": (0, 100)})
+            .operation("get_volume", result_range=(0, 100))
+        )
+        assert itype.has_operation("set_volume")
+        assert itype.has_operation("get_volume")
+        assert not itype.has_operation("explode")
+
+    def test_repr_lists_operations(self):
+        itype = InterfaceType("IX").operation("a").operation("b")
+        assert "IX" in repr(itype)
+        assert "a" in repr(itype)

@@ -1,0 +1,134 @@
+"""Tests for hardware monitors lifted into the Fig. 1 loop."""
+
+import pytest
+
+from repro.core import AwarenessLoop, LadderStep, MonitorHierarchy, RecoveryPolicy
+from repro.observation import (
+    DeadlockDetector,
+    DeadlockSource,
+    MemoryArbiterWatch,
+    MemoryWatchSource,
+    RangeChecker,
+    RangeCheckerSource,
+)
+from repro.platform import MemoryArbiter
+from repro.recovery import RecoveryManager
+from repro.sim import Delay, Kernel, Process, Resource
+from repro.tv import TVSet
+
+
+class TestRangeCheckerSource:
+    def test_violations_become_error_reports(self):
+        tv = TVSet(seed=3)
+        checker = RangeChecker(tv.configuration, clock=lambda: tv.kernel.now)
+        checker.install()
+        source = RangeCheckerSource(tv.kernel, checker, interval=1.0)
+        source.start()
+        tv.press("power")
+        tv.audio.handle("audio", "set_volume", level=5000)  # wild write
+        tv.run(3.0)
+        assert len(source.reports) == 1
+        report = source.reports[0]
+        assert report.observable == "range:audio.set_volume"
+        assert "5000" in report.actual
+
+    def test_no_violations_no_reports(self):
+        tv = TVSet(seed=3)
+        checker = RangeChecker(tv.configuration, clock=lambda: tv.kernel.now)
+        checker.install()
+        source = RangeCheckerSource(tv.kernel, checker, interval=1.0)
+        source.start()
+        tv.press("power")
+        tv.press("vol_up")
+        tv.run(5.0)
+        assert source.reports == []
+
+    def test_each_violation_reported_once(self):
+        tv = TVSet(seed=3)
+        checker = RangeChecker(tv.configuration, clock=lambda: tv.kernel.now)
+        checker.install()
+        source = RangeCheckerSource(tv.kernel, checker, interval=1.0)
+        source.start()
+        tv.press("power")
+        tv.audio.handle("audio", "set_volume", level=5000)
+        tv.run(10.0)  # many polls, one violation
+        assert len(source.reports) == 1
+
+
+class TestDeadlockSource:
+    def test_deadlock_alarm_forwarded(self):
+        kernel = Kernel()
+        r1 = Resource(kernel, 1, "r1")
+        r2 = Resource(kernel, 1, "r2")
+
+        def grab(first, second):
+            def body():
+                yield first.acquire()
+                yield Delay(1.0)
+                yield second.acquire()
+                second.release()
+                first.release()
+
+            return body
+
+        Process(kernel, grab(r1, r2)())
+        Process(kernel, grab(r2, r1)())
+        detector = DeadlockDetector(kernel, interval=2.0, stall_intervals=2)
+        detector.watch_resource(r1)
+        detector.watch_resource(r2)
+        detector.start()
+        source = DeadlockSource(detector)
+        kernel.run(until=30.0)
+        assert source.reports
+        assert source.reports[0].detector == "deadlock-watchdog"
+        assert source.reports[0].severity == 3.0
+
+
+class TestMemoryWatchSource:
+    def test_latency_alarm_forwarded(self):
+        kernel = Kernel()
+        arbiter = MemoryArbiter(kernel, words_per_time=10.0)
+        watch = MemoryArbiterWatch(kernel, arbiter, latency_bound=0.5, interval=5.0)
+        watch.start()
+        source = MemoryWatchSource(watch)
+
+        def hog():
+            for _ in range(20):
+                yield from arbiter.access("greedy", 50)
+
+        Process(kernel, hog())
+        kernel.run(until=60.0)
+        assert source.reports
+        assert source.reports[0].observable == "mem-latency:greedy"
+
+
+class TestIntegrationWithLoop:
+    def test_all_detection_techniques_in_one_hierarchy(self):
+        """The Sect. 5 integration goal: model-based, mode-based, and
+        hardware-based detectors feeding one loop through one hierarchy."""
+        tv = TVSet(seed=3)
+        checker = RangeChecker(tv.configuration, clock=lambda: tv.kernel.now)
+        checker.install()
+        range_source = RangeCheckerSource(tv.kernel, checker, interval=1.0)
+        range_source.start()
+
+        hierarchy = MonitorHierarchy("tv")
+        hierarchy.add_scope("hw-range", range_source)
+
+        manager = RecoveryManager(tv.kernel)
+        clamped = []
+        manager.register_repair(
+            "clamp_audio",
+            lambda: clamped.append(tv.audio.op_audio_set_volume(level=30)),
+        )
+        policy = RecoveryPolicy()
+        policy.add_ladder("range:audio*", [LadderStep("repair", "clamp_audio", 0.0)])
+        loop = AwarenessLoop(tv.kernel, policy, manager, settle_time=4.0)
+        loop.attach(hierarchy)
+
+        tv.press("power")
+        tv.audio.handle("audio", "set_volume", level=5000)
+        tv.run(10.0)
+        assert clamped == [30]
+        assert hierarchy.scope_summary()["hw-range"] == 1
+        assert loop.recovered_count() == 1

@@ -1,0 +1,147 @@
+"""Tests for user-perceived severity, attribution, and the controlled study."""
+
+import random
+
+import pytest
+
+from repro.perception import (
+    AttributionModel,
+    ControlledStudy,
+    FailureContext,
+    FunctionProfile,
+    PAPER_FUNCTIONS,
+    SeverityModel,
+    UserProfile,
+    generate_population,
+)
+
+
+def make_user(tolerance=0.5, savvy=0.5):
+    return UserProfile(name="u", tolerance=tolerance, savvy=savvy)
+
+
+class TestSeverityModel:
+    def test_irritation_in_unit_interval(self):
+        model = SeverityModel()
+        for function in PAPER_FUNCTIONS.values():
+            for attributed in (True, False):
+                value = model.irritation(make_user(), function, attributed)
+                assert 0.0 <= value <= 1.0
+
+    def test_external_attribution_discounts(self):
+        model = SeverityModel(external_discount=0.8)
+        function = PAPER_FUNCTIONS["image_quality"]
+        internal = model.irritation(make_user(), function, attributed_externally=False)
+        external = model.irritation(make_user(), function, attributed_externally=True)
+        assert external == pytest.approx(internal * 0.2)
+
+    def test_tolerant_users_less_irritated(self):
+        model = SeverityModel()
+        function = PAPER_FUNCTIONS["swivel"]
+        saint = model.irritation(make_user(tolerance=1.0), function, False)
+        grump = model.irritation(make_user(tolerance=0.0), function, False)
+        assert saint < grump
+
+    def test_severity_weight_penalizes_external_priors(self):
+        model = SeverityModel()
+        # same profile except attribution prior
+        internal_fn = FunctionProfile("a", 0.8, 0.8, 0.8, external_attribution_prior=0.0)
+        external_fn = FunctionProfile("b", 0.8, 0.8, 0.8, external_attribution_prior=0.9)
+        assert model.severity_weight(internal_fn) > model.severity_weight(external_fn)
+
+    def test_profile_validation(self):
+        with pytest.raises(ValueError):
+            FunctionProfile("x", 1.5, 0.5, 0.5, 0.5)
+        with pytest.raises(ValueError):
+            UserProfile("u", tolerance=2.0, savvy=0.5)
+        with pytest.raises(ValueError):
+            SeverityModel(external_discount=1.5)
+
+
+class TestAttributionModel:
+    def test_probability_bounds(self):
+        model = AttributionModel()
+        for function in PAPER_FUNCTIONS.values():
+            probability = model.external_probability(
+                make_user(), function, FailureContext()
+            )
+            assert 0.0 <= probability <= 1.0
+
+    def test_savvy_users_follow_truth(self):
+        model = AttributionModel()
+        function = PAPER_FUNCTIONS["image_quality"]  # high external prior
+        expert = make_user(savvy=1.0)
+        # truly internal fault: the expert blames the product
+        internal_ctx = FailureContext(truly_external=False)
+        assert model.external_probability(expert, function, internal_ctx) == 0.0
+        external_ctx = FailureContext(truly_external=True)
+        assert model.external_probability(expert, function, external_ctx) == 1.0
+
+    def test_cues_raise_external_probability(self):
+        model = AttributionModel()
+        user = make_user(savvy=0.0)
+        function = PAPER_FUNCTIONS["teletext"]
+        quiet = model.external_probability(user, function, FailureContext())
+        stormy = model.external_probability(
+            user, function, FailureContext(external_cue=1.0)
+        )
+        assert stormy > quiet
+
+    def test_attribute_is_deterministic_under_seed(self):
+        function = PAPER_FUNCTIONS["teletext"]
+        context = FailureContext(external_cue=0.5)
+        a = AttributionModel(random.Random(5))
+        b = AttributionModel(random.Random(5))
+        samples_a = [a.attribute(make_user(), function, context) for _ in range(20)]
+        samples_b = [b.attribute(make_user(), function, context) for _ in range(20)]
+        assert samples_a == samples_b
+
+
+class TestControlledStudy:
+    def run_study(self, seed=42, size=300):
+        study = ControlledStudy(PAPER_FUNCTIONS, seed=seed)
+        return study.run(generate_population(size, seed=seed))
+
+    def test_population_generation(self):
+        population = generate_population(50, seed=1)
+        assert len(population) == 50
+        assert all(0.0 <= u.tolerance <= 1.0 for u in population)
+        assert generate_population(50, seed=1)[10].savvy == population[10].savvy
+
+    def test_paper_headline_attribution_effect(self):
+        """Image quality and swivel rank comparably when *asked*, but the
+        swivel irritates far more when it *fails* (Sect. 4.6)."""
+        result = self.run_study()
+        image = result.outcomes["image_quality"]
+        swivel = result.outcomes["swivel"]
+        # stated importance comparable (both rank "important")
+        assert abs(image.stated_importance_mean - swivel.stated_importance_mean) < 0.1
+        # observed irritation flips the order decisively
+        assert swivel.observed_irritation_mean > 1.5 * image.observed_irritation_mean
+
+    def test_attribution_rates_match_design(self):
+        result = self.run_study()
+        assert result.outcomes["image_quality"].external_attribution_rate > 0.6
+        assert result.outcomes["swivel"].external_attribution_rate < 0.2
+
+    def test_rankings_disagree(self):
+        result = self.run_study()
+        stated = result.importance_ranking()
+        observed = result.irritation_ranking()
+        assert stated != observed
+        assert stated.index("image_quality") < stated.index("teletext")
+        assert observed.index("swivel") < observed.index("image_quality")
+
+    def test_study_deterministic(self):
+        a = self.run_study(seed=9, size=100)
+        b = self.run_study(seed=9, size=100)
+        for name in PAPER_FUNCTIONS:
+            assert (
+                a.outcomes[name].observed_irritation_mean
+                == b.outcomes[name].observed_irritation_mean
+            )
+
+    def test_sample_counts(self):
+        study = ControlledStudy(PAPER_FUNCTIONS, seed=1, exposures_per_user=3)
+        result = study.run(generate_population(10, seed=1))
+        assert all(o.samples == 30 for o in result.outcomes.values())

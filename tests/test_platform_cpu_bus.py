@@ -1,0 +1,144 @@
+"""Tests for processors, pools, and the shared bus."""
+
+import pytest
+
+from repro.platform import Bus, Processor, ProcessorPool
+from repro.sim import Delay, Kernel, Process
+
+
+class TestProcessor:
+    def test_execution_time_scales_with_speed(self):
+        kernel = Kernel()
+        slow = Processor(kernel, "slow", speed=1.0)
+        fast = Processor(kernel, "fast", speed=4.0)
+        assert slow.execution_time(8.0) == 8.0
+        assert fast.execution_time(8.0) == 2.0
+
+    def test_zero_speed_rejected(self):
+        with pytest.raises(ValueError):
+            Processor(Kernel(), "bad", speed=0.0)
+
+    def test_utilization_accounting(self):
+        kernel = Kernel()
+        cpu = Processor(kernel, "cpu0")
+
+        def worker():
+            yield cpu.core.acquire()
+            cpu.note_start()
+            yield Delay(4.0)
+            cpu.note_stop()
+            cpu.core.release()
+
+        Process(kernel, worker())
+        kernel.run(until=10.0)
+        assert cpu.utilization() == pytest.approx(0.4)
+        assert cpu.jobs_executed == 1
+
+    def test_utilization_counts_in_progress_work(self):
+        kernel = Kernel()
+        cpu = Processor(kernel, "cpu0")
+
+        def worker():
+            yield cpu.core.acquire()
+            cpu.note_start()
+            yield Delay(100.0)
+            cpu.note_stop()
+            cpu.core.release()
+
+        Process(kernel, worker())
+        kernel.run(until=10.0)
+        assert cpu.utilization() == pytest.approx(1.0)
+
+
+class TestProcessorPool:
+    def test_lookup_by_name(self):
+        kernel = Kernel()
+        pool = ProcessorPool([Processor(kernel, "a"), Processor(kernel, "b")])
+        assert pool.get("b").name == "b"
+        assert len(pool) == 2
+
+    def test_duplicate_names_rejected(self):
+        kernel = Kernel()
+        with pytest.raises(ValueError):
+            ProcessorPool([Processor(kernel, "x"), Processor(kernel, "x")])
+
+    def test_empty_pool_rejected(self):
+        with pytest.raises(ValueError):
+            ProcessorPool([])
+
+    def test_least_loaded_prefers_idle(self):
+        kernel = Kernel()
+        busy = Processor(kernel, "busy")
+        idle = Processor(kernel, "idle")
+        pool = ProcessorPool([busy, idle])
+        busy.core.try_acquire()
+        assert pool.least_loaded() is idle
+
+    def test_least_loaded_excludes(self):
+        kernel = Kernel()
+        a = Processor(kernel, "a")
+        b = Processor(kernel, "b")
+        pool = ProcessorPool([a, b])
+        assert pool.least_loaded(exclude=a) is b
+
+
+class TestBus:
+    def test_transfer_time_follows_bandwidth(self):
+        kernel = Kernel()
+        bus = Bus(kernel, bandwidth=100.0)
+        assert bus.transfer_time(50.0) == pytest.approx(0.5)
+
+    def test_transfer_records_stats(self):
+        kernel = Kernel()
+        bus = Bus(kernel, bandwidth=100.0)
+
+        def master():
+            latency = yield from bus.transfer("video", 200.0)
+            assert latency == pytest.approx(2.0)
+
+        Process(kernel, master())
+        kernel.run()
+        stats = bus.master_stats("video")
+        assert stats.transfers == 1
+        assert stats.bytes_moved == 200.0
+        assert stats.mean_latency() == pytest.approx(2.0)
+
+    def test_contention_serializes_transfers(self):
+        kernel = Kernel()
+        bus = Bus(kernel, bandwidth=100.0, channels=1)
+        done = []
+
+        def master(name):
+            def body():
+                yield from bus.transfer(name, 100.0)
+                done.append((name, kernel.now))
+
+            return body
+
+        Process(kernel, master("a")())
+        Process(kernel, master("b")())
+        kernel.run()
+        assert done == [("a", 1.0), ("b", 2.0)]
+
+    def test_bandwidth_takeaway_slows_transfers(self):
+        kernel = Kernel()
+        bus = Bus(kernel, bandwidth=100.0)
+        latencies = []
+
+        def master():
+            latencies.append((yield from bus.transfer("m", 100.0)))
+            bus.set_bandwidth(50.0)
+            latencies.append((yield from bus.transfer("m", 100.0)))
+
+        Process(kernel, master())
+        kernel.run()
+        assert latencies[0] == pytest.approx(1.0)
+        assert latencies[1] == pytest.approx(2.0)
+
+    def test_invalid_bandwidth_rejected(self):
+        kernel = Kernel()
+        with pytest.raises(ValueError):
+            Bus(kernel, bandwidth=0.0)
+        bus = Bus(kernel, bandwidth=10.0)
+        with pytest.raises(ValueError):
+            bus.set_bandwidth(-1.0)

@@ -1,0 +1,134 @@
+"""Tests for the memory arbiter policies and shared memory."""
+
+import pytest
+
+from repro.platform import MemoryArbiter, SharedMemory
+from repro.sim import Delay, Kernel, Process
+
+
+def _client(kernel, arbiter, name, words, count, results, gap=0.0):
+    def body():
+        for _ in range(count):
+            latency = yield from arbiter.access(name, words)
+            results.append((name, kernel.now, latency))
+            if gap:
+                yield Delay(gap)
+
+    return Process(kernel, body())
+
+
+class TestArbiterBasics:
+    def test_single_request_latency_is_service_time(self):
+        kernel = Kernel()
+        arbiter = MemoryArbiter(kernel, words_per_time=100.0)
+        results = []
+        _client(kernel, arbiter, "a", 50, 1, results)
+        kernel.run()
+        assert results[0][2] == pytest.approx(0.5)
+
+    def test_requests_serialize(self):
+        kernel = Kernel()
+        arbiter = MemoryArbiter(kernel, words_per_time=100.0)
+        results = []
+        _client(kernel, arbiter, "a", 100, 1, results)
+        _client(kernel, arbiter, "b", 100, 1, results)
+        kernel.run()
+        finish_times = [r[1] for r in results]
+        assert finish_times == [1.0, 2.0]
+
+    def test_stats_accumulate(self):
+        kernel = Kernel()
+        arbiter = MemoryArbiter(kernel, words_per_time=100.0)
+        results = []
+        _client(kernel, arbiter, "a", 100, 3, results)
+        kernel.run()
+        stats = arbiter.client_stats("a")
+        assert stats.requests == 3
+        assert stats.words == 300
+
+    def test_invalid_policy_rejected(self):
+        with pytest.raises(ValueError):
+            MemoryArbiter(Kernel(), policy="magic")
+        arbiter = MemoryArbiter(Kernel())
+        with pytest.raises(ValueError):
+            arbiter.set_policy("nope")
+
+
+class TestRoundRobin:
+    def test_alternates_between_clients(self):
+        kernel = Kernel()
+        arbiter = MemoryArbiter(kernel, words_per_time=100.0, policy="round_robin")
+        results = []
+        _client(kernel, arbiter, "a", 100, 3, results)
+        _client(kernel, arbiter, "b", 100, 3, results)
+        kernel.run()
+        order = [r[0] for r in results]
+        assert order == ["a", "b", "a", "b", "a", "b"]
+
+
+class TestPriority:
+    def test_high_priority_client_served_first(self):
+        kernel = Kernel()
+        arbiter = MemoryArbiter(kernel, words_per_time=100.0, policy="priority")
+        arbiter.set_priority("video", 0)
+        arbiter.set_priority("background", 10)
+        results = []
+        # first request (background) grabs the port; afterwards video's
+        # queued requests must win every arbitration round.
+        _client(kernel, arbiter, "background", 100, 3, results)
+        _client(kernel, arbiter, "video", 100, 3, results)
+        kernel.run()
+        order = [r[0] for r in results]
+        assert order[1:4] == ["video", "video", "video"]
+
+
+class TestWeighted:
+    def test_weighted_shares_favor_heavy_client(self):
+        kernel = Kernel()
+        arbiter = MemoryArbiter(kernel, words_per_time=100.0, policy="weighted")
+        arbiter.set_weight("fav", 300.0)
+        arbiter.set_weight("other", 1.0)
+        results = []
+        _client(kernel, arbiter, "other", 100, 5, results)
+        _client(kernel, arbiter, "fav", 100, 5, results)
+        kernel.run()
+        first_five = [r[0] for r in results][:5]
+        assert first_five.count("fav") >= 3
+
+    def test_weight_must_be_positive(self):
+        arbiter = MemoryArbiter(Kernel())
+        with pytest.raises(ValueError):
+            arbiter.set_weight("c", 0.0)
+
+
+class TestSharedMemory:
+    def test_write_then_read_roundtrip(self):
+        kernel = Kernel()
+        arbiter = MemoryArbiter(kernel, words_per_time=100.0)
+        memory = SharedMemory(kernel, arbiter)
+        got = []
+
+        def body():
+            yield from memory.write("cpu", "addr1", 99)
+            value, _latency = yield from memory.read("cpu", "addr1")
+            got.append(value)
+
+        Process(kernel, body())
+        kernel.run()
+        assert got == [99]
+
+    def test_poke_peek_bypass_arbitration(self):
+        kernel = Kernel()
+        memory = SharedMemory(kernel, MemoryArbiter(kernel))
+        memory.poke("x", "corrupted")
+        assert memory.peek("x") == "corrupted"
+        assert memory.peek("missing") is None
+
+    def test_pending_counts(self):
+        kernel = Kernel()
+        arbiter = MemoryArbiter(kernel, words_per_time=1.0)
+        results = []
+        _client(kernel, arbiter, "a", 10, 2, results)
+        _client(kernel, arbiter, "b", 10, 1, results)
+        kernel.run(max_events=2)
+        assert arbiter.pending() >= 1

@@ -1,0 +1,154 @@
+"""Tests for periodic tasks, deadlines, migration, and the scheduler."""
+
+import pytest
+
+from repro.platform import make_tv_soc
+from repro.sim import Kernel
+
+
+def make_soc():
+    return make_tv_soc(Kernel(), cores=2)
+
+
+class TestPeriodicTask:
+    def test_jobs_released_each_period(self):
+        soc = make_soc()
+        task = soc.scheduler.add_task("t", "cpu0", period=10.0, work=2.0)
+        soc.kernel.run(until=100.0)
+        assert task.stats.jobs == 10
+
+    def test_no_misses_when_underloaded(self):
+        soc = make_soc()
+        task = soc.scheduler.add_task("t", "cpu0", period=10.0, work=2.0)
+        soc.kernel.run(until=100.0)
+        assert task.stats.misses == 0
+
+    def test_misses_when_work_exceeds_deadline(self):
+        soc = make_soc()
+        task = soc.scheduler.add_task("t", "cpu0", period=10.0, work=15.0)
+        soc.kernel.run(until=100.0)
+        assert task.stats.miss_rate() == 1.0
+
+    def test_contention_causes_misses(self):
+        soc = make_soc()
+        a = soc.scheduler.add_task("a", "cpu0", period=10.0, work=7.0)
+        b = soc.scheduler.add_task("b", "cpu0", period=10.0, work=7.0)
+        soc.kernel.run(until=200.0)
+        assert a.stats.misses + b.stats.misses > 0
+
+    def test_work_fn_overrides_static_work(self):
+        soc = make_soc()
+        calls = []
+
+        def work_fn():
+            calls.append(1)
+            return 1.0
+
+        task = soc.scheduler.add_task("t", "cpu0", period=5.0, work=99.0, work_fn=work_fn)
+        soc.kernel.run(until=50.0)
+        # work_fn is called at each release; the final release may still be
+        # in flight when the clock stops.
+        assert task.stats.jobs <= len(calls) <= task.stats.jobs + 1
+        assert task.stats.misses == 0  # actual work 1.0, not 99.0
+
+    def test_response_time_statistics(self):
+        soc = make_soc()
+        task = soc.scheduler.add_task("t", "cpu0", period=10.0, work=4.0)
+        soc.kernel.run(until=100.0)
+        assert task.stats.mean_response() == pytest.approx(4.0)
+        assert task.stats.max_response == pytest.approx(4.0)
+
+    def test_recent_miss_rate_window(self):
+        soc = make_soc()
+        task = soc.scheduler.add_task("t", "cpu0", period=10.0, work=2.0)
+        soc.kernel.run(until=100.0)
+        assert task.recent_miss_rate(window=5) == 0.0
+
+    def test_stop_halts_job_stream(self):
+        soc = make_soc()
+        task = soc.scheduler.add_task("t", "cpu0", period=10.0, work=1.0)
+        soc.kernel.run(until=35.0)
+        jobs_before = task.stats.jobs
+        task.stop()
+        soc.kernel.run(until=100.0)
+        assert task.stats.jobs == jobs_before
+
+    def test_on_job_observer_called(self):
+        soc = make_soc()
+        records = []
+        task = soc.scheduler.add_task("t", "cpu0", period=10.0, work=1.0)
+        task.on_job.append(records.append)
+        soc.kernel.run(until=30.0)
+        assert len(records) == task.stats.jobs
+        assert all(r.processor == "cpu0" for r in records)
+
+    def test_invalid_parameters_rejected(self):
+        soc = make_soc()
+        with pytest.raises(ValueError):
+            soc.scheduler.add_task("bad", "cpu0", period=0.0, work=1.0)
+
+
+class TestMigration:
+    def test_migration_takes_effect_next_job(self):
+        soc = make_soc()
+        task = soc.scheduler.add_task("t", "cpu0", period=10.0, work=1.0)
+        soc.kernel.run(until=5.0)
+        soc.scheduler.migrate("t", "cpu1")
+        soc.kernel.run(until=50.0)
+        processors = {r.processor for r in task.records}
+        assert "cpu0" in processors and "cpu1" in processors
+        assert task.records[-1].processor == "cpu1"
+
+    def test_migration_cost_applied_once(self):
+        soc = make_soc()
+        task = soc.scheduler.add_task(
+            "t", "cpu0", period=10.0, work=1.0, migration_cost=3.0
+        )
+        soc.kernel.run(until=15.0)
+        soc.scheduler.migrate("t", "cpu1")
+        soc.kernel.run(until=60.0)
+        migrated = [r for r in task.records if r.processor == "cpu1"]
+        assert migrated[0].work == pytest.approx(4.0)  # 1.0 + 3.0
+        assert migrated[1].work == pytest.approx(1.0)
+
+    def test_migration_log(self):
+        soc = make_soc()
+        soc.scheduler.add_task("t", "cpu0", period=10.0, work=1.0)
+        soc.scheduler.migrate("t", "cpu1")
+        assert soc.scheduler.migration_log[0]["task"] == "t"
+        assert soc.scheduler.migration_log[0]["to"] == "cpu1"
+
+
+class TestScheduler:
+    def test_duplicate_task_name_rejected(self):
+        soc = make_soc()
+        soc.scheduler.add_task("t", "cpu0", period=10.0, work=1.0)
+        with pytest.raises(ValueError):
+            soc.scheduler.add_task("t", "cpu1", period=10.0, work=1.0)
+
+    def test_placement_map(self):
+        soc = make_soc()
+        soc.scheduler.add_task("a", "cpu0", period=10.0, work=1.0)
+        soc.scheduler.add_task("b", "cpu1", period=10.0, work=1.0)
+        assert soc.scheduler.placement() == {"a": "cpu0", "b": "cpu1"}
+
+    def test_processor_utilization_estimate(self):
+        soc = make_soc()
+        soc.scheduler.add_task("a", "cpu0", period=10.0, work=5.0)
+        load = soc.scheduler.processor_utilization()
+        assert load["cpu0"] == pytest.approx(0.5)
+        assert load["cpu1"] == 0.0
+
+    def test_remove_task(self):
+        soc = make_soc()
+        soc.scheduler.add_task("a", "cpu0", period=10.0, work=1.0)
+        soc.scheduler.remove_task("a")
+        assert "a" not in soc.scheduler.tasks
+
+    def test_snapshot_contains_expected_keys(self):
+        soc = make_soc()
+        soc.scheduler.add_task("a", "cpu0", period=10.0, work=1.0)
+        soc.kernel.run(until=20.0)
+        snap = soc.snapshot()
+        assert set(snap) >= {"time", "cpu_utilization", "cpu_queue", "placement"}
+        assert "cpu0" in snap["cpu_utilization"]

@@ -1,0 +1,235 @@
+"""Property-based tests (hypothesis) on core data structures and invariants."""
+
+import math
+
+from hypothesis import given, settings, strategies as st
+
+from repro.awareness import deviation_magnitude
+from repro.diagnosis import COEFFICIENTS, SpectraCollector, SpectraCounts
+from repro.perception import FunctionProfile, SeverityModel, UserProfile
+from repro.sim import Kernel, RandomStreams
+from repro.statemachine import MachineBuilder
+from repro.tv.software import SoftwareBuild
+
+# ----------------------------------------------------------------------
+# similarity coefficients
+# ----------------------------------------------------------------------
+counts_strategy = st.builds(
+    SpectraCounts,
+    a11=st.integers(0, 50),
+    a10=st.integers(0, 50),
+    a01=st.integers(0, 50),
+    a00=st.integers(0, 50),
+)
+
+
+@given(counts=counts_strategy)
+def test_all_coefficients_bounded(counts):
+    for name, coefficient in COEFFICIENTS.items():
+        value = coefficient(counts)
+        assert 0.0 <= value <= 1.0, f"{name} out of bounds: {value}"
+        assert not math.isnan(value)
+
+
+@given(counts=counts_strategy)
+def test_ochiai_zero_iff_no_error_hits(counts):
+    from repro.diagnosis import ochiai
+
+    value = ochiai(counts)
+    if counts.a11 == 0:
+        assert value == 0.0
+    elif counts.a11 > 0:
+        assert value > 0.0
+
+
+@given(a11=st.integers(1, 50), a01=st.integers(0, 50), extra=st.integers(1, 50))
+def test_ochiai_decreases_with_false_hits(a11, a01, extra):
+    from repro.diagnosis import ochiai
+
+    cleaner = SpectraCounts(a11=a11, a10=0, a01=a01, a00=10)
+    dirtier = SpectraCounts(a11=a11, a10=extra, a01=a01, a00=10)
+    assert ochiai(dirtier) < ochiai(cleaner)
+
+
+# ----------------------------------------------------------------------
+# spectra collector invariants
+# ----------------------------------------------------------------------
+@given(
+    plan=st.lists(
+        st.tuples(st.sets(st.integers(0, 30), max_size=8), st.booleans()),
+        min_size=1,
+        max_size=20,
+    )
+)
+def test_spectra_counts_partition_steps(plan):
+    collector = SpectraCollector()
+    for blocks, error in plan:
+        collector.begin_step()
+        collector.record(blocks)
+        collector.end_step(error)
+    for block in collector.executed_blocks():
+        counts = collector.counts_for(block)
+        total = counts.a11 + counts.a10 + counts.a01 + counts.a00
+        assert total == collector.step_count
+        assert counts.a11 + counts.a10 == len(collector.hits_of(block))
+        assert counts.a11 + counts.a01 == len(collector.error_steps)
+
+
+# ----------------------------------------------------------------------
+# deviation magnitude
+# ----------------------------------------------------------------------
+json_values = st.recursive(
+    st.one_of(
+        st.none(),
+        st.booleans(),
+        st.integers(-1000, 1000),
+        st.floats(-1e6, 1e6, allow_nan=False),
+        st.text(max_size=8),
+    ),
+    lambda children: st.dictionaries(st.text(max_size=4), children, max_size=4),
+    max_leaves=8,
+)
+
+
+@given(value=json_values)
+def test_deviation_identity(value):
+    assert deviation_magnitude(value, value) == 0.0
+
+
+@given(a=json_values, b=json_values)
+def test_deviation_symmetry_and_nonnegativity(a, b):
+    forward = deviation_magnitude(a, b)
+    backward = deviation_magnitude(b, a)
+    assert forward >= 0.0
+    assert forward == backward
+
+
+@given(
+    expected=st.dictionaries(st.text(max_size=4), st.integers(0, 5), max_size=6),
+    actual=st.dictionaries(st.text(max_size=4), st.integers(0, 5), max_size=6),
+)
+def test_deviation_dict_bounded_by_key_union(expected, actual):
+    magnitude = deviation_magnitude(expected, actual)
+    assert magnitude <= len(set(expected) | set(actual))
+
+
+# ----------------------------------------------------------------------
+# random streams
+# ----------------------------------------------------------------------
+@given(seed=st.integers(0, 2**31), name=st.text(min_size=1, max_size=12))
+@settings(max_examples=30)
+def test_random_stream_reproducibility(seed, name):
+    first = RandomStreams(seed).stream(name).random()
+    second = RandomStreams(seed).stream(name).random()
+    assert first == second
+
+
+# ----------------------------------------------------------------------
+# kernel ordering
+# ----------------------------------------------------------------------
+@given(delays=st.lists(st.floats(0.0, 100.0, allow_nan=False), min_size=1, max_size=40))
+@settings(max_examples=50)
+def test_kernel_dispatch_monotone_in_time(delays):
+    kernel = Kernel()
+    dispatched = []
+    for delay in delays:
+        kernel.schedule(delay, lambda: dispatched.append(kernel.now))
+    kernel.run()
+    assert dispatched == sorted(dispatched)
+    assert len(dispatched) == len(delays)
+
+
+# ----------------------------------------------------------------------
+# state machine snapshot/restore
+# ----------------------------------------------------------------------
+def _toggle_counter():
+    builder = MachineBuilder("pm")
+    builder.state("off")
+    builder.state("on")
+    builder.initial("off")
+    builder.transition(
+        "off", "on", event="flip",
+        action=lambda m, e: m.set("flips", m.get("flips", 0) + 1),
+    )
+    builder.transition(
+        "on", "off", event="flip",
+        action=lambda m, e: m.set("flips", m.get("flips", 0) + 1),
+    )
+    builder.transition("on", "off", after=7.0)
+    return builder.build()
+
+
+@given(
+    script=st.lists(
+        st.one_of(st.just("flip"), st.floats(0.1, 10.0, allow_nan=False)),
+        max_size=20,
+    )
+)
+@settings(max_examples=60)
+def test_machine_snapshot_restore_equivalence(script):
+    machine = _toggle_counter()
+    for step in script:
+        if step == "flip":
+            machine.inject("flip")
+        else:
+            machine.advance(machine.time + step)
+    snapshot = machine.snapshot()
+    config_before = machine.configuration()
+    flips_before = machine.get("flips", 0)
+    # perturb, then restore
+    machine.inject("flip")
+    machine.advance(machine.time + 100.0)
+    machine.restore(snapshot)
+    assert machine.configuration() == config_before
+    assert machine.get("flips", 0) == flips_before
+    # restored machine behaves identically going forward
+    machine.inject("flip")
+    assert machine.get("flips", 0) == flips_before + 1
+
+
+# ----------------------------------------------------------------------
+# software build activation model
+# ----------------------------------------------------------------------
+@given(seed=st.integers(0, 100), step=st.integers(0, 100))
+@settings(max_examples=20)
+def test_background_blocks_within_address_space(seed, step):
+    build = SoftwareBuild(seed=seed)
+    blocks = build.background_blocks(step)
+    assert all(0 <= b < build.total_blocks for b in blocks)
+
+
+@given(step=st.integers(0, 50))
+@settings(max_examples=20)
+def test_tag_blocks_stay_in_module(step):
+    build = SoftwareBuild()
+    module = build.module("ttx_logic")
+    blocks = build.tag_blocks("ttx_logic", "some_tag", step)
+    assert all(module.start <= b < module.end for b in blocks)
+
+
+# ----------------------------------------------------------------------
+# perception model
+# ----------------------------------------------------------------------
+profile_strategy = st.builds(
+    FunctionProfile,
+    name=st.just("f"),
+    stated_importance=st.floats(0.0, 1.0, allow_nan=False),
+    usage=st.floats(0.0, 1.0, allow_nan=False),
+    failure_visibility=st.floats(0.0, 1.0, allow_nan=False),
+    external_attribution_prior=st.floats(0.0, 1.0, allow_nan=False),
+)
+user_strategy = st.builds(
+    UserProfile,
+    name=st.just("u"),
+    tolerance=st.floats(0.0, 1.0, allow_nan=False),
+    savvy=st.floats(0.0, 1.0, allow_nan=False),
+)
+
+
+@given(user=user_strategy, function=profile_strategy)
+def test_irritation_bounds_and_attribution_monotonicity(user, function):
+    model = SeverityModel()
+    internal = model.irritation(user, function, attributed_externally=False)
+    external = model.irritation(user, function, attributed_externally=True)
+    assert 0.0 <= external <= internal <= 1.0
+    assert 0.0 <= model.severity_weight(function) <= 1.0

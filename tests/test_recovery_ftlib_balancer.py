@@ -1,0 +1,256 @@
+"""Tests for the FT library, load balancer, and adaptive memory arbiter."""
+
+import pytest
+
+from repro.platform import MemoryArbiter
+from repro.recovery import (
+    AdaptiveArbiterController,
+    CheckpointStore,
+    Heartbeat,
+    LoadBalancer,
+    Watchdog,
+    with_retries,
+)
+from repro.sim import Delay, Kernel, Process
+from repro.tv import TVSet
+
+
+class TestCheckpointStore:
+    def test_save_and_latest(self):
+        store = CheckpointStore()
+        store.save(1.0, {"x": 1})
+        store.save(2.0, {"x": 2})
+        assert store.latest() == {"x": 2}
+
+    def test_rollback_at_or_before(self):
+        store = CheckpointStore()
+        store.save(1.0, {"x": 1})
+        store.save(5.0, {"x": 5})
+        assert store.at_or_before(3.0) == {"x": 1}
+        assert store.at_or_before(0.5) is None
+
+    def test_snapshots_are_deep_copies(self):
+        store = CheckpointStore()
+        state = {"nested": [1, 2]}
+        store.save(1.0, state)
+        state["nested"].append(3)
+        assert store.latest() == {"nested": [1, 2]}
+
+    def test_capacity_evicts_oldest(self):
+        store = CheckpointStore(capacity=2)
+        for i in range(4):
+            store.save(float(i), {"v": i})
+        assert len(store) == 2
+        assert store.at_or_before(0.5) is None  # oldest evicted
+
+    def test_empty_latest(self):
+        assert CheckpointStore().latest() is None
+
+
+class TestWatchdog:
+    def test_fires_without_kick(self):
+        kernel = Kernel()
+        fired = []
+        watchdog = Watchdog(kernel, deadline=2.0, on_timeout=lambda: fired.append(kernel.now))
+        watchdog.start()
+        kernel.run(until=5.0)
+        assert fired == [2.0, 4.0]
+
+    def test_kicks_defer_timeout(self):
+        kernel = Kernel()
+        fired = []
+        watchdog = Watchdog(kernel, deadline=2.0, on_timeout=lambda: fired.append(1))
+
+        def kicker():
+            for _ in range(5):
+                yield Delay(1.0)
+                watchdog.kick()
+
+        watchdog.start()
+        Process(kernel, kicker())
+        kernel.run(until=5.0)
+        assert fired == []
+        assert watchdog.kicks == 5
+
+    def test_stop_disarms(self):
+        kernel = Kernel()
+        fired = []
+        watchdog = Watchdog(kernel, deadline=1.0, on_timeout=lambda: fired.append(1))
+        watchdog.start()
+        watchdog.stop()
+        kernel.run(until=5.0)
+        assert fired == []
+
+    def test_invalid_deadline(self):
+        with pytest.raises(ValueError):
+            Watchdog(Kernel(), deadline=0.0, on_timeout=lambda: None)
+
+
+class TestHeartbeatAndRetries:
+    def test_heartbeat_beats_periodically(self):
+        kernel = Kernel()
+        beats = []
+        heartbeat = Heartbeat(kernel, period=1.0, emit=lambda: beats.append(kernel.now))
+        heartbeat.start()
+        kernel.run(until=4.5)
+        assert beats == [1.0, 2.0, 3.0, 4.0]
+        heartbeat.stop()
+        kernel.run(until=10.0)
+        assert len(beats) == 4
+
+    def test_heartbeat_kicks_watchdog(self):
+        kernel = Kernel()
+        fired = []
+        watchdog = Watchdog(kernel, deadline=3.0, on_timeout=lambda: fired.append(1))
+        heartbeat = Heartbeat(kernel, period=1.0, emit=watchdog.kick)
+        watchdog.start()
+        heartbeat.start()
+        kernel.run(until=10.0)
+        assert fired == []
+
+    def test_with_retries_succeeds_after_failures(self):
+        attempts = []
+
+        def flaky():
+            attempts.append(1)
+            if len(attempts) < 3:
+                raise IOError("transient")
+            return "ok"
+
+        assert with_retries(flaky, attempts=5) == "ok"
+        assert len(attempts) == 3
+
+    def test_with_retries_exhausts(self):
+        def always_fails():
+            raise IOError("permanent")
+
+        retries = []
+        with pytest.raises(IOError):
+            with_retries(
+                always_fails, attempts=3, on_retry=lambda n, e: retries.append(n)
+            )
+        assert retries == [1, 2, 3]
+
+
+class TestLoadBalancer:
+    def overloaded_tv(self, migrate):
+        tv = TVSet(seed=9)
+        tv.press("power")
+        tv.run(20.0)
+        tv.tuner.degrade_channel(1, 0.45)  # error correction inflates load
+        balancer = None
+        if migrate:
+            balancer = LoadBalancer(
+                tv.kernel,
+                tv.soc.scheduler,
+                movable_tasks=["video.enhance"],
+                miss_rate_threshold=0.2,
+                interval=4.0,
+            )
+            balancer.start()
+        start = tv.kernel.now
+        tv.run(300.0)
+        return tv, balancer, start
+
+    def test_overload_degrades_quality_without_migration(self):
+        tv, _, start = self.overloaded_tv(migrate=False)
+        assert tv.video.mean_quality(since=start + 60) < 0.2
+
+    def test_migration_improves_quality(self):
+        tv_static, _, start_s = self.overloaded_tv(migrate=False)
+        tv_balanced, balancer, start_b = self.overloaded_tv(migrate=True)
+        static_quality = tv_static.video.mean_quality(since=start_s + 60)
+        balanced_quality = tv_balanced.video.mean_quality(since=start_b + 60)
+        assert balancer.decisions, "balancer never migrated"
+        assert balanced_quality > 2 * static_quality
+
+    def test_migration_decision_recorded(self):
+        _, balancer, _ = self.overloaded_tv(migrate=True)
+        decision = balancer.decisions[0]
+        assert decision.task == "video.enhance"
+        assert decision.source != decision.target
+        assert decision.miss_rate >= 0.2
+
+    def test_no_migration_when_healthy(self):
+        tv = TVSet(seed=9)
+        tv.press("power")
+        balancer = LoadBalancer(
+            tv.kernel, tv.soc.scheduler, movable_tasks=["video.enhance"], interval=4.0
+        )
+        balancer.start()
+        tv.run(200.0)
+        assert balancer.decisions == []
+
+    def test_cooldown_limits_migration_rate(self):
+        tv = TVSet(seed=9)
+        tv.press("power")
+        tv.run(10.0)
+        tv.tuner.degrade_channel(1, 0.2)  # hopeless overload anywhere
+        balancer = LoadBalancer(
+            tv.kernel,
+            tv.soc.scheduler,
+            movable_tasks=["video.enhance", "video.errcorr"],
+            miss_rate_threshold=0.1,
+            interval=2.0,
+            cooldown=50.0,
+        )
+        balancer.start()
+        tv.run(100.0)
+        assert len(balancer.decisions) <= 2
+
+
+class TestAdaptiveArbiter:
+    def contended_arbiter(self, adapt):
+        kernel = Kernel()
+        arbiter = MemoryArbiter(kernel, words_per_time=100.0)
+        controller = None
+        if adapt:
+            controller = AdaptiveArbiterController(
+                kernel, arbiter, latency_bounds={"video": 3.0}, interval=10.0
+            )
+            controller.start()
+
+        def client(name, words, count):
+            def body():
+                for _ in range(count):
+                    yield from arbiter.access(name, words)
+
+            Process(kernel, body())
+
+        client("video", 50, 150)
+        client("hog1", 400, 50)
+        client("hog2", 400, 50)
+        kernel.run(until=600.0)
+        return arbiter, controller
+
+    def test_unmanaged_latency_violates_bound(self):
+        arbiter, _ = self.contended_arbiter(adapt=False)
+        assert arbiter.client_stats("video").mean_latency() > 3.0
+
+    def test_adaptation_reduces_video_latency(self):
+        static, _ = self.contended_arbiter(adapt=False)
+        adaptive, controller = self.contended_arbiter(adapt=True)
+        assert controller.events, "controller never adapted"
+        assert (
+            adaptive.client_stats("video").mean_latency()
+            < static.client_stats("video").mean_latency()
+        )
+        assert adaptive.policy == "weighted"
+
+    def test_weights_decay_when_quiet(self):
+        kernel = Kernel()
+        arbiter = MemoryArbiter(kernel, words_per_time=100.0, policy="weighted")
+        arbiter.set_weight("video", 8.0)
+        controller = AdaptiveArbiterController(
+            kernel, arbiter, latency_bounds={"video": 100.0}, interval=5.0
+        )
+        controller.start()
+
+        def trickle():
+            for _ in range(20):
+                yield from arbiter.access("video", 1)
+                yield Delay(5.0)
+
+        Process(kernel, trickle())
+        kernel.run(until=120.0)
+        assert arbiter.weights["video"] < 8.0

@@ -1,0 +1,236 @@
+"""Tests for recoverable units, communication manager, and recovery manager."""
+
+import pytest
+
+from repro.core import RecoveryAction
+from repro.recovery import (
+    FAILED,
+    RESTARTING,
+    RUNNING,
+    STOPPED,
+    CommunicationManager,
+    RecoverableUnit,
+    RecoveryManager,
+)
+from repro.sim import Delay, Interrupted, Kernel
+
+
+def looping_unit(kernel, name, log, restart_time=1.0):
+    def factory():
+        def body():
+            try:
+                while True:
+                    yield Delay(1.0)
+                    log.append((name, kernel.now))
+            except Interrupted:
+                return
+
+        return body()
+
+    return RecoverableUnit(kernel, name, factory=factory, restart_time=restart_time)
+
+
+class TestRecoverableUnit:
+    def test_start_runs_process(self):
+        kernel = Kernel()
+        log = []
+        unit = looping_unit(kernel, "u", log)
+        unit.start()
+        kernel.run(until=3.5)
+        assert unit.status == RUNNING
+        assert len(log) == 3
+
+    def test_kill_stops_activity(self):
+        kernel = Kernel()
+        log = []
+        unit = looping_unit(kernel, "u", log)
+        unit.start()
+        kernel.run(until=2.5)
+        unit.kill("test")
+        kernel.run(until=10.0)
+        assert unit.status == STOPPED
+        assert len(log) == 2
+
+    def test_restart_incurs_downtime_then_resumes(self):
+        kernel = Kernel()
+        log = []
+        unit = looping_unit(kernel, "u", log, restart_time=3.0)
+        unit.start()
+        kernel.run(until=2.5)
+        downtime = unit.restart("fault")
+        assert downtime == 3.0
+        assert unit.status == RESTARTING
+        kernel.run(until=4.0)
+        assert unit.status == RESTARTING  # restart completes at t=5.5
+        kernel.run(until=6.0)
+        assert unit.status == RUNNING
+        kernel.run(until=10.0)
+        # gap in activity while down: kill at 2.5, first new tick at 6.5
+        times = [t for _, t in log]
+        assert not any(2.5 < t < 6.4 for t in times)
+        assert any(t > 6.4 for t in times)
+
+    def test_repair_hook_runs_on_restart(self):
+        kernel = Kernel()
+        repaired = []
+        unit = RecoverableUnit(
+            kernel, "u", factory=None, restart_time=1.0,
+            on_repair=lambda: repaired.append(kernel.now),
+        )
+        unit.start()
+        unit.restart()
+        kernel.run(until=5.0)
+        assert repaired == [1.0]
+
+    def test_crash_marks_failed(self):
+        kernel = Kernel()
+
+        def factory():
+            def body():
+                yield Delay(1.0)
+                raise RuntimeError("boom")
+
+            return body()
+
+        unit = RecoverableUnit(kernel, "u", factory=factory)
+        unit.start()
+        kernel.run()
+        assert unit.status == FAILED
+
+    def test_status_listeners(self):
+        kernel = Kernel()
+        changes = []
+        unit = looping_unit(kernel, "u", [])
+        unit.watch_status(lambda old, new: changes.append((old, new)))
+        unit.start()
+        unit.restart()
+        kernel.run(until=3.0)
+        assert (STOPPED, RUNNING) in changes or changes[0][1] == RUNNING
+        assert any(new == RESTARTING for _, new in changes)
+        assert changes[-1][1] == RUNNING
+
+    def test_total_downtime_accumulates(self):
+        kernel = Kernel()
+        unit = looping_unit(kernel, "u", [], restart_time=2.0)
+        unit.start()
+        unit.restart()
+        kernel.run(until=5.0)
+        unit.restart()
+        kernel.run(until=10.0)
+        assert unit.total_downtime() == 4.0
+        assert len(unit.restarts) == 2
+
+    def test_checkpoint_roundtrip(self):
+        unit = RecoverableUnit(Kernel(), "u")
+        unit.save_checkpoint({"page": 120, "channel": 4})
+        state = unit.load_checkpoint()
+        assert state == {"page": 120, "channel": 4}
+        state["page"] = 999
+        assert unit.load_checkpoint()["page"] == 120
+
+
+class TestCommunicationManager:
+    def make_pair(self):
+        kernel = Kernel()
+        manager = CommunicationManager(kernel)
+        inbox = []
+        unit = looping_unit(kernel, "dest", [])
+        manager.register(unit, lambda message: inbox.append(message.payload))
+        unit.start()
+        kernel.run(until=0.1)
+        return kernel, manager, unit, inbox
+
+    def test_direct_delivery_when_running(self):
+        kernel, manager, unit, inbox = self.make_pair()
+        assert manager.send("src", "dest", "hello") is True
+        assert inbox == ["hello"]
+        assert manager.delivered == 1
+
+    def test_unknown_destination_dropped(self):
+        kernel, manager, unit, inbox = self.make_pair()
+        assert manager.send("src", "ghost", "x") is False
+        assert manager.dropped == 1
+
+    def test_buffering_during_recovery(self):
+        kernel, manager, unit, inbox = self.make_pair()
+        unit.restart()
+        assert manager.send("src", "dest", "while-down-1") is True
+        assert manager.send("src", "dest", "while-down-2") is True
+        assert inbox == []
+        assert manager.pending_for("dest") == 2
+        kernel.run(until=kernel.now + 2.0)  # restart completes
+        assert inbox == ["while-down-1", "while-down-2"]
+        assert manager.pending_for("dest") == 0
+
+    def test_buffer_overflow_drops(self):
+        kernel = Kernel()
+        manager = CommunicationManager(kernel, buffer_limit=2)
+        unit = looping_unit(kernel, "dest", [])
+        manager.register(unit, lambda m: None)
+        unit.start()
+        kernel.run(until=0.1)
+        unit.restart()
+        assert manager.send("s", "dest", 1)
+        assert manager.send("s", "dest", 2)
+        assert manager.send("s", "dest", 3) is False
+        assert manager.dropped == 1
+
+
+class TestRecoveryManager:
+    def test_restart_unit_action(self):
+        kernel = Kernel()
+        manager = RecoveryManager(kernel)
+        unit = looping_unit(kernel, "ttx", [], restart_time=2.0)
+        unit.start()
+        manager.manage(unit)
+        downtime = manager.execute(
+            RecoveryAction(time=0.0, kind="restart_unit", target="ttx")
+        )
+        assert downtime == 2.0
+        assert len(manager.log) == 1
+
+    def test_restart_all_costs_more_than_any_unit(self):
+        kernel = Kernel()
+        manager = RecoveryManager(kernel)
+        for name, restart_time in (("a", 1.0), ("b", 2.0)):
+            unit = looping_unit(kernel, name, [], restart_time=restart_time)
+            unit.start()
+            manager.manage(unit)
+        downtime = manager.execute(
+            RecoveryAction(time=0.0, kind="restart_all", target="*")
+        )
+        assert downtime == RecoveryManager.FULL_RESTART_OVERHEAD + 2.0
+
+    def test_repair_action_zero_downtime(self):
+        kernel = Kernel()
+        manager = RecoveryManager(kernel)
+        fixed = []
+        manager.register_repair("resync", lambda: fixed.append(1))
+        downtime = manager.execute(
+            RecoveryAction(time=0.0, kind="repair", target="resync")
+        )
+        assert downtime == 0.0
+        assert fixed == [1]
+
+    def test_unknown_action_kind_rejected(self):
+        manager = RecoveryManager(Kernel())
+        with pytest.raises(ValueError):
+            manager.execute(RecoveryAction(time=0.0, kind="pray", target="x"))
+
+    def test_unknown_unit_rejected(self):
+        manager = RecoveryManager(Kernel())
+        with pytest.raises(KeyError):
+            manager.execute(
+                RecoveryAction(time=0.0, kind="restart_unit", target="ghost")
+            )
+
+    def test_total_downtime_sums_log(self):
+        kernel = Kernel()
+        manager = RecoveryManager(kernel)
+        unit = looping_unit(kernel, "u", [], restart_time=1.5)
+        unit.start()
+        manager.manage(unit)
+        manager.execute(RecoveryAction(time=0.0, kind="restart_unit", target="u"))
+        kernel.run(until=5.0)
+        manager.execute(RecoveryAction(time=0.0, kind="restart_unit", target="u"))
+        assert manager.total_downtime() == 3.0

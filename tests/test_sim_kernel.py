@@ -1,0 +1,144 @@
+"""Tests for the discrete-event kernel."""
+
+import pytest
+
+from repro.sim import Kernel, SimulationError
+
+
+def test_initial_time_is_zero():
+    kernel = Kernel()
+    assert kernel.now == 0.0
+
+
+def test_schedule_and_run_advances_clock():
+    kernel = Kernel()
+    fired = []
+    kernel.schedule(5.0, lambda: fired.append(kernel.now))
+    kernel.run()
+    assert fired == [5.0]
+    assert kernel.now == 5.0
+
+
+def test_events_dispatch_in_time_order():
+    kernel = Kernel()
+    order = []
+    kernel.schedule(3.0, lambda: order.append("c"))
+    kernel.schedule(1.0, lambda: order.append("a"))
+    kernel.schedule(2.0, lambda: order.append("b"))
+    kernel.run()
+    assert order == ["a", "b", "c"]
+
+
+def test_equal_time_ties_broken_by_priority_then_insertion():
+    kernel = Kernel()
+    order = []
+    kernel.schedule(1.0, lambda: order.append("low"), priority=5)
+    kernel.schedule(1.0, lambda: order.append("high"), priority=-5)
+    kernel.schedule(1.0, lambda: order.append("mid_first"), priority=0)
+    kernel.schedule(1.0, lambda: order.append("mid_second"), priority=0)
+    kernel.run()
+    assert order == ["high", "mid_first", "mid_second", "low"]
+
+
+def test_negative_delay_rejected():
+    kernel = Kernel()
+    with pytest.raises(SimulationError):
+        kernel.schedule(-1.0, lambda: None)
+
+
+def test_run_until_stops_before_later_events():
+    kernel = Kernel()
+    fired = []
+    kernel.schedule(1.0, lambda: fired.append(1))
+    kernel.schedule(10.0, lambda: fired.append(10))
+    kernel.run(until=5.0)
+    assert fired == [1]
+    assert kernel.now == 5.0  # clock advanced to the until bound
+    kernel.run()
+    assert fired == [1, 10]
+
+
+def test_run_until_is_inclusive_of_events_at_bound():
+    kernel = Kernel()
+    fired = []
+    kernel.schedule(5.0, lambda: fired.append("at"))
+    kernel.run(until=5.0)
+    assert fired == ["at"]
+
+
+def test_cancelled_event_does_not_fire():
+    kernel = Kernel()
+    fired = []
+    event = kernel.schedule(1.0, lambda: fired.append("x"))
+    event.cancel()
+    kernel.run()
+    assert fired == []
+
+
+def test_schedule_at_absolute_time():
+    kernel = Kernel()
+    fired = []
+    kernel.schedule(2.0, lambda: kernel.schedule_at(7.0, lambda: fired.append(kernel.now)))
+    kernel.run()
+    assert fired == [7.0]
+
+
+def test_events_scheduled_during_dispatch_run_same_pass():
+    kernel = Kernel()
+    order = []
+
+    def first():
+        order.append("first")
+        kernel.schedule(0.0, lambda: order.append("nested"))
+
+    kernel.schedule(1.0, first)
+    kernel.run()
+    assert order == ["first", "nested"]
+
+
+def test_max_events_bound():
+    kernel = Kernel()
+    for i in range(10):
+        kernel.schedule(float(i + 1), lambda: None)
+    dispatched = kernel.run(max_events=4)
+    assert dispatched == 4
+    assert kernel.pending_count() == 6
+
+
+def test_step_returns_false_on_empty_queue():
+    kernel = Kernel()
+    assert kernel.step() is False
+
+
+def test_peek_time_skips_cancelled():
+    kernel = Kernel()
+    event = kernel.schedule(1.0, lambda: None)
+    kernel.schedule(2.0, lambda: None)
+    event.cancel()
+    assert kernel.peek_time() == 2.0
+
+
+def test_dispatch_hook_sees_every_event():
+    kernel = Kernel()
+    seen = []
+    kernel.add_dispatch_hook(lambda event: seen.append(event.time))
+    kernel.schedule(1.0, lambda: None, name="a")
+    kernel.schedule(2.0, lambda: None, name="b")
+    kernel.run()
+    assert seen == [1.0, 2.0]
+
+
+def test_dispatched_count_accumulates():
+    kernel = Kernel()
+    kernel.schedule(1.0, lambda: None)
+    kernel.schedule(2.0, lambda: None)
+    kernel.run()
+    assert kernel.dispatched_count == 2
+
+
+def test_zero_delay_event_fires_at_current_time():
+    kernel = Kernel()
+    times = []
+    kernel.schedule(5.0, lambda: kernel.schedule(0.0, lambda: times.append(kernel.now)))
+    kernel.run()
+    assert times == [5.0]

@@ -1,0 +1,101 @@
+"""Tests for seeded random streams and the trace recorder."""
+
+from repro.sim import Kernel, RandomStreams, Trace
+
+
+class TestRandomStreams:
+    def test_same_seed_same_sequence(self):
+        a = RandomStreams(42).stream("tuner")
+        b = RandomStreams(42).stream("tuner")
+        assert [a.random() for _ in range(10)] == [b.random() for _ in range(10)]
+
+    def test_different_names_are_independent(self):
+        streams = RandomStreams(42)
+        first = [streams.stream("alpha").random() for _ in range(5)]
+        second = [streams.stream("beta").random() for _ in range(5)]
+        assert first != second
+
+    def test_adding_stream_does_not_shift_existing(self):
+        streams_a = RandomStreams(7)
+        values_before = [streams_a.stream("x").random() for _ in range(3)]
+
+        streams_b = RandomStreams(7)
+        streams_b.stream("brand-new")  # extra stream created first
+        values_after = [streams_b.stream("x").random() for _ in range(3)]
+        assert values_before == values_after
+
+    def test_different_master_seeds_differ(self):
+        a = RandomStreams(1).stream("s").random()
+        b = RandomStreams(2).stream("s").random()
+        assert a != b
+
+    def test_reset_rederives_streams(self):
+        streams = RandomStreams(5)
+        first = streams.stream("s").random()
+        streams.reset()
+        assert streams.stream("s").random() == first
+
+    def test_stream_instance_cached(self):
+        streams = RandomStreams(0)
+        assert streams.stream("same") is streams.stream("same")
+
+
+class TestTrace:
+    def test_emit_records_with_clock(self):
+        kernel = Kernel()
+        trace = Trace(clock=lambda: kernel.now)
+        kernel.schedule(3.0, lambda: trace.emit("src", "kind", 1))
+        kernel.run()
+        assert trace.records[0].time == 3.0
+        assert trace.records[0].value == 1
+
+    def test_of_kind_filters(self):
+        trace = Trace()
+        trace.emit("a", "x", 1)
+        trace.emit("a", "y", 2)
+        trace.emit("b", "x", 3)
+        assert [r.value for r in trace.of_kind("x")] == [1, 3]
+
+    def test_last_of_kind(self):
+        trace = Trace()
+        assert trace.last("missing") is None
+        trace.emit("s", "k", "first")
+        trace.emit("s", "k", "second")
+        assert trace.last("k").value == "second"
+
+    def test_count(self):
+        trace = Trace()
+        trace.emit("s", "a")
+        trace.emit("s", "a")
+        trace.emit("s", "b")
+        assert trace.count() == 3
+        assert trace.count("a") == 2
+        assert trace.count("missing") == 0
+
+    def test_between_half_open_interval(self):
+        kernel = Kernel()
+        trace = Trace(clock=lambda: kernel.now)
+        for t in (1.0, 2.0, 3.0):
+            kernel.schedule(t, lambda: trace.emit("s", "tick"))
+        kernel.run()
+        values = list(trace.between(1.0, 3.0))
+        assert [r.time for r in values] == [1.0, 2.0]
+
+    def test_subscribe_and_unsubscribe(self):
+        trace = Trace()
+        seen = []
+        callback = seen.append
+        trace.subscribe(callback)
+        trace.emit("s", "k", 1)
+        trace.unsubscribe(callback)
+        trace.emit("s", "k", 2)
+        assert len(seen) == 1
+
+    def test_clear_resets_index(self):
+        trace = Trace()
+        trace.emit("s", "k")
+        trace.clear()
+        assert trace.count() == 0
+        assert trace.last("k") is None
+        trace.emit("s", "k")
+        assert trace.count("k") == 1

@@ -1,0 +1,212 @@
+"""Tests for the simple TV components: tuner, audio, OSD, features, dual."""
+
+import pytest
+
+from repro.sim import Kernel, RandomStreams
+from repro.tv import Audio, DualScreen, Features, Osd, Tuner
+
+
+class TestTuner:
+    def test_tune_valid_channel(self):
+        tuner = Tuner()
+        assert tuner.op_tuner_tune(channel=5) is True
+        assert tuner.op_tuner_get_channel() == 5
+        assert tuner.op_tuner_is_locked() is True
+
+    def test_tune_invalid_channel_drops_lock(self):
+        tuner = Tuner(channel_count=99)
+        assert tuner.op_tuner_tune(channel=500) is False
+        assert tuner.op_tuner_is_locked() is False
+        assert tuner.op_tuner_signal_quality() == 0.0
+
+    def test_signal_quality_in_unit_interval(self):
+        tuner = Tuner(streams=RandomStreams(3))
+        for _ in range(100):
+            assert 0.0 <= tuner.op_tuner_signal_quality() <= 1.0
+
+    def test_degraded_channel_lowers_quality(self):
+        tuner = Tuner(streams=RandomStreams(3))
+        tuner.degrade_channel(1, 0.3)
+        samples = [tuner.op_tuner_signal_quality() for _ in range(50)]
+        assert sum(samples) / len(samples) < 0.5
+
+    def test_restore_channel(self):
+        tuner = Tuner(streams=RandomStreams(3))
+        tuner.degrade_channel(1, 0.1)
+        tuner.restore_channel(1)
+        samples = [tuner.op_tuner_signal_quality() for _ in range(50)]
+        assert sum(samples) / len(samples) > 0.8
+
+    def test_degrade_validates_range(self):
+        tuner = Tuner()
+        with pytest.raises(ValueError):
+            tuner.degrade_channel(1, 1.5)
+
+    def test_lock_modes(self):
+        tuner = Tuner()
+        tuner.drop_lock()
+        assert tuner.mode == "unlocked"
+        tuner.regain_lock()
+        assert tuner.mode == "locked"
+
+
+class TestAudio:
+    def test_volume_clamped(self):
+        audio = Audio()
+        assert audio.op_audio_set_volume(level=150) == 100
+        assert audio.op_audio_set_volume(level=-5) == 0
+
+    def test_mute_silences_output(self):
+        audio = Audio()
+        audio.op_audio_set_volume(level=40)
+        audio.op_audio_set_mute(muted=True)
+        assert audio.op_audio_effective_level() == 0
+        assert audio.mode == "mute"
+        audio.op_audio_set_mute(muted=False)
+        assert audio.op_audio_effective_level() == 40
+
+    def test_power_off_silences_output(self):
+        audio = Audio()
+        audio.op_audio_set_volume(level=40)
+        audio.set_power(False)
+        assert audio.op_audio_effective_level() == 0
+
+    def test_level_listeners_notified(self):
+        audio = Audio()
+        levels = []
+        audio.on_level_change.append(levels.append)
+        audio.op_audio_set_volume(level=10)
+        audio.op_audio_set_mute(muted=True)
+        assert levels == [10, 0]
+
+
+class TestOsd:
+    def test_show_and_hide(self):
+        osd = Osd()
+        assert osd.op_osd_show_overlay(kind="menu") is True
+        assert osd.op_osd_current_overlay() == "menu"
+        osd.op_osd_hide_overlay()
+        assert osd.op_osd_current_overlay() == "none"
+
+    def test_priority_blocks_lower(self):
+        osd = Osd()
+        osd.op_osd_show_overlay(kind="menu")
+        assert osd.op_osd_show_overlay(kind="volume_bar") is False
+        assert osd.op_osd_current_overlay() == "menu"
+
+    def test_alert_beats_everything(self):
+        osd = Osd()
+        osd.op_osd_show_overlay(kind="menu")
+        assert osd.op_osd_show_overlay(kind="alert") is True
+        assert osd.op_osd_show_overlay(kind="menu") is False
+
+    def test_hide_specific_kind_only(self):
+        osd = Osd()
+        osd.op_osd_show_overlay(kind="menu")
+        osd.op_osd_hide_overlay(kind="epg")  # wrong kind: no effect
+        assert osd.op_osd_current_overlay() == "menu"
+
+    def test_unknown_overlay_rejected(self):
+        osd = Osd()
+        with pytest.raises(ValueError):
+            osd.op_osd_show_overlay(kind="hologram")
+
+    def test_change_listeners(self):
+        osd = Osd()
+        changes = []
+        osd.on_change.append(changes.append)
+        osd.op_osd_show_overlay(kind="epg")
+        osd.op_osd_hide_overlay()
+        assert changes == ["epg", "none"]
+
+    def test_mode_follows_overlay(self):
+        osd = Osd()
+        osd.op_osd_show_overlay(kind="ttx")
+        assert osd.mode == "ttx"
+
+
+class TestFeatures:
+    def test_sleep_cycle_order(self):
+        features = Features(Kernel())
+        seen = [features.cycle_sleep() for _ in range(6)]
+        assert seen == [15, 30, 60, 90, 0, 15]
+
+    def test_sleep_expiry_fires_callback(self):
+        kernel = Kernel()
+        features = Features(kernel)
+        fired = []
+        features.on_sleep_expire.append(lambda: fired.append(kernel.now))
+        features.op_features_set_sleep(minutes=1)
+        kernel.run(until=features.time_per_minute + 1)
+        assert len(fired) == 1
+        assert features.op_features_get_sleep() == 0
+
+    def test_sleep_rearm_cancels_previous(self):
+        kernel = Kernel()
+        features = Features(kernel)
+        fired = []
+        features.on_sleep_expire.append(lambda: fired.append(kernel.now))
+        features.op_features_set_sleep(minutes=1)
+        features.op_features_set_sleep(minutes=2)
+        kernel.run(until=features.time_per_minute * 3)
+        assert len(fired) == 1
+        assert fired[0] == pytest.approx(2 * features.time_per_minute)
+
+    def test_sleep_zero_disarms(self):
+        kernel = Kernel()
+        features = Features(kernel)
+        fired = []
+        features.on_sleep_expire.append(lambda: fired.append(1))
+        features.op_features_set_sleep(minutes=1)
+        features.op_features_set_sleep(minutes=0)
+        kernel.run(until=500.0)
+        assert fired == []
+
+    def test_sleep_range_validated(self):
+        features = Features(Kernel())
+        with pytest.raises(ValueError):
+            features.op_features_set_sleep(minutes=999)
+
+    def test_child_lock_requires_enabled_and_listed(self):
+        features = Features(Kernel())
+        features.lock_channel(7)
+        assert features.op_features_is_locked_channel(channel=7) is False
+        features.op_features_toggle_lock()
+        assert features.op_features_is_locked_channel(channel=7) is True
+        assert features.op_features_is_locked_channel(channel=8) is False
+
+    def test_unlock_channel(self):
+        features = Features(Kernel())
+        features.lock_channel(7)
+        features.op_features_toggle_lock()
+        features.unlock_channel(7)
+        assert features.op_features_is_locked_channel(channel=7) is False
+
+    def test_alert_lifecycle(self):
+        features = Features(Kernel())
+        assert features.op_features_alert_active() is False
+        features.op_features_raise_alert()
+        assert features.op_features_alert_active() is True
+        features.op_features_clear_alert()
+        assert features.op_features_alert_active() is False
+
+
+class TestDualScreen:
+    def test_enter_exit(self):
+        dual = DualScreen()
+        dual.enter(5)
+        assert dual.active and dual.pip_channel == 5
+        assert dual.mode == "dual"
+        dual.exit()
+        assert not dual.active and dual.pip_channel == 0
+
+    def test_swap_exchanges_channels(self):
+        dual = DualScreen()
+        dual.enter(5)
+        new_main = dual.swap(2)
+        assert new_main == 5
+        assert dual.pip_channel == 2
+
+    def test_swap_inactive_is_noop(self):
+        dual = DualScreen()
+        assert dual.swap(2) == 2

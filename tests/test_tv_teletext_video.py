@@ -1,0 +1,123 @@
+"""Tests for teletext synchronization and the video pipeline."""
+
+import pytest
+
+from repro.sim import Kernel
+from repro.tv import TVSet, Teletext
+from repro.platform import make_tv_soc
+
+
+class TestTeletext:
+    def make(self):
+        kernel = Kernel()
+        return kernel, Teletext(kernel)
+
+    def test_show_starts_acquisition(self):
+        kernel, ttx = self.make()
+        ttx.op_ttx_show(page=100)
+        assert ttx.acquirer.mode == "acquiring:ch1"
+        assert ttx.renderer.mode == "visible:ch1"
+
+    def test_page_shown_after_acquisition_cycle(self):
+        kernel, ttx = self.make()
+        ttx.op_ttx_show(page=100)
+        assert ttx.op_ttx_rendered_page()["status"] == "searching"
+        kernel.run(until=2.0)
+        assert ttx.op_ttx_rendered_page()["status"] == "shown"
+
+    def test_hide_stops_acquisition(self):
+        kernel, ttx = self.make()
+        ttx.op_ttx_show(page=100)
+        ttx.op_ttx_hide()
+        assert ttx.acquirer.mode == "idle"
+        assert ttx.renderer.mode == "hidden"
+        assert ttx.op_ttx_rendered_page() == {"visible": False}
+
+    def test_channel_change_flushes_cache(self):
+        kernel, ttx = self.make()
+        ttx.op_ttx_show(page=100)
+        kernel.run(until=5.0)
+        assert len(ttx.acquirer.cache) > 0
+        ttx.notify_channel(7)
+        assert all(channel == 7 for channel, _ in ttx.acquirer.cache)
+
+    def test_sync_loss_keeps_acquirer_on_old_channel(self):
+        kernel, ttx = self.make()
+        ttx.op_ttx_show(page=100)
+        ttx.inject_sync_loss()
+        ttx.notify_channel(9)
+        assert ttx.acquirer.believed_channel == 1
+        assert ttx.acquirer.missed_updates == 1
+        assert ttx.renderer.mode == "visible:ch9"
+
+    def test_sync_loss_causes_endless_searching(self):
+        kernel, ttx = self.make()
+        ttx.op_ttx_show(page=100)
+        ttx.inject_sync_loss()
+        ttx.notify_channel(9)
+        kernel.run(until=30.0)
+        assert ttx.op_ttx_rendered_page()["status"] == "searching"
+
+    def test_repair_restores_sync(self):
+        kernel, ttx = self.make()
+        ttx.op_ttx_show(page=100)
+        ttx.inject_sync_loss()
+        ttx.notify_channel(9)
+        ttx.repair_sync()
+        assert ttx.acquirer.believed_channel == 9
+        kernel.run(until=kernel.now + 3.0)
+        assert ttx.op_ttx_rendered_page()["status"] == "shown"
+
+
+class TestVideoPipeline:
+    def test_pipeline_produces_frames_when_unblanked(self):
+        tv = TVSet(seed=1)
+        tv.press("power")
+        tv.run(20.0)
+        assert len(tv.video.frames) > 0
+
+    def test_no_frames_while_blanked(self):
+        tv = TVSet(seed=1)
+        tv.run(20.0)  # never powered on
+        assert tv.video.frames == []
+
+    def test_good_signal_good_quality(self):
+        tv = TVSet(seed=1)
+        tv.press("power")
+        tv.run(60.0)
+        assert tv.video.mean_quality(since=20.0) > 0.8
+        assert tv.video.degraded_fraction(since=20.0) < 0.1
+
+    def test_bad_signal_degrades_quality(self):
+        tv = TVSet(seed=1)
+        tv.press("power")
+        tv.run(20.0)
+        tv.tuner.degrade_channel(1, 0.4)
+        tv.run(150.0)
+        assert tv.video.mean_quality(since=100.0) < 0.5
+
+    def test_errcorr_work_scales_with_signal(self):
+        tv = TVSet(seed=1)
+        tv.press("power")
+        tv.run(5.0)
+        nominal = tv.video._errcorr_work()
+        tv.tuner.degrade_channel(1, 0.2)
+        degraded = tv.video._errcorr_work()
+        assert degraded > nominal
+
+    def test_frame_listener_called(self):
+        tv = TVSet(seed=1)
+        frames = []
+        tv.video.on_frame.append(frames.append)
+        tv.press("power")
+        tv.run(20.0)
+        assert frames and all(0.0 <= f.quality <= 1.0 for f in frames)
+
+    def test_stop_pipeline_removes_tasks(self):
+        tv = TVSet(seed=1)
+        tv.press("power")
+        tv.run(5.0)
+        assert len(tv.video.tasks) == 3
+        tv.video.stop_pipeline()
+        assert tv.video.tasks == []
+        assert "video.decode" not in tv.soc.scheduler.tasks
