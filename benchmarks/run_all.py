@@ -1,0 +1,194 @@
+#!/usr/bin/env python
+"""Benchmark smoke runner: execute every bench in quick mode and record
+the runtime performance trajectory in ``BENCH_runtime.json``.
+
+Usage::
+
+    python benchmarks/run_all.py              # throughput probes + all benches
+    python benchmarks/run_all.py --no-benches # throughput probes only (fast)
+    python benchmarks/run_all.py --out /tmp/bench.json
+
+Quick mode runs each ``bench_e*.py`` once under ``pytest
+--benchmark-disable`` (the simulations are deterministic, so a single
+round is a faithful measurement) and times the file.  Independently of
+the benches, three throughput probes measure the kernel itself:
+
+* ``kernel``     — bare dispatch loop, no SUO (events/sec);
+* ``single_suo`` — one TV driven through the E13 workload (events/sec);
+* ``fleet``      — a 100-SUO MonitorFleet campaign (events/sec), plus a
+  byte-identical-trace determinism check.
+
+``BENCH_runtime.json`` carries the numbers plus the seed-kernel baseline
+measured before the runtime refactor, so future PRs can see the
+trajectory at a glance.
+"""
+
+from __future__ import annotations
+
+import argparse
+import glob
+import json
+import os
+import subprocess
+import sys
+import time
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+SRC = os.path.join(REPO_ROOT, "src")
+if SRC not in sys.path:
+    sys.path.insert(0, SRC)
+
+#: Seed-kernel numbers measured on the same container immediately before
+#: the runtime refactor (PR 1), for trajectory comparison.
+SEED_BASELINE = {
+    "kernel_events_per_sec": 370_000,
+    "single_suo_events_per_sec": 115_000,
+    "note": "seed kernel (pre-EventBus), same host, best of 3",
+}
+
+TV_WORKLOAD = [
+    "power", "ch_up", "vol_up", "ttx", "ttx", "menu", "back",
+    "dual", "swap", "epg", "epg", "mute", "mute", "power",
+] * 5
+
+
+def probe_kernel(events: int = 200_000) -> float:
+    """Bare kernel dispatch throughput (events/sec), best of 3."""
+    from repro.sim import Kernel
+
+    best = 0.0
+    for _ in range(3):
+        kernel = Kernel()
+
+        def reschedule() -> None:
+            kernel.schedule(1.0, reschedule)
+
+        for i in range(100):
+            kernel.schedule(float(i % 7) * 0.1, reschedule)
+        start = time.perf_counter()
+        kernel.run(max_events=events)
+        best = max(best, events / (time.perf_counter() - start))
+    return best
+
+
+def probe_single_suo() -> float:
+    """One TV through the E13 workload (events/sec), best of 3."""
+    from repro.tv import TVSet
+
+    best = 0.0
+    for _ in range(3):
+        start = time.perf_counter()
+        tv = TVSet(seed=55)
+        for key in TV_WORKLOAD:
+            tv.press(key)
+            tv.run(3.0)
+        tv.run(5.0)
+        best = max(best, tv.kernel.dispatched_count / (time.perf_counter() - start))
+    return best
+
+
+def probe_fleet(members: int = 100, duration: float = 60.0) -> dict:
+    """100-SUO campaign throughput + determinism witness."""
+    from repro.runtime import ExperimentRunner, MonitorFleet
+
+    def campaign():
+        fleet = MonitorFleet(seed=14)
+        fleet.add_tvs(members)
+        runner = ExperimentRunner(fleet, duration=duration, fault_fraction=0.2)
+        return runner.run()
+
+    first = campaign()
+    second = campaign()
+    return {
+        "members": members,
+        "sim_duration": duration,
+        "dispatched": first.dispatched,
+        "events_per_sec": round(first.events_per_sec),
+        "deterministic": first.trace_digest == second.trace_digest,
+        "trace_digest": first.trace_digest,
+    }
+
+
+def run_benches() -> dict:
+    """Each bench_e*.py once, quick mode; returns per-file status."""
+    results = {}
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC + os.pathsep + env.get("PYTHONPATH", "")
+    for path in sorted(glob.glob(os.path.join(REPO_ROOT, "benchmarks", "bench_e*.py"))):
+        name = os.path.basename(path)
+        start = time.perf_counter()
+        proc = subprocess.run(
+            [sys.executable, "-m", "pytest", path, "-q", "--benchmark-disable",
+             "-p", "no:cacheprovider"],
+            cwd=REPO_ROOT,
+            env=env,
+            capture_output=True,
+            text=True,
+        )
+        seconds = round(time.perf_counter() - start, 2)
+        results[name] = {
+            "ok": proc.returncode == 0,
+            "seconds": seconds,
+        }
+        status = "ok" if proc.returncode == 0 else "FAIL"
+        print(f"  {name:<28} {status:>4}  {seconds:7.2f}s", flush=True)
+        if proc.returncode != 0:
+            tail = "\n".join(proc.stdout.splitlines()[-15:])
+            print(tail)
+    return results
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--no-benches", action="store_true",
+        help="skip the bench_e*.py smoke pass; only run throughput probes",
+    )
+    parser.add_argument(
+        "--out", default=os.path.join(REPO_ROOT, "BENCH_runtime.json"),
+        help="where to write the JSON report",
+    )
+    args = parser.parse_args()
+
+    print("probing kernel dispatch throughput ...", flush=True)
+    kernel_eps = probe_kernel()
+    print(f"  kernel: {kernel_eps:,.0f} events/sec")
+    print("probing single-SUO throughput ...", flush=True)
+    single_eps = probe_single_suo()
+    print(f"  single-SUO TV: {single_eps:,.0f} events/sec")
+    print("probing 100-SUO fleet campaign ...", flush=True)
+    fleet = probe_fleet()
+    print(
+        f"  fleet: {fleet['events_per_sec']:,} events/sec over "
+        f"{fleet['members']} SUOs, deterministic={fleet['deterministic']}"
+    )
+
+    benches = {}
+    if not args.no_benches:
+        print("running benches in quick mode ...", flush=True)
+        benches = run_benches()
+
+    report = {
+        "kernel_events_per_sec": round(kernel_eps),
+        "single_suo_events_per_sec": round(single_eps),
+        "fleet": fleet,
+        "seed_baseline": SEED_BASELINE,
+        "benches": benches,
+    }
+    with open(args.out, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"wrote {args.out}")
+
+    failed = [name for name, r in benches.items() if not r["ok"]]
+    if failed:
+        print("FAILED:", ", ".join(failed))
+        return 1
+    if round(kernel_eps) < SEED_BASELINE["kernel_events_per_sec"]:
+        print("WARNING: kernel throughput regressed below the seed baseline")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -19,7 +19,10 @@ awareness stack on a fully simulated substrate:
 * :mod:`repro.devtools`     — stress testing, warning prioritization,
   architecture-level FMEA;
 * :mod:`repro.platform` / :mod:`repro.koala` / :mod:`repro.sim` — the
-  SoC, component-model, and discrete-event simulation substrates.
+  SoC, component-model, and discrete-event simulation substrates;
+* :mod:`repro.runtime`     — the typed event bus every layer publishes
+  on, and the MonitorFleet/ExperimentRunner engine that multiplexes
+  hundreds of monitored SUOs on one kernel.
 """
 
 __version__ = "1.0.0"

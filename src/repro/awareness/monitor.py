@@ -158,10 +158,17 @@ def make_tv_monitor(
     channel_delay: float = 0.05,
     channel_jitter: float = 0.02,
     start: bool = True,
+    name: Optional[str] = None,
 ) -> AwarenessMonitor:
     """Attach a fully wired awareness monitor to a TV (SUO modifications
     included): key presses and broadcast stimuli feed the input channel,
-    screen/sound output events feed the output channel."""
+    screen/sound output events feed the output channel.
+
+    Attachment is topic-based: the monitor subscribes to the TV's
+    ``suo.<suo_id>.*`` topics on the shared runtime bus rather than
+    patching the TV's hook lists, so any number of monitors (or fleet
+    recorders) can observe the same SUO without touching it.
+    """
     machine = machine or build_tv_model(channel_count=tv.tuner.channel_count)
     monitor = AwarenessMonitor(
         tv.kernel,
@@ -172,16 +179,24 @@ def make_tv_monitor(
         channel_delay=channel_delay,
         channel_jitter=channel_jitter,
         streams=tv.streams,
-        name="tv-awareness",
+        name=name or "tv-awareness",
     )
-    tv.remote.input_hooks.append(
-        lambda press: monitor.send_input("key", press.key, press.time)
+    bus = tv.kernel.bus
+    bus.subscribe(
+        f"suo.{tv.suo_id}.input",
+        lambda _topic, press: monitor.send_input("key", press.key, press.time),
     )
-    tv.stimulus_hooks.append(
-        lambda stimulus: monitor.send_input("stimulus", stimulus, tv.kernel.now)
+    bus.subscribe(
+        f"suo.{tv.suo_id}.stimulus",
+        lambda _topic, stimulus: monitor.send_input(
+            "stimulus", stimulus, tv.kernel.now
+        ),
     )
-    tv.output_hooks.append(
-        lambda event: monitor.send_output(event.name, event.value, event.time)
+    bus.subscribe(
+        f"suo.{tv.suo_id}.output",
+        lambda _topic, event: monitor.send_output(
+            event.name, event.value, event.time
+        ),
     )
     if start:
         monitor.start()
@@ -200,8 +215,14 @@ def make_player_monitor(
     channel_delay: float = 0.05,
     channel_jitter: float = 0.02,
     start: bool = True,
+    name: Optional[str] = None,
 ) -> AwarenessMonitor:
-    """Awareness monitor for the media player SUO (Sect. 5 validation)."""
+    """Awareness monitor for the media player SUO (Sect. 5 validation).
+
+    The player publishes its commands and observables on the runtime bus
+    (``suo.<suo_id>.input`` / ``.output``), so no method wrapping is
+    needed — the monitor simply subscribes.
+    """
     machine = build_player_model()
     if config is None:
         config = AwarenessConfig()
@@ -214,17 +235,20 @@ def make_player_monitor(
         config=config,
         channel_delay=channel_delay,
         channel_jitter=channel_jitter,
-        name="player-awareness",
+        name=name or "player-awareness",
     )
-    original_command = player.command
-
-    def observed_command(name: str, **params: Any) -> None:
-        monitor.send_input("command", name, player.kernel.now)
-        original_command(name, **params)
-
-    player.command = observed_command
-    player.output_hooks.append(
-        lambda name, value: monitor.send_output(name, value, player.kernel.now)
+    bus = player.kernel.bus
+    bus.subscribe(
+        f"suo.{player.suo_id}.input",
+        lambda _topic, command: monitor.send_input(
+            "command", command[0], player.kernel.now
+        ),
+    )
+    bus.subscribe(
+        f"suo.{player.suo_id}.output",
+        lambda _topic, output: monitor.send_output(
+            output[0], output[1], player.kernel.now
+        ),
     )
     if start:
         monitor.start()

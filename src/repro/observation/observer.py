@@ -10,6 +10,11 @@ of the on-chip debug/trace infrastructure.
 Probes are *attachment only*: none of them changes SUO behaviour (beyond
 negligible overhead accounting), the property that makes the approach
 viable for third-party and legacy components.
+
+Input and output probes attach two ways: directly to one SUO's hook list
+(``attach``), or to the runtime bus (``attach_bus``) — the latter watches
+a ``suo.<suo_id>.*`` topic namespace without holding a reference to the
+SUO at all, which is how probes observe fleet members.
 """
 
 from __future__ import annotations
@@ -18,6 +23,7 @@ from typing import Any, Callable, Dict, List, Optional
 
 from ..koala.binding import Configuration
 from ..koala.component import Component
+from ..runtime.bus import EventBus, Subscription
 from ..sim.kernel import Kernel
 from ..sim.trace import Trace
 
@@ -32,6 +38,12 @@ class InputProbe:
 
     def attach(self, remote) -> None:
         remote.input_hooks.append(self._on_press)
+
+    def attach_bus(self, bus: EventBus, suo_id: str = "tv") -> Subscription:
+        """Observe one SUO's key presses via the runtime bus."""
+        return bus.subscribe(
+            f"suo.{suo_id}.input", lambda _topic, press: self._on_press(press)
+        )
 
     def _on_press(self, press) -> None:
         self.count += 1
@@ -48,6 +60,12 @@ class OutputProbe:
 
     def attach(self, tv) -> None:
         tv.output_hooks.append(self._on_output)
+
+    def attach_bus(self, bus: EventBus, suo_id: str = "tv") -> Subscription:
+        """Observe one SUO's output events via the runtime bus."""
+        return bus.subscribe(
+            f"suo.{suo_id}.output", lambda _topic, event: self._on_output(event)
+        )
 
     def _on_output(self, event) -> None:
         self.count += 1

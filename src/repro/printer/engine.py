@@ -185,8 +185,11 @@ class Finisher(Component):
 class Printer:
     """The assembled printer: job queue + paper path + observables."""
 
-    def __init__(self, kernel: Optional[Kernel] = None) -> None:
+    def __init__(self, kernel: Optional[Kernel] = None, suo_id: str = "printer") -> None:
         self.kernel = kernel or Kernel()
+        self.suo_id = suo_id
+        self._publish_output = self.kernel.bus.publisher(f"suo.{suo_id}.output")
+        self._publish_command = self.kernel.bus.publisher(f"suo.{suo_id}.input")
         self.feeder = Feeder(self.kernel)
         self.engine = PrintEngine(self.kernel)
         self.finisher = Finisher(self.kernel)
@@ -286,10 +289,12 @@ class Printer:
     def _publish(self, name: str, value: Any) -> None:
         for hook in self.output_hooks:
             hook(name, value)
+        self._publish_output((name, value))
 
     def _notify_command(self, command: str) -> None:
         for hook in self.command_hooks:
             hook(command)
+        self._publish_command(command)
 
     def mean_quality(self, since: float = 0.0) -> float:
         relevant = [p.quality for p in self.pages if p.time >= since]

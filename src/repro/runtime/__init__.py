@@ -1,0 +1,42 @@
+"""Runtime subsystem: the event bus and the multi-SUO fleet engine.
+
+This package is the scale layer the ROADMAP's north star asks for:
+
+* :mod:`repro.runtime.bus` — :class:`EventBus`, the one publish/subscribe
+  plane that the kernel, trace, probes, and awareness observers all ride;
+* :mod:`repro.runtime.registry` — :class:`ServiceRegistry`, typed
+  replacement for the old ``kernel.registry`` dict;
+* :mod:`repro.runtime.fleet` — :class:`MonitorFleet` /
+  :class:`ExperimentRunner`, running hundreds of monitored SUOs on one
+  kernel with deterministic per-SUO random streams.
+
+``fleet`` is imported lazily (PEP 562): it depends on the SUO packages,
+which themselves import the kernel — which imports this package for the
+bus — so eager import would cycle.
+"""
+
+from __future__ import annotations
+
+from .bus import EventBus, Subscription
+from .registry import ServiceRegistry, TOPIC_PROVIDE
+
+__all__ = [
+    "EventBus",
+    "ExperimentRunner",
+    "FleetMember",
+    "FleetReport",
+    "MonitorFleet",
+    "ServiceRegistry",
+    "Subscription",
+    "TOPIC_PROVIDE",
+]
+
+_FLEET_NAMES = {"MonitorFleet", "ExperimentRunner", "FleetMember", "FleetReport"}
+
+
+def __getattr__(name: str):
+    if name in _FLEET_NAMES:
+        from . import fleet
+
+        return getattr(fleet, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,209 @@
+"""The runtime event bus: one publish/subscribe plane for the whole stack.
+
+The seed wired every observation path differently — the kernel had
+``_dispatch_hooks``, the trace kept its own subscriber list, the SUOs
+exposed ad-hoc ``*_hooks`` lists, and collaborators found each other
+through the untyped ``kernel.registry`` dict.  :class:`EventBus` unifies
+all of them behind one topic-based API so that the awareness framework's
+probes and observers (paper Sect. 4.1, Fig. 2) attach to *topics*, not to
+concrete objects, and so that many SUOs can share one kernel (the
+:class:`~repro.runtime.fleet.MonitorFleet` workload).
+
+Design constraints, in order:
+
+* **Zero cost when silent.**  ``publish`` on a topic with no subscribers
+  is one dict lookup and a falsy check; emitters may also hold a
+  :meth:`EventBus.publisher` handle that skips even the lookup while the
+  topic stays silent.
+* **Safe mutation during dispatch.**  Subscriber lists are copy-on-write
+  tuples: a callback may subscribe/unsubscribe anything (including
+  itself) while being dispatched; the in-flight publish keeps iterating
+  the snapshot it started with.
+* **Deterministic order.**  Subscribers run in subscription order;
+  wildcard subscribers run after exact ones, shortest prefix first.
+
+Topics are dot-separated strings (``"suo.tv-7.output"``).  A trailing
+``".*"`` subscribes to a whole namespace: ``"suo.tv-7.*"`` receives every
+topic that starts with ``"suo.tv-7."``.  Wildcards cost one extra check
+per publish *only while at least one wildcard subscription exists*.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple
+
+Handler = Callable[[str, Any], None]
+
+_EMPTY: Tuple[Handler, ...] = ()
+
+
+class Subscription:
+    """Handle returned by :meth:`EventBus.subscribe`; ``cancel()`` detaches."""
+
+    __slots__ = ("bus", "topic", "handler", "active")
+
+    def __init__(self, bus: "EventBus", topic: str, handler: Handler) -> None:
+        self.bus = bus
+        self.topic = topic
+        self.handler = handler
+        self.active = True
+
+    def cancel(self) -> None:
+        if self.active:
+            self.active = False
+            self.bus.unsubscribe(self.topic, self.handler)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "active" if self.active else "cancelled"
+        return f"<Subscription {self.topic!r} ({state})>"
+
+
+class EventBus:
+    """Topic-based publish/subscribe with copy-on-write subscriber lists."""
+
+    __slots__ = ("_exact", "_wild", "_wild_order", "version")
+
+    def __init__(self) -> None:
+        #: topic -> tuple of handlers (replaced wholesale on change)
+        self._exact: Dict[str, Tuple[Handler, ...]] = {}
+        #: namespace prefix (without the ``*``) -> tuple of handlers
+        self._wild: Dict[str, Tuple[Handler, ...]] = {}
+        #: sorted wildcard prefixes, rebuilt on (un)subscribe so publish
+        #: never sorts
+        self._wild_order: Tuple[str, ...] = ()
+        #: bumped on every (un)subscribe; lets emitters cache snapshots
+        self.version = 0
+
+    # ------------------------------------------------------------------
+    # subscription management
+    # ------------------------------------------------------------------
+    def subscribe(self, topic: str, handler: Handler) -> Subscription:
+        """Attach ``handler(topic, event)`` to ``topic``.
+
+        ``topic`` may end in ``".*"`` to subscribe to every topic in a
+        namespace.  Returns a :class:`Subscription` whose ``cancel()``
+        detaches exactly this registration.
+        """
+        table, key = self._resolve(topic)
+        table[key] = table.get(key, _EMPTY) + (handler,)
+        if table is self._wild:
+            self._wild_order = tuple(sorted(self._wild))
+        self.version += 1
+        return Subscription(self, topic, handler)
+
+    def unsubscribe(self, topic: str, handler: Handler) -> bool:
+        """Detach the first matching registration; True if one was found."""
+        table, key = self._resolve(topic)
+        handlers = table.get(key, _EMPTY)
+        if handler not in handlers:
+            return False
+        index = handlers.index(handler)
+        remaining = handlers[:index] + handlers[index + 1:]
+        if remaining:
+            table[key] = remaining
+        else:
+            del table[key]
+        if table is self._wild:
+            self._wild_order = tuple(sorted(self._wild))
+        self.version += 1
+        return True
+
+    def _resolve(
+        self, topic: str
+    ) -> Tuple[Dict[str, Tuple[Handler, ...]], str]:
+        if topic.endswith(".*"):
+            return self._wild, topic[:-1]  # keep the trailing dot
+        return self._exact, topic
+
+    # ------------------------------------------------------------------
+    # publication
+    # ------------------------------------------------------------------
+    def publish(self, topic: str, event: Any = None) -> int:
+        """Deliver ``event`` to every subscriber of ``topic``.
+
+        Returns the number of handlers invoked.  The no-subscriber fast
+        path is a single dict lookup.  When wildcards exist the complete
+        handler snapshot (exact + wildcard, shortest prefix first) is
+        taken *before* any handler runs, so callbacks may unsubscribe
+        anything — including other namespaces — mid-publish.
+        """
+        if self._wild_order:
+            handlers = self.snapshot(topic)
+        else:
+            handlers = self._exact.get(topic)
+            if not handlers:
+                return 0
+        for handler in handlers:
+            handler(topic, event)
+        return len(handlers)
+
+    def listeners(self, topic: str) -> Tuple[Handler, ...]:
+        """The current *exact*-subscriber snapshot for a topic.
+
+        Wildcard subscribers are not included; most emitters want
+        :meth:`snapshot` or :meth:`publisher` instead.
+        """
+        return self._exact.get(topic, _EMPTY)
+
+    def snapshot(self, topic: str) -> Tuple[Handler, ...]:
+        """Every current subscriber of ``topic``, wildcards folded in.
+
+        Hot-path emitters (the kernel's dispatch loop) cache this tuple
+        and refresh it when :attr:`version` changes; the tuple is
+        immutable, so holding it across callbacks is safe.
+        """
+        handlers = self._exact.get(topic, _EMPTY)
+        if self._wild_order:
+            for prefix in self._wild_order:
+                if topic.startswith(prefix):
+                    handlers += self._wild[prefix]
+        return handlers
+
+    def publisher(self, topic: str) -> Callable[[Any], int]:
+        """A bound fast emitter for one topic.
+
+        The handle re-snapshots subscribers only when the bus version
+        changes, so a silent topic costs one int compare per emit.
+        Wildcard subscribers are folded into the snapshot.
+        """
+        state: List[Any] = [-1, _EMPTY]
+
+        def emit(event: Any = None) -> int:
+            if state[0] != self.version:
+                state[0] = self.version
+                state[1] = self.snapshot(topic)
+            handlers = state[1]
+            for handler in handlers:
+                handler(topic, event)
+            return len(handlers)
+
+        return emit
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    def has_subscribers(self, topic: str) -> bool:
+        if self._exact.get(topic):
+            return True
+        if self._wild:
+            return any(topic.startswith(prefix) for prefix in self._wild)
+        return False
+
+    def subscriber_count(self, topic: Optional[str] = None) -> int:
+        """Subscribers of one topic, or of the whole bus when None."""
+        if topic is not None:
+            count = len(self._exact.get(topic, _EMPTY))
+            return count + sum(
+                len(handlers)
+                for prefix, handlers in self._wild.items()
+                if topic.startswith(prefix)
+            )
+        return sum(len(h) for h in self._exact.values()) + sum(
+            len(h) for h in self._wild.values()
+        )
+
+    def topics(self) -> Iterator[str]:
+        """Every topic/namespace that currently has subscribers."""
+        yield from self._exact
+        for prefix in self._wild:
+            yield prefix + "*"

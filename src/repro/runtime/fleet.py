@@ -1,0 +1,316 @@
+"""Multi-SUO fleet engine: many monitored devices, one kernel, one bus.
+
+The paper's framework (Fig. 1/2) watches a single system under
+observation.  The ROADMAP's north star is a production-scale service
+monitoring *populations* of devices, so this module multiplexes N
+independent SUOs — TVs, media players, printers — with their awareness
+monitors onto one :class:`~repro.sim.kernel.Kernel` and one
+:class:`~repro.runtime.bus.EventBus`:
+
+* every SUO publishes on its own ``suo.<suo_id>.*`` topic namespace, so
+  monitors stay isolated while sharing the transport;
+* every member draws from its *own* :class:`RandomStreams` whose master
+  seed is derived from ``(fleet_seed, suo_id)`` — adding or reordering
+  members never perturbs the others, and the same fleet seed reproduces
+  the identical fleet trace byte for byte;
+* a wildcard ``suo.*`` subscription records the merged fleet trace, whose
+  :meth:`MonitorFleet.trace_digest` is the determinism witness.
+
+:class:`ExperimentRunner` drives campaigns over a fleet: seeded random
+users on every device, fault injection into a deterministic subset, and a
+:class:`FleetReport` with detection and throughput numbers — the repo's
+first high-volume workload (hundreds of devices per run).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import time as wallclock
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+from ..awareness.monitor import (
+    AwarenessMonitor,
+    make_player_monitor,
+    make_tv_monitor,
+)
+from ..printer.engine import Printer
+from ..sim.kernel import Kernel
+from ..sim.random import RandomStreams
+from ..sim.trace import Trace
+from ..tv.mediaplayer import MediaPlayer, MediaSource
+from ..tv.remote import RandomUser
+from ..tv.tvset import TVSet
+
+
+def derive_member_seed(fleet_seed: int, suo_id: str) -> int:
+    """Stable per-member master seed; independent of creation order."""
+    digest = hashlib.sha256(f"fleet:{fleet_seed}:{suo_id}".encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+@dataclass
+class FleetMember:
+    """One SUO plus its monitor, identity, and campaign bookkeeping."""
+
+    suo_id: str
+    kind: str
+    suo: Any
+    monitor: Optional[AwarenessMonitor]
+    seed: int
+    inputs: int = 0
+    outputs: int = 0
+    driver: Any = None
+    faulty: bool = False
+
+    @property
+    def error_count(self) -> int:
+        return len(self.monitor.errors) if self.monitor is not None else 0
+
+
+class MonitorFleet:
+    """N monitored SUOs multiplexed on one kernel and one event bus."""
+
+    def __init__(self, seed: int = 0, kernel: Optional[Kernel] = None) -> None:
+        self.seed = seed
+        self.kernel = kernel or Kernel()
+        self.bus = self.kernel.bus
+        self.streams = RandomStreams(derive_member_seed(seed, "<fleet>"))
+        self.members: Dict[str, FleetMember] = {}
+        #: Merged, time-stamped record of every SUO input/output/stimulus.
+        self.trace = Trace(
+            clock=lambda: self.kernel.now, bus=self.bus, name="fleet"
+        )
+        self.bus.subscribe("suo.*", self._record)
+
+    # ------------------------------------------------------------------
+    # membership
+    # ------------------------------------------------------------------
+    def add_tv(
+        self,
+        suo_id: Optional[str] = None,
+        monitor: bool = True,
+        config: Any = None,
+        channel_delay: float = 0.05,
+        channel_jitter: float = 0.02,
+    ) -> FleetMember:
+        """Add one TV (and, by default, its awareness monitor)."""
+        suo_id = suo_id or f"tv-{len(self.members)}"
+        member_seed = derive_member_seed(self.seed, suo_id)
+        tv = TVSet(kernel=self.kernel, seed=member_seed, suo_id=suo_id)
+        mon = None
+        if monitor:
+            mon = make_tv_monitor(
+                tv,
+                config=config,
+                channel_delay=channel_delay,
+                channel_jitter=channel_jitter,
+                name=f"{suo_id}.awareness",
+            )
+        return self._admit(FleetMember(suo_id, "tv", tv, mon, member_seed))
+
+    def add_tvs(self, count: int, **kwargs: Any) -> List[FleetMember]:
+        return [self.add_tv(**kwargs) for _ in range(count)]
+
+    def add_player(
+        self,
+        suo_id: Optional[str] = None,
+        monitor: bool = True,
+        packet_count: int = 500,
+        corrupt_indices: Optional[List[int]] = None,
+    ) -> FleetMember:
+        """Add one media player SUO."""
+        suo_id = suo_id or f"player-{len(self.members)}"
+        member_seed = derive_member_seed(self.seed, suo_id)
+        source = MediaSource(
+            packet_count=packet_count, corrupt_indices=corrupt_indices
+        )
+        player = MediaPlayer(self.kernel, source, suo_id=suo_id)
+        mon = None
+        if monitor:
+            mon = make_player_monitor(player, name=f"{suo_id}.awareness")
+        return self._admit(FleetMember(suo_id, "player", player, mon, member_seed))
+
+    def add_printer(self, suo_id: Optional[str] = None) -> FleetMember:
+        """Add one printer SUO (hardware-style monitors attach separately)."""
+        suo_id = suo_id or f"printer-{len(self.members)}"
+        member_seed = derive_member_seed(self.seed, suo_id)
+        printer = Printer(kernel=self.kernel, suo_id=suo_id)
+        return self._admit(FleetMember(suo_id, "printer", printer, None, member_seed))
+
+    def _admit(self, member: FleetMember) -> FleetMember:
+        if member.suo_id in self.members:
+            raise ValueError(f"duplicate suo_id {member.suo_id!r}")
+        self.members[member.suo_id] = member
+        return member
+
+    # ------------------------------------------------------------------
+    # fleet trace
+    # ------------------------------------------------------------------
+    def _record(self, topic: str, event: Any) -> None:
+        # topic == "suo.<suo_id>.<kind>"
+        _, suo_id, kind = topic.split(".", 2)
+        member = self.members.get(suo_id)
+        if member is not None:
+            if kind == "output":
+                member.outputs += 1
+            elif kind == "input":
+                member.inputs += 1
+        self.trace.emit(suo_id, kind, event)
+
+    def trace_digest(self) -> str:
+        """SHA-256 over the merged fleet trace (determinism witness)."""
+        digest = hashlib.sha256()
+        for record in self.trace.records:
+            line = f"{record.time:.9f}\t{record.source}\t{record.kind}\t{record.value!r}\n"
+            digest.update(line.encode("utf-8"))
+        return digest.hexdigest()
+
+    # ------------------------------------------------------------------
+    # drivers and faults
+    # ------------------------------------------------------------------
+    def start_random_users(
+        self,
+        mean_gap: float = 4.0,
+        keys: Optional[List[str]] = None,
+    ) -> int:
+        """Attach a seeded random user to every TV member; returns count."""
+        started = 0
+        for member in self.members.values():
+            if member.kind != "tv" or member.driver is not None:
+                continue
+            member.driver = RandomUser(
+                member.suo.remote, member.suo.streams,
+                mean_gap=mean_gap, keys=keys,
+            )
+            member.driver.start()
+            started += 1
+        return started
+
+    def power_on_tvs(self, stagger: float = 0.1) -> None:
+        """Deterministically power every TV, staggered to avoid one
+        giant same-timestamp batch at t=0."""
+        for index, member in enumerate(self.members.values()):
+            if member.kind != "tv":
+                continue
+            member.suo.remote.schedule_press(index * stagger, "power")
+
+    def inject_faults(
+        self,
+        fraction: float = 0.25,
+        fault: str = "volume_overshoot",
+        at: float = 0.0,
+        stream: str = "faults",
+    ) -> List[FleetMember]:
+        """Activate ``fault`` on a seeded random subset of TV members.
+
+        Selection draws from the fleet-level stream, so the same fleet
+        seed always afflicts the same devices.
+        """
+        rng = self.streams.stream(stream)
+        targets: List[FleetMember] = []
+        for member in self.members.values():
+            if member.kind != "tv":
+                continue
+            if rng.random() < fraction:
+                targets.append(member)
+                member.faulty = True
+                flags = member.suo.control.fault_flags
+
+                def activate(flags=flags, name=fault) -> None:
+                    flags[name] = True
+
+                self.kernel.schedule(
+                    max(0.0, at - self.kernel.now),
+                    activate,
+                    name=f"fault:{member.suo_id}",
+                )
+        return targets
+
+    # ------------------------------------------------------------------
+    def run(self, duration: float) -> int:
+        """Advance the shared kernel; returns events dispatched."""
+        return self.kernel.run(until=self.kernel.now + duration)
+
+    def __len__(self) -> int:
+        return len(self.members)
+
+
+@dataclass
+class FleetReport:
+    """Outcome of one :class:`ExperimentRunner` campaign."""
+
+    members: int
+    duration: float
+    dispatched: int
+    wall_seconds: float
+    events_per_sec: float
+    errors_by_suo: Dict[str, int]
+    faulty: List[str]
+    detected: List[str]
+    false_alarms: List[str]
+    trace_digest: str
+    trace_records: int
+
+    @property
+    def detection_rate(self) -> float:
+        if not self.faulty:
+            return 1.0
+        return len(self.detected) / len(self.faulty)
+
+
+class ExperimentRunner:
+    """Run a fault-injection campaign across a :class:`MonitorFleet`."""
+
+    def __init__(
+        self,
+        fleet: MonitorFleet,
+        duration: float = 120.0,
+        mean_gap: float = 4.0,
+        fault: str = "volume_overshoot",
+        fault_fraction: float = 0.0,
+        fault_time: Optional[float] = None,
+        keys: Optional[List[str]] = None,
+    ) -> None:
+        self.fleet = fleet
+        self.duration = duration
+        self.mean_gap = mean_gap
+        self.fault = fault
+        self.fault_fraction = fault_fraction
+        self.fault_time = fault_time if fault_time is not None else duration / 3.0
+        self.keys = keys
+
+    def run(self) -> FleetReport:
+        fleet = self.fleet
+        fleet.power_on_tvs()
+        fleet.start_random_users(mean_gap=self.mean_gap, keys=self.keys)
+        faulty = []
+        if self.fault_fraction > 0.0:
+            faulty = fleet.inject_faults(
+                fraction=self.fault_fraction,
+                fault=self.fault,
+                at=fleet.kernel.now + self.fault_time,
+            )
+        start = wallclock.perf_counter()
+        dispatched = fleet.run(self.duration)
+        wall = wallclock.perf_counter() - start
+        errors = {m.suo_id: m.error_count for m in fleet.members.values()}
+        detected = [m.suo_id for m in faulty if m.error_count > 0]
+        false_alarms = [
+            m.suo_id
+            for m in fleet.members.values()
+            if not m.faulty and m.error_count > 0
+        ]
+        return FleetReport(
+            members=len(fleet),
+            duration=self.duration,
+            dispatched=dispatched,
+            wall_seconds=wall,
+            events_per_sec=dispatched / wall if wall > 0 else 0.0,
+            errors_by_suo=errors,
+            faulty=[m.suo_id for m in faulty],
+            detected=detected,
+            false_alarms=false_alarms,
+            trace_digest=fleet.trace_digest(),
+            trace_records=fleet.trace.count(),
+        )

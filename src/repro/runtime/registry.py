@@ -1,0 +1,93 @@
+"""Typed service registry, replacing the ``kernel.registry`` dict.
+
+The seed kernel carried an untyped ``Dict[str, Any]`` that collaborators
+used as a blind drop-box.  :class:`ServiceRegistry` keeps the mapping
+interface (so ``kernel.registry["trace"] = t`` still works) but adds a
+typed provide/resolve protocol and announces registrations on the runtime
+bus, which lets late-attaching observers discover services without
+polling.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterator, Optional, Type, TypeVar
+
+from .bus import EventBus
+
+T = TypeVar("T")
+
+#: Topic on which every registration is announced: payload ``(name, service)``.
+TOPIC_PROVIDE = "registry.provide"
+
+
+class ServiceRegistry:
+    """Named services with optional type-checked resolution."""
+
+    __slots__ = ("_services", "_bus")
+
+    def __init__(self, bus: Optional[EventBus] = None) -> None:
+        self._services: Dict[str, Any] = {}
+        self._bus = bus
+
+    # -- typed protocol -------------------------------------------------
+    def provide(self, name: str, service: Any) -> Any:
+        """Register ``service`` under ``name`` (returns it for chaining)."""
+        self._services[name] = service
+        if self._bus is not None:
+            self._bus.publish(TOPIC_PROVIDE, (name, service))
+        return service
+
+    def resolve(
+        self,
+        name: str,
+        expected_type: Optional[Type[T]] = None,
+        default: Any = None,
+    ) -> Any:
+        """Look up ``name``; verify ``expected_type`` when given."""
+        service = self._services.get(name, default)
+        if (
+            expected_type is not None
+            and service is not None
+            and not isinstance(service, expected_type)
+        ):
+            raise TypeError(
+                f"service {name!r} is {type(service).__name__}, "
+                f"expected {expected_type.__name__}"
+            )
+        return service
+
+    # -- mapping compatibility ------------------------------------------
+    def __setitem__(self, name: str, service: Any) -> None:
+        self.provide(name, service)
+
+    def __getitem__(self, name: str) -> Any:
+        return self._services[name]
+
+    def __delitem__(self, name: str) -> None:
+        del self._services[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._services
+
+    def __len__(self) -> int:
+        return len(self._services)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._services)
+
+    def get(self, name: str, default: Any = None) -> Any:
+        return self._services.get(name, default)
+
+    def setdefault(self, name: str, default: Any = None) -> Any:
+        if name not in self._services:
+            self.provide(name, default)
+        return self._services[name]
+
+    def keys(self):
+        return self._services.keys()
+
+    def items(self):
+        return self._services.items()
+
+    def values(self):
+        return self._services.values()

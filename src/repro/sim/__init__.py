@@ -13,7 +13,7 @@ Public surface:
 * :class:`~repro.sim.trace.Trace` — time-stamped observation recording.
 """
 
-from .kernel import Event, Kernel, SimulationError
+from .kernel import DISPATCH_TOPIC, Event, Kernel, SimulationError
 from .process import Delay, Interrupted, Process, Signal, WaitSignal
 from .random import RandomStreams
 from .resources import Acquire, Resource, ResourceStats, Store
@@ -21,6 +21,7 @@ from .trace import Trace, TraceRecord
 
 __all__ = [
     "Acquire",
+    "DISPATCH_TOPIC",
     "Delay",
     "Event",
     "Interrupted",

@@ -4,8 +4,7 @@ Everything in the reproduction that needs a notion of time — the simulated
 SoC platform, the TV software, the awareness framework's sampling clock —
 runs on top of this kernel.  It is a classic event-wheel design:
 
-* a priority queue of :class:`Event` objects ordered by ``(time, priority,
-  sequence)``;
+* a priority queue ordered by ``(time, priority, sequence)``;
 * a simulated clock that only advances when events are dispatched;
 * generator-based processes (see :mod:`repro.sim.process`) that suspend by
   yielding *wait requests* and are resumed by the kernel.
@@ -15,6 +14,15 @@ an explicit integer priority and then by insertion order, so a given seed
 always produces the same trace.  The paper's experiments (e.g. comparator
 tuning in Sect. 4.3) depend on reproducible interleavings of SUO events and
 monitor observations.
+
+Scale refactor (fleet engine): the kernel publishes on a
+:class:`~repro.runtime.bus.EventBus` instead of private hook lists, heap
+entries are plain ``(time, priority, seq, Event)`` tuples so ordering is
+resolved by C tuple comparison instead of Python ``__lt__`` calls, the run
+loop drains same-timestamp events in batches, and cancelled events —
+which lazy deletion used to keep in the heap forever — are compacted away
+once they dominate the queue, so long fault-injection campaigns run in
+bounded memory.
 """
 
 from __future__ import annotations
@@ -22,7 +30,16 @@ from __future__ import annotations
 import heapq
 import itertools
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional
+from typing import Callable, List, Optional, Tuple
+
+from ..runtime.bus import EventBus
+from ..runtime.registry import ServiceRegistry
+
+#: Bus topic carrying every dispatched :class:`Event`.
+DISPATCH_TOPIC = "kernel.dispatch"
+
+#: Minimum lazy-deletion debt before compaction is even considered.
+COMPACT_MIN_DEBT = 64
 
 
 class SimulationError(Exception):
@@ -34,8 +51,12 @@ class Event:
     """A scheduled callback.
 
     Events compare by ``(time, priority, seq)`` which is exactly the
-    dispatch order.  ``cancelled`` events stay in the heap but are skipped
-    when popped (lazy deletion), which keeps cancellation O(1).
+    dispatch order (the heap itself orders raw tuples, so this comparison
+    is for callers only).  ``cancelled`` events stay in the heap but are
+    skipped when popped (lazy deletion), which keeps cancellation O(1);
+    the owning kernel tracks the cancellation *debt* and compacts the
+    heap when cancelled entries dominate it, so the queue cannot grow
+    without bound.
     """
 
     time: float
@@ -44,10 +65,19 @@ class Event:
     callback: Callable[[], None] = field(compare=False)
     name: str = field(default="", compare=False)
     cancelled: bool = field(default=False, compare=False)
+    owner: Optional["Kernel"] = field(default=None, compare=False, repr=False)
 
     def cancel(self) -> None:
         """Mark the event so the kernel skips it at dispatch time."""
+        if self.cancelled:
+            return
         self.cancelled = True
+        if self.owner is not None:
+            self.owner._note_cancelled()
+
+
+#: One priority-queue slot: ``(time, priority, seq, event)``.
+QueueEntry = Tuple[float, int, int, "Event"]
 
 
 class Kernel:
@@ -59,22 +89,30 @@ class Kernel:
         kernel.schedule(5.0, lambda: print("five"))
         kernel.run(until=10.0)
 
-    The kernel also exposes *hooks* so observers (the awareness framework's
-    probes) can watch every dispatch without patching the simulated system —
-    this is the simulation-level analogue of the on-chip trace
-    infrastructure the paper mentions in Sect. 4.1.
+    Observation goes through the kernel's :attr:`bus`: every dispatch is
+    published on :data:`DISPATCH_TOPIC` (the simulation-level analogue of
+    the on-chip trace infrastructure the paper mentions in Sect. 4.1), and
+    any subsystem may publish/subscribe its own topics.  Publishing on a
+    silent topic is a single dict lookup, so an unobserved simulation pays
+    ~nothing.
     """
 
-    def __init__(self) -> None:
-        self._queue: List[Event] = []
+    def __init__(self, bus: Optional[EventBus] = None) -> None:
+        self._queue: List[QueueEntry] = []
         self._seq = itertools.count()
         self._now = 0.0
         self._running = False
-        self._dispatch_hooks: List[Callable[[Event], None]] = []
         self.dispatched_count = 0
-        #: Arbitrary per-simulation shared registry (used by resources and
-        #: trace sinks to find each other without global state).
-        self.registry: Dict[str, Any] = {}
+        #: The shared runtime event bus (dispatch trace, SUO observables,
+        #: fleet campaign telemetry all ride on it).
+        self.bus = bus or EventBus()
+        #: Typed per-simulation service registry (see
+        #: :class:`~repro.runtime.registry.ServiceRegistry`); still usable
+        #: as a plain mapping for backwards compatibility.
+        self.registry = ServiceRegistry(self.bus)
+        #: Count of cancelled events still sitting in the heap.
+        self._cancelled_debt = 0
+        self.compactions = 0
 
     # ------------------------------------------------------------------
     # time
@@ -102,14 +140,17 @@ class Kernel:
         """
         if delay < 0:
             raise SimulationError(f"cannot schedule in the past (delay={delay})")
+        time = self._now + delay
+        seq = next(self._seq)
         event = Event(
-            time=self._now + delay,
+            time=time,
             priority=priority,
-            seq=next(self._seq),
+            seq=seq,
             callback=callback,
             name=name,
+            owner=self,
         )
-        heapq.heappush(self._queue, event)
+        heapq.heappush(self._queue, (time, priority, seq, event))
         return event
 
     def schedule_at(
@@ -124,23 +165,64 @@ class Kernel:
         return self.schedule(time - self._now, callback, priority=priority, name=name)
 
     def add_dispatch_hook(self, hook: Callable[[Event], None]) -> None:
-        """Register a hook called just before every event dispatch."""
-        self._dispatch_hooks.append(hook)
+        """Register a hook called just before every event dispatch.
+
+        Compatibility shim over ``bus.subscribe(DISPATCH_TOPIC, ...)``;
+        new code should subscribe to the bus directly.
+        """
+        self.bus.subscribe(DISPATCH_TOPIC, lambda _topic, event, _h=hook: _h(event))
+
+    # ------------------------------------------------------------------
+    # cancellation debt / heap compaction
+    # ------------------------------------------------------------------
+    def _note_cancelled(self) -> None:
+        self._cancelled_debt += 1
+        if (
+            self._cancelled_debt >= COMPACT_MIN_DEBT
+            and self._cancelled_debt * 2 >= len(self._queue)
+        ):
+            self.compact()
+
+    def compact(self) -> int:
+        """Drop cancelled events from the heap; returns how many were shed.
+
+        In-place (slice assignment) so run loops holding a reference to
+        the queue keep seeing the live heap.
+        """
+        queue = self._queue
+        before = len(queue)
+        queue[:] = [entry for entry in queue if not entry[3].cancelled]
+        heapq.heapify(queue)
+        self._cancelled_debt = 0
+        self.compactions += 1
+        return before - len(queue)
+
+    @property
+    def cancelled_debt(self) -> int:
+        """Cancelled events currently occupying heap slots."""
+        return self._cancelled_debt
+
+    def queue_size(self) -> int:
+        """Raw heap size, cancelled entries included (memory proxy)."""
+        return len(self._queue)
 
     # ------------------------------------------------------------------
     # execution
     # ------------------------------------------------------------------
     def step(self) -> bool:
         """Dispatch the single next event.  Returns False if queue empty."""
-        while self._queue:
-            event = heapq.heappop(self._queue)
+        queue = self._queue
+        while queue:
+            event = heapq.heappop(queue)[3]
+            event.owner = None
             if event.cancelled:
+                self._cancelled_debt -= 1
                 continue
             if event.time < self._now:
                 raise SimulationError("event queue corrupted: time moved backwards")
             self._now = event.time
-            for hook in self._dispatch_hooks:
-                hook(event)
+            for hook in self.bus.snapshot(DISPATCH_TOPIC):
+                hook(DISPATCH_TOPIC, event)
             self.dispatched_count += 1
             event.callback()
             return True
@@ -153,22 +235,57 @@ class Kernel:
         ``until`` is given the clock is advanced to exactly ``until`` even
         if the last event fired earlier, so callers can interleave
         ``run(until=...)`` segments and still observe a monotone clock.
+
+        The loop drains each distinct timestamp as one *batch*: the clock
+        is written once per timestamp and the dispatch-trace subscriber
+        snapshot is fetched once per timestamp.  Dispatch order is
+        identical to one-at-a-time stepping — events scheduled by a batch
+        member at the same timestamp merge into the batch in heap order.
         """
         dispatched = 0
+        if max_events is not None and max_events <= 0:
+            return 0
+        limit = max_events if max_events is not None else -1
+        queue = self._queue
+        pop = heapq.heappop
+        bus = self.bus
+        hooks_version = -1
+        hooks: tuple = ()
         self._running = True
         try:
-            while self._queue:
-                if max_events is not None and dispatched >= max_events:
-                    return dispatched
-                head = self._queue[0]
-                if head.cancelled:
-                    heapq.heappop(self._queue)
+            while queue:
+                head = queue[0]
+                batch_time = head[0]
+                if head[3].cancelled:
+                    pop(queue)[3].owner = None
+                    self._cancelled_debt -= 1
                     continue
-                if until is not None and head.time > until:
+                if until is not None and batch_time > until:
                     break
-                if not self.step():
-                    break
-                dispatched += 1
+                if batch_time < self._now:
+                    raise SimulationError(
+                        "event queue corrupted: time moved backwards"
+                    )
+                self._now = batch_time
+                if bus.version != hooks_version:
+                    hooks_version = bus.version
+                    hooks = bus.snapshot(DISPATCH_TOPIC)
+                while True:
+                    event = pop(queue)[3]
+                    event.owner = None
+                    if event.cancelled:
+                        self._cancelled_debt -= 1
+                    else:
+                        if hooks:
+                            for hook in hooks:
+                                hook(DISPATCH_TOPIC, event)
+                        self.dispatched_count += 1
+                        event.callback()
+                        dispatched += 1
+                        if dispatched == limit:
+                            return dispatched
+                    if not queue or queue[0][0] != batch_time:
+                        break
         finally:
             self._running = False
         if until is not None and self._now < until:
@@ -176,13 +293,20 @@ class Kernel:
         return dispatched
 
     def peek_time(self) -> Optional[float]:
-        """Time of the next pending event, or None if the queue is empty."""
-        while self._queue and self._queue[0].cancelled:
-            heapq.heappop(self._queue)
-        if not self._queue:
+        """Time of the next pending event, or None if the queue is empty.
+
+        O(1) in the common case: compaction keeps cancelled entries from
+        accumulating, and any cancelled head stripped here is paid for
+        exactly once (amortized constant).
+        """
+        queue = self._queue
+        while queue and queue[0][3].cancelled:
+            heapq.heappop(queue)[3].owner = None
+            self._cancelled_debt -= 1
+        if not queue:
             return None
-        return self._queue[0].time
+        return queue[0][0]
 
     def pending_count(self) -> int:
-        """Number of non-cancelled events still queued."""
-        return sum(1 for e in self._queue if not e.cancelled)
+        """Number of non-cancelled events still queued (O(1))."""
+        return len(self._queue) - self._cancelled_debt

@@ -192,7 +192,11 @@ def build_tv_model(
     b.transition("banner", "viewing", after=INFO_BANNER_TIMEOUT)
 
     # teletext -----------------------------------------------------------
-    for src in _VOLUME_BAR_SOURCES + ("menu",):
+    # epg is a ttx source too: the TV opens teletext over the programme
+    # guide, mirroring menu→ttx and the reverse ttx→epg transition (the
+    # seed model omitted it — found by the lockstep fuzz property with
+    # the key sequence power, epg, ttx).
+    for src in _VOLUME_BAR_SOURCES + ("menu", "epg"):
         b.transition(src, "ttx", event="ttx", action=_exit_dual)
     for src in _TTX_STATES:
         b.transition(src, "viewing", event="ttx")
@@ -209,12 +213,30 @@ def build_tv_model(
     b.transition("menu", "viewing", event="back")
     b.transition("epg", "viewing", event="epg")
     b.transition("epg", "viewing", event="back")
+    # menu opens over the programme guide (the reverse is blocked: the
+    # menu suppresses epg) — seed model omission found by the lockstep
+    # fuzz property (power, epg, menu).
+    b.transition("epg", "menu", event="menu")
     b.transition("volbar", "viewing", event="back")
     b.transition("banner", "viewing", event="back")
 
     # dual screen ----------------------------------------------------------
     for src in _VOLUME_BAR_SOURCES:
         b.transition(src, None, event="dual", action=_toggle_dual, internal=True)
+        b.transition(
+            src,
+            None,
+            event="swap",
+            guard=lambda m, e: m.get("dual"),
+            action=_swap,
+            internal=True,
+        )
+
+    # swap has no overlay precondition in the implementation: as long as
+    # dual screen is active it exchanges main and PiP, even under the
+    # menu/epg/alert overlays (seed model omission; lockstep fuzz found
+    # power, dual, menu, swap).
+    for src in ("menu", "epg", "alert"):
         b.transition(
             src,
             None,

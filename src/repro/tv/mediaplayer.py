@@ -58,9 +58,14 @@ class MediaPlayer:
     RENDER_TIME = 0.05
     BUFFER_CAPACITY = 8
 
-    def __init__(self, kernel: Kernel, source: MediaSource) -> None:
+    def __init__(
+        self, kernel: Kernel, source: MediaSource, suo_id: str = "player"
+    ) -> None:
         self.kernel = kernel
         self.source = source
+        self.suo_id = suo_id
+        self._publish_output = kernel.bus.publisher(f"suo.{suo_id}.output")
+        self._publish_command = kernel.bus.publisher(f"suo.{suo_id}.input")
         self.state = "stopped"
         self.position = 0.0
         self.frames_rendered = 0
@@ -82,6 +87,7 @@ class MediaPlayer:
         handler = getattr(self, f"_cmd_{name}", None)
         if handler is None:
             raise ValueError(f"unknown player command {name!r}")
+        self._publish_command((name, params))
         handler(**params)
         self._publish("state", self.state)
 
@@ -186,6 +192,7 @@ class MediaPlayer:
     def _publish(self, name: str, value: Any) -> None:
         for hook in self.output_hooks:
             hook(name, value)
+        self._publish_output((name, value))
 
     def throughput(self, window: float = 10.0) -> float:
         """Frames per time unit over the whole run (coarse)."""

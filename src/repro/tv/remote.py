@@ -49,11 +49,23 @@ class KeyPress:
 
 
 class RemoteControl:
-    """Delivers key presses to a handler and mirrors them to observers."""
+    """Delivers key presses to a handler and mirrors them to observers.
 
-    def __init__(self, kernel: Kernel, handler: Callable[[str], None]) -> None:
+    Observers attach either through the legacy ``input_hooks`` list or —
+    when ``topic`` is given — through the kernel's runtime bus, which is
+    how fleet-scale monitors watch many remotes without per-object wiring.
+    """
+
+    def __init__(
+        self,
+        kernel: Kernel,
+        handler: Callable[[str], None],
+        topic: Optional[str] = None,
+    ) -> None:
         self.kernel = kernel
         self.handler = handler
+        self.topic = topic
+        self._publish = kernel.bus.publisher(topic) if topic else None
         self.presses: List[KeyPress] = []
         self.input_hooks: List[Callable[[KeyPress], None]] = []
 
@@ -65,6 +77,8 @@ class RemoteControl:
         self.presses.append(press)
         for hook in self.input_hooks:
             hook(press)
+        if self._publish is not None:
+            self._publish(press)
         self.handler(key)
         return press
 

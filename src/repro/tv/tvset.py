@@ -366,12 +366,21 @@ class TVSet:
         kernel: Optional[Kernel] = None,
         seed: int = 0,
         soc: Optional[SoC] = None,
+        suo_id: str = "tv",
     ) -> None:
         self.kernel = kernel or Kernel()
         self.streams = RandomStreams(seed)
         self.soc = soc or make_tv_soc(self.kernel, seed=seed)
         if self.soc.kernel is not self.kernel:
             raise ValueError("SoC must share the TV's kernel")
+
+        #: Identity on the shared runtime bus.  Observables go out on
+        #: ``suo.<suo_id>.input`` / ``.stimulus`` / ``.output``, which is
+        #: what lets a MonitorFleet multiplex many TVs on one kernel.
+        self.suo_id = suo_id
+        self.bus = self.kernel.bus
+        self._publish_output = self.bus.publisher(f"suo.{suo_id}.output")
+        self._publish_stimulus = self.bus.publisher(f"suo.{suo_id}.stimulus")
 
         self.powered = False
         self.channel = 1
@@ -407,7 +416,9 @@ class TVSet:
         self.configuration.bind("control", "features", "features", "features")
         self.configuration.start_all()
 
-        self.remote = RemoteControl(self.kernel, self._on_key)
+        self.remote = RemoteControl(
+            self.kernel, self._on_key, topic=f"suo.{suo_id}.input"
+        )
 
         # observables ---------------------------------------------------
         self.output_events: List[OutputEvent] = []
@@ -478,6 +489,7 @@ class TVSet:
             return
         for hook in self.stimulus_hooks:
             hook("alert_broadcast")
+        self._publish_stimulus("alert_broadcast")
         self.features.handle("features", "raise_alert")
         if self.osd.op_osd_current_overlay() == "ttx":
             self.teletext.handle("ttx", "hide")
@@ -522,6 +534,7 @@ class TVSet:
         self.output_events.append(event)
         for hook in self.output_hooks:
             hook(event)
+        self._publish_output(event)
 
     # ------------------------------------------------------------------
     # convenience driving API

@@ -142,3 +142,108 @@ def test_zero_delay_event_fires_at_current_time():
     kernel.schedule(5.0, lambda: kernel.schedule(0.0, lambda: times.append(kernel.now)))
     kernel.run()
     assert times == [5.0]
+
+
+# ----------------------------------------------------------------------
+# lazy-deletion debt and heap compaction (fleet-scale memory bound)
+# ----------------------------------------------------------------------
+def test_cancelled_events_do_not_accumulate_in_the_heap():
+    """Regression: the seed kernel never removed cancelled events, so a
+    long campaign that schedules-and-cancels (transient overlay timers,
+    watchdogs) grew the queue without bound.  Compaction must keep the
+    raw heap size within a constant factor of the live event count."""
+    kernel = Kernel()
+    kernel.schedule(1e9, lambda: None)  # one live far-future event
+    max_queue = 0
+    for round_ in range(200):
+        events = [kernel.schedule(1e6 + round_, lambda: None) for _ in range(100)]
+        for event in events:
+            event.cancel()
+        max_queue = max(max_queue, kernel.queue_size())
+    # 20k cancellations happened; the heap must stay small and exact
+    assert max_queue < 1000
+    assert kernel.pending_count() == 1
+    assert kernel.compactions > 0
+    kernel.run(until=2e9)
+    assert kernel.dispatched_count == 1
+
+
+def test_compaction_preserves_dispatch_order():
+    kernel = Kernel()
+    order = []
+    keep = []
+    for i in range(50):
+        keep.append(kernel.schedule(float(i + 1), lambda i=i: order.append(i)))
+    doomed = [kernel.schedule(0.5, lambda: order.append("doomed")) for _ in range(500)]
+    for event in doomed:
+        event.cancel()  # crosses the debt threshold -> compacts
+    assert kernel.compactions > 0
+    kernel.run()
+    assert order == list(range(50))
+
+
+def test_pending_count_is_exact_under_cancellation():
+    kernel = Kernel()
+    events = [kernel.schedule(float(i + 1), lambda: None) for i in range(10)]
+    events[3].cancel()
+    events[7].cancel()
+    events[7].cancel()  # double-cancel must not double-count
+    assert kernel.pending_count() == 8
+    assert kernel.cancelled_debt == 2
+    kernel.run()
+    assert kernel.dispatched_count == 8
+    assert kernel.pending_count() == 0
+
+
+def test_cancel_after_dispatch_is_harmless():
+    kernel = Kernel()
+    fired = []
+    event = kernel.schedule(1.0, lambda: fired.append(1))
+    kernel.run()
+    event.cancel()  # already dispatched; must not corrupt the debt
+    assert fired == [1]
+    assert kernel.pending_count() == 0
+    assert kernel.cancelled_debt == 0
+
+
+def test_peek_time_is_exact_with_cancelled_head():
+    kernel = Kernel()
+    first = kernel.schedule(1.0, lambda: None)
+    kernel.schedule(2.0, lambda: None)
+    first.cancel()
+    assert kernel.peek_time() == 2.0
+    assert kernel.pending_count() == 1
+
+
+def test_batched_dispatch_keeps_same_timestamp_order_with_nesting():
+    """Events scheduled *during* a same-timestamp batch merge into it in
+    (priority, seq) order, exactly as one-at-a-time stepping would."""
+    kernel = Kernel()
+    order = []
+
+    def first():
+        order.append("first")
+        kernel.schedule(0.0, lambda: order.append("nested-late"), priority=5)
+        kernel.schedule(0.0, lambda: order.append("nested-soon"), priority=-5)
+
+    kernel.schedule(1.0, first)
+    kernel.schedule(1.0, lambda: order.append("second"))
+    kernel.run()
+    assert order == ["first", "nested-soon", "second", "nested-late"]
+
+
+def test_callback_may_cancel_later_event_in_same_batch():
+    kernel = Kernel()
+    order = []
+    victim = kernel.schedule(1.0, lambda: order.append("victim"), priority=1)
+    kernel.schedule(1.0, lambda: victim.cancel(), priority=0)
+    kernel.run()
+    assert order == []
+    assert kernel.pending_count() == 0
+
+
+def test_run_with_max_events_zero_dispatches_nothing():
+    kernel = Kernel()
+    kernel.schedule(1.0, lambda: None)
+    assert kernel.run(max_events=0) == 0
+    assert kernel.pending_count() == 1
