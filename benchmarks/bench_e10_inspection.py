@@ -15,7 +15,7 @@ import pytest
 from repro.devtools import WarningGenerator, WarningPrioritizer
 from repro.tv.software import SoftwareBuild
 
-from conftest import print_table, run_once
+from conftest import print_table, qscale, run_once
 
 CUTOFFS = (10, 25, 50, 100)
 
@@ -23,7 +23,7 @@ CUTOFFS = (10, 25, 50, 100)
 def test_e10_prioritization_beats_baselines(benchmark):
     def experiment():
         build = SoftwareBuild()
-        warnings = WarningGenerator(build, seed=3, warning_count=800).generate()
+        warnings = WarningGenerator(build, seed=3, warning_count=qscale(800, 300)).generate()
         prioritizer = WarningPrioritizer(build, seed=3)
         return {
             strategy: prioritizer.evaluate(warnings, strategy, cutoffs=CUTOFFS)
@@ -58,7 +58,7 @@ def test_e10_robust_across_seeds(benchmark):
 
     def sweep():
         wins = 0
-        trials = 6
+        trials = qscale(6, 3)
         for seed in range(trials):
             build = SoftwareBuild(seed=seed)
             warnings = WarningGenerator(build, seed=seed, warning_count=500).generate()

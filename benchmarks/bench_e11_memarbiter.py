@@ -17,7 +17,7 @@ from repro.platform import MemoryArbiter
 from repro.recovery import AdaptiveArbiterController
 from repro.sim import Delay, Kernel, Process
 
-from conftest import print_table, run_once
+from conftest import print_table, qscale, run_once
 
 VIDEO_BOUND = 3.0
 
@@ -47,7 +47,7 @@ def run_system(mode):
     client("video", 50, 200)
     client("hog1", 500, 70)
     client("hog2", 500, 70)
-    kernel.run(until=900.0)
+    kernel.run(until=qscale(900.0, 400.0))
     return {
         "video_latency": arbiter.client_stats("video").mean_latency(),
         "video_max": arbiter.client_stats("video").max_latency,
@@ -116,7 +116,7 @@ def test_e11_adaptation_reacts_to_phase_change(benchmark):
         Process(kernel, video())
         Process(kernel, hog("hog1", 300.0)())
         Process(kernel, hog("hog2", 300.0)())
-        kernel.run(until=1000.0)
+        kernel.run(until=qscale(1000.0, 600.0))
         first_adaptation = controller.events[0].time if controller.events else None
         return first_adaptation
 

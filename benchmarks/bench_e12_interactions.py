@@ -18,22 +18,36 @@ from repro.statemachine import Event, MachineBuilder, ModelChecker, TestGenerato
 from repro.tv import build_tv_model
 from repro.tv.control_model import _exit_dual, _toggle_dual
 
-from conftest import print_table, run_once
+from conftest import print_table, qscale, run_once
+
+# --quick (REPRO_BENCH_QUICK=1) shrinks the state space: two channels
+# instead of three and a tighter exploration bound — same claims, ~5x
+# less graph.
+CHANNELS = qscale(3, 2)
+MAX_STATES = qscale(20000, 6000)
 
 # vol_up AND vol_down: with only one of them the volume variable is a
 # one-way door and the reachable graph is not strongly connected, which
-# makes coverage walks restart from reset far more often.
+# makes coverage walks restart from reset far more often.  Quick mode
+# drops swap and alert_broadcast — none of the seeded mistakes or
+# invariants need them, and they multiply the reachable state space.
 ALPHABET = [
     Event(name)
-    for name in (
-        "power", "ch_up", "vol_up", "vol_down", "mute", "ttx", "menu",
-        "back", "dual", "swap", "epg", "ok", "alert_broadcast",
+    for name in qscale(
+        (
+            "power", "ch_up", "vol_up", "vol_down", "mute", "ttx", "menu",
+            "back", "dual", "swap", "epg", "ok", "alert_broadcast",
+        ),
+        (
+            "power", "ch_up", "vol_up", "vol_down", "mute", "ttx", "menu",
+            "back", "dual", "epg", "ok",
+        ),
     )
 ]
 
 
 def check(machine, invariants=()):
-    return ModelChecker(machine, ALPHABET, invariants=list(invariants), max_states=20000).run()
+    return ModelChecker(machine, ALPHABET, invariants=list(invariants), max_states=MAX_STATES).run()
 
 
 INVARIANTS = [
@@ -56,7 +70,7 @@ INVARIANTS = [
 
 def test_e12_shipped_model_is_clean(benchmark):
     def experiment():
-        return check(build_tv_model(channel_count=3), INVARIANTS)
+        return check(build_tv_model(channel_count=CHANNELS), INVARIANTS)
 
     report = run_once(benchmark, experiment)
     print_table(
@@ -77,7 +91,7 @@ def test_e12_shipped_model_is_clean(benchmark):
 
 def _buggy_dual_ttx():
     """Modeling mistake 1: forgot that ttx must force single screen."""
-    machine = build_tv_model(channel_count=3)
+    machine = build_tv_model(channel_count=CHANNELS)
     for transition in machine.all_transitions():
         if transition.action is _exit_dual and transition.event == "ttx":
             transition.action = None  # the forgotten suppression rule
@@ -88,7 +102,7 @@ def _buggy_double_transition():
     """Modeling mistake 2: two enabled transitions for the same event."""
     from repro.statemachine import Transition
 
-    machine = build_tv_model(channel_count=3)
+    machine = build_tv_model(channel_count=CHANNELS)
     viewing = machine._find_state("tv_spec_root.on.viewing")
     menu = machine._find_state("tv_spec_root.on.menu")
     machine.add_transition(
@@ -100,7 +114,7 @@ def _buggy_double_transition():
 def _buggy_dead_state():
     """Modeling mistake 3: the EPG overlay is declared but never entered
     (every transition *into* it was forgotten) — dead model parts."""
-    machine = build_tv_model(channel_count=3)
+    machine = build_tv_model(channel_count=CHANNELS)
     epg = machine._find_state("tv_spec_root.on.epg")
     for bucket_key in list(machine._transitions):
         machine._transitions[bucket_key] = [
@@ -138,8 +152,8 @@ def test_e12_checker_catches_seeded_modeling_errors(benchmark):
 
 def test_e12_testgen_covers_interaction_transitions(benchmark):
     def experiment():
-        machine = build_tv_model(channel_count=3)
-        generator = TestGenerator(machine, ALPHABET, max_states=20000)
+        machine = build_tv_model(channel_count=CHANNELS)
+        generator = TestGenerator(machine, ALPHABET, max_states=MAX_STATES)
         scenarios = generator.generate(max_scenarios=500)
         covered = set()
         for scenario in scenarios:

@@ -20,7 +20,7 @@ from repro.awareness import make_tv_monitor
 from repro.core import TraderTV
 from repro.tv import TVSet
 
-from conftest import print_table, run_once
+from conftest import print_table, qscale, run_once
 
 WORKLOAD = [
     "power", "ch_up", "ch_up", "vol_up", "ttx", "ttx", "menu", "back",
@@ -65,7 +65,7 @@ def test_e13_monitoring_overhead(benchmark):
         # interleave repetitions so machine noise spreads evenly
         samples = {"bare": [], "monitored": [], "full stack": []}
         events = {}
-        for _ in range(3):
+        for _ in range(qscale(3, 2)):
             for name, runner in (
                 ("bare", run_bare),
                 ("monitored", run_monitored),

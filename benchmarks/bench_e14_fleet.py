@@ -19,11 +19,11 @@ import pytest
 
 from repro.runtime import ExperimentRunner, MonitorFleet
 
-from conftest import print_table, run_once
+from conftest import print_table, qscale, run_once
 
 FLEET_SEED = 14
-FLEET_SIZE = 100
-DURATION = 60.0
+FLEET_SIZE = qscale(100, 30)
+DURATION = qscale(60.0, 30.0)
 VOLUME_HEAVY_KEYS = [
     "power", "vol_up", "vol_down", "vol_up", "ch_up", "ch_down",
     "mute", "menu", "back", "ttx", "epg",
@@ -60,7 +60,7 @@ def test_e14_fleet_campaign(benchmark):
         ]],
     )
     assert report.members == FLEET_SIZE
-    assert report.dispatched > 10_000
+    assert report.dispatched > qscale(10_000, 1_000)
     assert report.faulty, "20% injection over 100 TVs must afflict someone"
     assert report.detected, "the monitors must catch injected faults"
     assert report.false_alarms == [], "fault-free members must stay silent"

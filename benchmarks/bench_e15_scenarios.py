@@ -1,0 +1,88 @@
+"""E15 — beyond the paper: thousand-SUO scenario campaign in bounded
+memory.
+
+The ROADMAP's north star is many-scenario campaigns over thousands of
+devices.  This bench runs a declarative :class:`ScenarioSpec` with 1000
+monitored TVs on one kernel: the fleet auto-selects streaming mode (no
+merged trace retained), so observation memory is O(members), while the
+incremental trace digest and the telemetry digest keep the run's
+determinism checkable.
+
+Claims checked:
+
+* a 1000-SUO campaign completes with **zero retained trace records**;
+* streaming telemetry still accounts for every ``suo.*`` event;
+* the run is deterministic — same seed, identical trace digest *and*
+  byte-identical telemetry summary, across two fresh runs.
+"""
+
+import json
+
+from repro.scenarios import FaultPhase, ScenarioRunner, ScenarioSpec, UserProfile
+
+from conftest import print_table, qscale, run_once
+
+DURATION = qscale(40.0, 20.0)
+
+THOUSAND = ScenarioSpec(
+    name="thousand-suo-soak",
+    description="1000 monitored TVs, light traffic, one mid-run fault wave",
+    duration=DURATION,
+    tvs=1000,
+    profiles=(
+        UserProfile("prime-time", mean_gap=15.0,
+                    keys=("power", "ch_up", "vol_up", "vol_down", "mute")),
+        UserProfile("idle", mean_gap=60.0, keys=("power", "ch_up"), weight=0.5),
+    ),
+    phases=(
+        FaultPhase("volume_overshoot", at=DURATION / 2, fraction=0.1),
+    ),
+)
+
+
+def test_e15_thousand_suo_streaming_campaign(benchmark):
+    def campaign():
+        compiled = ScenarioRunner().compile(THOUSAND, seed=15)
+        report = compiled.run()
+        return compiled, report
+
+    compiled, report = run_once(benchmark, campaign)
+    fleet = compiled.fleet
+    summary = report.telemetry_summary
+    print_table(
+        "E15: 1000-SUO scenario campaign, streaming telemetry",
+        ["members", "sim s", "dispatched", "events/sec", "suo events",
+         "retained records", "reservoir", "faulty"],
+        [[
+            report.members,
+            f"{report.duration:.0f}",
+            report.dispatched,
+            f"{report.events_per_sec:.0f}",
+            summary["events_total"],
+            len(fleet.trace.records),
+            summary["latency"]["retained"],
+            len(report.faulty),
+        ]],
+    )
+    assert report.members == 1000
+    assert report.retained_trace is False, "1000 SUOs must auto-stream"
+    assert fleet.trace.records == [], "no merged trace may be retained"
+    assert summary["events_total"] == report.trace_records > 0
+    # reservoir stays bounded however much traffic flowed
+    assert summary["latency"]["retained"] <= fleet.telemetry.latency.capacity
+    assert report.faulty, "the fault wave must afflict someone"
+
+
+def test_e15_streaming_run_is_deterministic(benchmark):
+    def both():
+        first = ScenarioRunner().run(THOUSAND, seed=15)
+        second = ScenarioRunner().run(THOUSAND, seed=15)
+        return first, second
+
+    first, second = run_once(benchmark, both)
+    assert first.fleet.trace_digest == second.fleet.trace_digest
+    assert first.telemetry_digest == second.telemetry_digest
+    assert json.dumps(first.telemetry, sort_keys=True) == json.dumps(
+        second.telemetry, sort_keys=True
+    )
+    assert first.fleet.dispatched == second.fleet.dispatched

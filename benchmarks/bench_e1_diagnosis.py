@@ -19,7 +19,7 @@ from repro.diagnosis import (
 )
 from repro.tv import FaultInjector, TVSet
 
-from conftest import print_table, run_once
+from conftest import print_table, qscale, run_once
 
 
 def run_diagnosis_experiment(coefficient="ochiai", seed=11):
@@ -58,7 +58,8 @@ def test_e1_teletext_fault_ranked_first(benchmark):
 def test_e1_coefficient_sweep(benchmark):
     def sweep():
         rows = []
-        for name in ("ochiai", "tarantula", "jaccard", "dice", "kulczynski2"):
+        for name in qscale(("ochiai", "tarantula", "jaccard", "dice", "kulczynski2"),
+                            ("ochiai", "tarantula", "jaccard")):
             result, quality = run_diagnosis_experiment(coefficient=name)
             rows.append(
                 [name, quality.best_rank, f"{quality.wasted_effort:.4f}"]

@@ -15,7 +15,7 @@ import pytest
 from repro.awareness import default_tv_config, make_tv_monitor
 from repro.tv import FaultInjector, TVSet
 
-from conftest import print_table, run_once
+from conftest import print_table, qscale, run_once
 
 WORKLOAD = [
     "power", "ttx", "ch_up", "ttx", "menu", "back", "vol_up", "vol_up",
@@ -57,7 +57,7 @@ def run_point(max_consecutive, delay=0.3, jitter=0.25, period=0.25):
 def test_e2_tolerance_tradeoff(benchmark):
     def sweep():
         rows = []
-        for max_consecutive in (1, 2, 3, 5, 8):
+        for max_consecutive in qscale((1, 2, 3, 5, 8), (1, 3, 8)):
             false_errors, latency = run_point(max_consecutive)
             rows.append(
                 [

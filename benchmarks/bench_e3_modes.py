@@ -18,7 +18,7 @@ from repro.awareness import (
 )
 from repro.tv import FaultInjector, TVSet
 
-from conftest import print_table, run_once
+from conftest import print_table, qscale, run_once
 
 SCENARIO = ["power", "ttx", "ttx", "ch_up", "ttx"]
 
@@ -51,7 +51,7 @@ def run_experiment(faulty):
         if faulty and key == "ttx" and index == 4:
             fault_visible_at = tv.kernel.now
         tv.run(5.0)
-    tv.run(15.0)
+    tv.run(qscale(15.0, 10.0))
     mode_latency = (
         checker.reports[0].time - fault_visible_at
         if checker.reports and fault_visible_at

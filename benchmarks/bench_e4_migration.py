@@ -15,7 +15,7 @@ import pytest
 from repro.recovery import LoadBalancer
 from repro.tv import TVSet
 
-from conftest import print_table, run_once
+from conftest import print_table, qscale, run_once
 
 
 def run_point(signal_quality, migrate, seed=9):
@@ -34,7 +34,7 @@ def run_point(signal_quality, migrate, seed=9):
         )
         balancer.start()
     start = tv.kernel.now
-    tv.run(300.0)
+    tv.run(qscale(300.0, 120.0))
     return {
         "quality": tv.video.mean_quality(since=start + 60),
         "miss_rate": max(t.recent_miss_rate(50) for t in tv.video.tasks),
@@ -97,7 +97,7 @@ def test_e4_migration_latency(benchmark):
         balancer.start()
         overload_at = tv.kernel.now
         tv.tuner.degrade_channel(1, 0.4)
-        tv.run(200.0)
+        tv.run(qscale(200.0, 100.0))
         if not balancer.decisions:
             return None
         return balancer.decisions[0].time - overload_at

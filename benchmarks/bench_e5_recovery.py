@@ -20,7 +20,7 @@ from repro.recovery import (
 )
 from repro.sim import Delay, Interrupted, Kernel
 
-from conftest import print_table, run_once
+from conftest import print_table, qscale, run_once
 
 UNIT_SPECS = [
     ("tuner_driver", 1.0),
@@ -129,7 +129,7 @@ def test_e5_steady_state_overhead(benchmark):
         kernel, manager, comm, units, ticks = build_system()
         kernel.run(until=50.0)
         sent = 0
-        for _ in range(2000):
+        for _ in range(qscale(2000, 500)):
             comm.send("osd", "teletext", "req")
             sent += 1
         return comm.delivered, sent

@@ -18,13 +18,13 @@ from repro.perception import (
     generate_population,
 )
 
-from conftest import print_table, run_once
+from conftest import print_table, qscale, run_once
 
 
 def test_e6_attribution_effect(benchmark):
     def experiment():
         study = ControlledStudy(PAPER_FUNCTIONS, seed=42)
-        return study.run(generate_population(500, seed=7))
+        return study.run(generate_population(qscale(500, 150), seed=7))
 
     result = run_once(benchmark, experiment)
     rows = []
@@ -62,7 +62,7 @@ def test_e6_discount_sensitivity(benchmark):
                 severity=SeverityModel(external_discount=discount),
                 seed=42,
             )
-            result = study.run(generate_population(300, seed=7))
+            result = study.run(generate_population(qscale(300, 120), seed=7))
             image = result.outcomes["image_quality"].observed_irritation_mean
             swivel = result.outcomes["swivel"].observed_irritation_mean
             rows.append([discount, f"{image:.3f}", f"{swivel:.3f}", f"{swivel / image:.2f}"])

@@ -15,12 +15,12 @@ import pytest
 
 from repro.devtools import DEFAULT_SCENARIOS, StressCampaign
 
-from conftest import print_table, run_once
+from conftest import print_table, qscale, run_once
 
 
 def test_e7_stress_campaign(benchmark):
     def experiment():
-        campaign = StressCampaign(seed=2, measure=120.0)
+        campaign = StressCampaign(seed=2, measure=qscale(120.0, 40.0))
         return campaign.run(DEFAULT_SCENARIOS)
 
     outcomes = run_once(benchmark, experiment)
@@ -88,7 +88,7 @@ def test_e7_stress_reveals_latent_fault_tolerance_limits(benchmark):
             eater = CpuEater(tv.soc, "cpu0")
             eater.start(load)
             start = tv.kernel.now
-            tv.run(200.0)
+            tv.run(qscale(200.0, 80.0))
             rows.append(
                 [
                     load,

@@ -22,7 +22,7 @@ from repro.core import AwarenessLoop, LadderStep, MonitorHierarchy, RecoveryPoli
 from repro.recovery import RecoveryManager
 from repro.tv import FaultInjector, TVSet
 
-from conftest import print_table, run_once
+from conftest import print_table, qscale, run_once
 
 # After the fault activates (press 3) every later teletext session runs on
 # a channel the stale acquirer does not believe is tuned.
@@ -66,7 +66,7 @@ def run_closed_loop():
     for key in SCENARIO:
         tv.press(key)
         tv.run(5.0)
-    tv.run(30.0)
+    tv.run(qscale(30.0, 20.0))
     return tv, monitor, checker, loop
 
 
@@ -103,7 +103,7 @@ def test_e8_open_loop_baseline(benchmark):
         for key in SCENARIO:
             tv.press(key)
             tv.run(5.0)
-        tv.run(30.0)
+        tv.run(qscale(30.0, 20.0))
         return tv.screen_descriptor().get("ttx_status")
 
     status = run_once(benchmark, run_open_loop)

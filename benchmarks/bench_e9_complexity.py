@@ -15,7 +15,7 @@ import pytest
 from repro.statemachine import Event, MachineBuilder, ModelChecker, TestGenerator
 from repro.tv import build_tv_model
 
-from conftest import print_table, run_once
+from conftest import print_table, qscale, run_once
 
 FEATURE_ALPHABETS = [
     ("power only", ["power"]),
@@ -32,10 +32,10 @@ FEATURE_ALPHABETS = [
 ]
 
 
-def explore(alphabet_names, channels=5):
+def explore(alphabet_names, channels=qscale(5, 3)):
     spec = build_tv_model(channel_count=channels)
     alphabet = [Event(name) for name in alphabet_names]
-    report = ModelChecker(spec, alphabet, max_states=100000).run()
+    report = ModelChecker(spec, alphabet, max_states=qscale(100000, 30000)).run()
     return report.states_explored, report.transitions_taken
 
 
@@ -95,8 +95,8 @@ def test_e9_test_budget_vs_coverage(benchmark):
             Event(name)
             for name in ("power", "ch_up", "vol_up", "mute", "ttx", "menu", "back")
         ]
-        generator = TestGenerator(spec, alphabet, max_states=20000)
-        scenarios = generator.generate(max_scenarios=200)
+        generator = TestGenerator(spec, alphabet, max_states=qscale(20000, 8000))
+        scenarios = generator.generate(max_scenarios=qscale(200, 100))
         total_presses = sum(len(s) for s in scenarios)
         graph = generator._graph
         states = graph.number_of_nodes()

@@ -8,6 +8,24 @@ experiments do not get re-run dozens of times by the calibrator.
 
 from __future__ import annotations
 
+import os
+
+
+def quick_mode() -> bool:
+    """True when the smoke runner asked for down-scaled workloads.
+
+    Set by ``benchmarks/run_all.py --quick`` (env ``REPRO_BENCH_QUICK=1``);
+    every bench routes its dominant size knob through :func:`qscale` so
+    the whole suite smoke-runs in seconds while full mode keeps the
+    paper-scale numbers.
+    """
+    return os.environ.get("REPRO_BENCH_QUICK", "") == "1"
+
+
+def qscale(full, quick):
+    """``full`` normally, ``quick`` under ``--quick``."""
+    return quick if quick_mode() else full
+
 
 def run_once(benchmark, fn, *args, **kwargs):
     """Run ``fn`` exactly once under pytest-benchmark timing."""

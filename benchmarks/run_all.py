@@ -5,18 +5,26 @@ the runtime performance trajectory in ``BENCH_runtime.json``.
 Usage::
 
     python benchmarks/run_all.py              # throughput probes + all benches
+    python benchmarks/run_all.py --quick      # down-scaled workloads (CI smoke)
     python benchmarks/run_all.py --no-benches # throughput probes only (fast)
     python benchmarks/run_all.py --out /tmp/bench.json
 
-Quick mode runs each ``bench_e*.py`` once under ``pytest
---benchmark-disable`` (the simulations are deterministic, so a single
-round is a faithful measurement) and times the file.  Independently of
-the benches, three throughput probes measure the kernel itself:
+``--quick`` exports ``REPRO_BENCH_QUICK=1`` to every bench process; each
+bench routes its dominant size knob through ``conftest.qscale`` so the
+whole suite smoke-runs in a fraction of the full-mode time (full mode is
+what ``BENCH_runtime.json`` trajectories are compared on).
+
+Every bench_e*.py runs once under ``pytest --benchmark-disable`` (the
+simulations are deterministic, so a single round is a faithful
+measurement) and the file is timed.  Independently of the benches, four
+throughput probes measure the runtime itself:
 
 * ``kernel``     — bare dispatch loop, no SUO (events/sec);
 * ``single_suo`` — one TV driven through the E13 workload (events/sec);
 * ``fleet``      — a 100-SUO MonitorFleet campaign (events/sec), plus a
-  byte-identical-trace determinism check.
+  byte-identical-trace determinism check;
+* ``scenarios``  — a 1000-SUO streaming-telemetry scenario (the E15
+  workload), recording its trace and telemetry digests.
 
 ``BENCH_runtime.json`` carries the numbers plus the seed-kernel baseline
 measured before the runtime refactor, so future PRs can see the
@@ -109,11 +117,43 @@ def probe_fleet(members: int = 100, duration: float = 60.0) -> dict:
     }
 
 
-def run_benches() -> dict:
-    """Each bench_e*.py once, quick mode; returns per-file status."""
+def probe_scenarios(members: int = 1000, duration: float = 20.0) -> dict:
+    """One 1000-SUO streaming scenario campaign (the E15 workload)."""
+    from repro.scenarios import FaultPhase, ScenarioRunner, ScenarioSpec, UserProfile
+
+    spec = ScenarioSpec(
+        name="probe-thousand-suo",
+        description="run_all probe: streaming-telemetry scale point",
+        duration=duration,
+        tvs=members,
+        profiles=(UserProfile("probe", mean_gap=15.0,
+                              keys=("power", "ch_up", "vol_up", "mute")),),
+        phases=(FaultPhase("volume_overshoot", at=duration / 2, fraction=0.1),),
+    )
+    report = ScenarioRunner().run(spec, seed=15)
+    return {
+        "members": report.fleet.members,
+        "sim_duration": duration,
+        "dispatched": report.fleet.dispatched,
+        "events_per_sec": round(report.fleet.events_per_sec),
+        "streaming": not report.fleet.retained_trace,
+        "suo_events": report.telemetry["events_total"],
+        "telemetry_digest": report.telemetry_digest,
+        "trace_digest": report.fleet.trace_digest,
+    }
+
+
+def run_benches(quick: bool = False) -> dict:
+    """Each bench_e*.py once; returns per-file status."""
     results = {}
     env = dict(os.environ)
     env["PYTHONPATH"] = SRC + os.pathsep + env.get("PYTHONPATH", "")
+    if quick:
+        env["REPRO_BENCH_QUICK"] = "1"
+    else:
+        # A stale exported REPRO_BENCH_QUICK must not silently down-scale
+        # a run recorded as full mode.
+        env.pop("REPRO_BENCH_QUICK", None)
     for path in sorted(glob.glob(os.path.join(REPO_ROOT, "benchmarks", "bench_e*.py"))):
         name = os.path.basename(path)
         start = time.perf_counter()
@@ -145,10 +185,21 @@ def main() -> int:
         help="skip the bench_e*.py smoke pass; only run throughput probes",
     )
     parser.add_argument(
+        "--quick", action="store_true",
+        help="down-scale every bench (REPRO_BENCH_QUICK=1): CI smoke mode",
+    )
+    parser.add_argument(
         "--out", default=os.path.join(REPO_ROOT, "BENCH_runtime.json"),
         help="where to write the JSON report",
     )
     args = parser.parse_args()
+    default_out = parser.get_default("out")
+    if args.quick and os.path.abspath(args.out) == os.path.abspath(default_out):
+        parser.error(
+            "--quick requires an explicit --out: quick-mode timings must "
+            "not overwrite the tracked full-mode trajectory in "
+            "BENCH_runtime.json"
+        )
 
     print("probing kernel dispatch throughput ...", flush=True)
     kernel_eps = probe_kernel()
@@ -162,16 +213,25 @@ def main() -> int:
         f"  fleet: {fleet['events_per_sec']:,} events/sec over "
         f"{fleet['members']} SUOs, deterministic={fleet['deterministic']}"
     )
+    print("probing 1000-SUO streaming scenario ...", flush=True)
+    scenarios = probe_scenarios()
+    print(
+        f"  scenario: {scenarios['events_per_sec']:,} events/sec over "
+        f"{scenarios['members']} SUOs, streaming={scenarios['streaming']}"
+    )
 
     benches = {}
     if not args.no_benches:
-        print("running benches in quick mode ...", flush=True)
-        benches = run_benches()
+        mode = "quick" if args.quick else "full"
+        print(f"running benches ({mode} mode) ...", flush=True)
+        benches = run_benches(quick=args.quick)
 
     report = {
+        "mode": "quick" if args.quick else "full",
         "kernel_events_per_sec": round(kernel_eps),
         "single_suo_events_per_sec": round(single_eps),
         "fleet": fleet,
+        "scenarios": scenarios,
         "seed_baseline": SEED_BASELINE,
         "benches": benches,
     }

@@ -1,0 +1,56 @@
+"""Scenario × seed sweep with streaming telemetry.
+
+PR 1 ran one hand-coded fleet campaign.  This example runs the
+declarative version: a grid of named scenarios from the library swept
+over several seeds by :class:`~repro.scenarios.ScenarioRunner`, each cell
+reporting through the bounded-memory telemetry layer.  The telemetry
+digest column is the reproducibility witness — rerun this script and the
+digests come out identical, because every stochastic choice in a
+scenario draws from streams derived from ``(seed, role)`` names.
+
+Run:  python examples/scenario_sweep.py
+"""
+
+from repro.scenarios import ScenarioRunner, format_table, get_scenario, scenario_names
+
+
+def main() -> None:
+    # 1. the grid: four contrasting workload classes, three seeds each --
+    grid = ["zapping-storm", "teletext-heavy", "mixed-fleet-cascade",
+            "recovery-ladder-drill"]
+    seeds = [1, 2, 3]
+    print(f"library: {len(scenario_names())} named scenarios; sweeping "
+          f"{len(grid)} of them x {len(seeds)} seeds\n")
+
+    runner = ScenarioRunner()
+    reports = runner.sweep(grid, seeds=seeds)
+
+    # 2. the summary table: one row per (scenario, seed) cell -----------
+    print(format_table(reports))
+
+    # 3. what the telemetry layer saw for one interesting cell ----------
+    drill = next(r for r in reports
+                 if r.scenario == "recovery-ladder-drill" and r.seed == 1)
+    summary = drill.telemetry
+    print(f"\nrecovery-ladder-drill seed 1, through the telemetry hub:")
+    print(f"  {summary['suos']} SUOs, {summary['events_total']} suo events "
+          f"({summary['events_by_kind']})")
+    latency = summary["latency"]
+    print(f"  monitor channel latency: p50={latency['p50'] * 1000:.1f}ms "
+          f"p99={latency['p99'] * 1000:.1f}ms over {latency['count']} deliveries "
+          f"({latency['retained']} retained in the reservoir)")
+    print(f"  errors by SUO: {summary['errors_by_suo']}")
+    spec = get_scenario("recovery-ladder-drill")
+    print(f"  drill schedule: {len(spec.phases)} waves, "
+          f"fractions {[phase.fraction for phase in spec.phases]}")
+
+    # 4. determinism: the same cell reruns to the same bytes ------------
+    again = runner.run("recovery-ladder-drill", seed=1)
+    assert again.telemetry_digest == drill.telemetry_digest
+    assert again.fleet.trace_digest == drill.fleet.trace_digest
+    print("\nrerun of that cell reproduced identical telemetry and trace "
+          "digests — the sweep is replayable byte for byte.")
+
+
+if __name__ == "__main__":
+    main()

@@ -21,8 +21,13 @@ awareness stack on a fully simulated substrate:
 * :mod:`repro.platform` / :mod:`repro.koala` / :mod:`repro.sim` — the
   SoC, component-model, and discrete-event simulation substrates;
 * :mod:`repro.runtime`     — the typed event bus every layer publishes
-  on, and the MonitorFleet/ExperimentRunner engine that multiplexes
-  hundreds of monitored SUOs on one kernel.
+  on, the MonitorFleet/ExperimentRunner engine that multiplexes
+  hundreds of monitored SUOs on one kernel, and the streaming
+  telemetry aggregators that keep thousand-SUO campaigns in bounded
+  memory;
+* :mod:`repro.scenarios`   — declarative workload scenarios
+  (ScenarioSpec → MonitorFleet compiler, a ≥10-entry named library,
+  scenario × seed sweeps via ScenarioRunner).
 """
 
 __version__ = "1.0.0"

@@ -8,7 +8,11 @@ This package is the scale layer the ROADMAP's north star asks for:
   replacement for the old ``kernel.registry`` dict;
 * :mod:`repro.runtime.fleet` — :class:`MonitorFleet` /
   :class:`ExperimentRunner`, running hundreds of monitored SUOs on one
-  kernel with deterministic per-SUO random streams.
+  kernel with deterministic per-SUO random streams;
+* :mod:`repro.runtime.telemetry` — :class:`FleetTelemetry` and its
+  bounded-memory aggregators (counters, windowed rates, reservoir
+  histograms), the streaming alternative to retaining the merged fleet
+  trace at thousand-SUO scale.
 
 ``fleet`` is imported lazily (PEP 562): it depends on the SUO packages,
 which themselves import the kernel — which imports this package for the
@@ -19,19 +23,38 @@ from __future__ import annotations
 
 from .bus import EventBus, Subscription
 from .registry import ServiceRegistry, TOPIC_PROVIDE
+from .telemetry import (
+    CounterSet,
+    FleetTelemetry,
+    ReservoirHistogram,
+    SuoTally,
+    WindowedRate,
+)
 
 __all__ = [
+    "CounterSet",
     "EventBus",
     "ExperimentRunner",
     "FleetMember",
     "FleetReport",
+    "FleetTelemetry",
     "MonitorFleet",
+    "ReservoirHistogram",
     "ServiceRegistry",
     "Subscription",
+    "SuoTally",
     "TOPIC_PROVIDE",
+    "WindowedRate",
+    "build_fleet_report",
 ]
 
-_FLEET_NAMES = {"MonitorFleet", "ExperimentRunner", "FleetMember", "FleetReport"}
+_FLEET_NAMES = {
+    "MonitorFleet",
+    "ExperimentRunner",
+    "FleetMember",
+    "FleetReport",
+    "build_fleet_report",
+}
 
 
 def __getattr__(name: str):

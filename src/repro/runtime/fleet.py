@@ -41,6 +41,7 @@ from ..sim.trace import Trace
 from ..tv.mediaplayer import MediaPlayer, MediaSource
 from ..tv.remote import RandomUser
 from ..tv.tvset import TVSet
+from .telemetry import FleetTelemetry, SuoTally
 
 
 def derive_member_seed(fleet_seed: int, suo_id: str) -> int:
@@ -58,10 +59,20 @@ class FleetMember:
     suo: Any
     monitor: Optional[AwarenessMonitor]
     seed: int
-    inputs: int = 0
-    outputs: int = 0
     driver: Any = None
     faulty: bool = False
+    #: The member's ledger inside the fleet's telemetry hub (set on
+    #: admission) — one counter state, shared, instead of a second copy
+    #: maintained on the recording hot path.
+    tally: Optional[SuoTally] = None
+
+    @property
+    def inputs(self) -> int:
+        return self.tally.inputs if self.tally is not None else 0
+
+    @property
+    def outputs(self) -> int:
+        return self.tally.outputs if self.tally is not None else 0
 
     @property
     def error_count(self) -> int:
@@ -69,19 +80,50 @@ class FleetMember:
 
 
 class MonitorFleet:
-    """N monitored SUOs multiplexed on one kernel and one event bus."""
+    """N monitored SUOs multiplexed on one kernel and one event bus.
 
-    def __init__(self, seed: int = 0, kernel: Optional[Kernel] = None) -> None:
+    With ``retain_trace=True`` (the default) every ``suo.*`` event lands
+    in the merged :attr:`trace`, queryable after the run.  At thousand-SUO
+    scale that record dominates memory, so ``retain_trace=False`` switches
+    to streaming mode: the deterministic :meth:`trace_digest` is still
+    computed (the SHA-256 runs incrementally over the same byte lines),
+    but no records are retained — :attr:`telemetry` then carries the
+    bounded-memory aggregate view.
+    """
+
+    def __init__(
+        self,
+        seed: int = 0,
+        kernel: Optional[Kernel] = None,
+        retain_trace: bool = True,
+        telemetry_window: float = 10.0,
+        telemetry_reservoir: int = 512,
+    ) -> None:
         self.seed = seed
         self.kernel = kernel or Kernel()
         self.bus = self.kernel.bus
         self.streams = RandomStreams(derive_member_seed(seed, "<fleet>"))
         self.members: Dict[str, FleetMember] = {}
-        #: Merged, time-stamped record of every SUO input/output/stimulus.
+        self.retain_trace = retain_trace
+        #: Merged, time-stamped record of every SUO input/output/stimulus
+        #: (left empty in streaming mode).
         self.trace = Trace(
             clock=lambda: self.kernel.now, bus=self.bus, name="fleet"
         )
+        #: Incremental determinism witness; fed the same bytes that
+        #: :meth:`trace_digest` used to hash post-hoc, so retained and
+        #: streaming mode produce the identical digest.
+        self._digest = hashlib.sha256()
+        self._record_count = 0
         self.bus.subscribe("suo.*", self._record)
+        #: Bounded-memory streaming aggregators over the same namespace.
+        self.telemetry = FleetTelemetry(
+            self.bus,
+            clock=lambda: self.kernel.now,
+            rng=self.streams.stream("telemetry"),
+            window=telemetry_window,
+            reservoir=telemetry_reservoir,
+        )
 
     # ------------------------------------------------------------------
     # membership
@@ -142,29 +184,48 @@ class MonitorFleet:
         if member.suo_id in self.members:
             raise ValueError(f"duplicate suo_id {member.suo_id!r}")
         self.members[member.suo_id] = member
+        member.tally = self.telemetry.tally(member.suo_id)
+        monitor = member.monitor
+        if monitor is not None:
+            # Errors join the suo.<id>.* namespace so the trace, the
+            # telemetry tallies, and any future subscriber see them the
+            # same way they see inputs and outputs.
+            publish = self.bus.publisher(f"suo.{member.suo_id}.error")
+            monitor.controller.subscribe_errors(
+                lambda report, _publish=publish: _publish(report)
+            )
+            # Sample process-boundary delivery latency into the bounded
+            # reservoir (delivery time minus send time, simulated units).
+            for channel in (monitor.input_channel, monitor.output_channel):
+                channel.connect(
+                    lambda message: self.telemetry.observe_latency(
+                        self.kernel.now - message.sent_at
+                    )
+                )
         return member
 
     # ------------------------------------------------------------------
     # fleet trace
     # ------------------------------------------------------------------
     def _record(self, topic: str, event: Any) -> None:
-        # topic == "suo.<suo_id>.<kind>"
+        # topic == "suo.<suo_id>.<kind>"; per-member counting lives in
+        # the telemetry hub's own suo.* subscription (member.tally).
         _, suo_id, kind = topic.split(".", 2)
-        member = self.members.get(suo_id)
-        if member is not None:
-            if kind == "output":
-                member.outputs += 1
-            elif kind == "input":
-                member.inputs += 1
-        self.trace.emit(suo_id, kind, event)
+        line = f"{self.kernel.now:.9f}\t{suo_id}\t{kind}\t{event!r}\n"
+        self._digest.update(line.encode("utf-8"))
+        self._record_count += 1
+        if self.retain_trace:
+            self.trace.emit(suo_id, kind, event)
 
     def trace_digest(self) -> str:
-        """SHA-256 over the merged fleet trace (determinism witness)."""
-        digest = hashlib.sha256()
-        for record in self.trace.records:
-            line = f"{record.time:.9f}\t{record.source}\t{record.kind}\t{record.value!r}\n"
-            digest.update(line.encode("utf-8"))
-        return digest.hexdigest()
+        """SHA-256 over the merged fleet event stream (determinism
+        witness).  Computed incrementally, so it is available in both
+        retained and streaming (``retain_trace=False``) mode."""
+        return self._digest.hexdigest()
+
+    def record_count(self) -> int:
+        """Events recorded to the merged stream (retained or not)."""
+        return self._record_count
 
     # ------------------------------------------------------------------
     # drivers and faults
@@ -173,10 +234,17 @@ class MonitorFleet:
         self,
         mean_gap: float = 4.0,
         keys: Optional[List[str]] = None,
+        members: Optional[List[FleetMember]] = None,
     ) -> int:
-        """Attach a seeded random user to every TV member; returns count."""
+        """Attach a seeded random user to TV members; returns count.
+
+        By default every TV gets one; pass ``members`` to drive only a
+        subset (scenario user profiles assign different gap/key mixes to
+        different groups this way).
+        """
         started = 0
-        for member in self.members.values():
+        pool = members if members is not None else list(self.members.values())
+        for member in pool:
             if member.kind != "tv" or member.driver is not None:
                 continue
             member.driver = RandomUser(
@@ -238,7 +306,7 @@ class MonitorFleet:
 
 @dataclass
 class FleetReport:
-    """Outcome of one :class:`ExperimentRunner` campaign."""
+    """Outcome of one campaign over a :class:`MonitorFleet`."""
 
     members: int
     duration: float
@@ -251,16 +319,92 @@ class FleetReport:
     false_alarms: List[str]
     trace_digest: str
     trace_records: int
+    telemetry_summary: Dict[str, Any] = field(default_factory=dict)
+    telemetry_digest: str = ""
+    retained_trace: bool = True
+    #: Monitored members that were NOT fault-injected — the population
+    #: that could have false-alarmed (None: derive from members/faulty).
+    monitored_clean: Optional[int] = None
 
     @property
     def detection_rate(self) -> float:
+        """Detected / injected.  A zero-fault campaign vacuously detects
+        everything, so the guard returns 1.0 rather than dividing by the
+        empty fault set."""
         if not self.faulty:
             return 1.0
         return len(self.detected) / len(self.faulty)
 
+    @property
+    def false_alarm_rate(self) -> float:
+        """False alarms / monitored fault-free members (0.0 when no such
+        member exists — nobody *could* have false-alarmed).  Unmonitored
+        members (printers today) are excluded from the denominator,
+        mirroring the detection-rate accounting."""
+        if self.monitored_clean is not None:
+            clean = self.monitored_clean
+        else:
+            clean = self.members - len(self.faulty)
+        if clean <= 0:
+            return 0.0
+        return len(self.false_alarms) / clean
+
+
+def build_fleet_report(
+    fleet: MonitorFleet,
+    duration: float,
+    dispatched: int,
+    wall_seconds: float,
+    faulty: List["FleetMember"],
+) -> FleetReport:
+    """Fold a finished campaign segment into a :class:`FleetReport`.
+
+    Shared by :class:`ExperimentRunner` and the scenario engine
+    (:mod:`repro.scenarios`), so every campaign — hand-coded or
+    declarative — reports through one schema.
+    """
+    errors = {m.suo_id: m.error_count for m in fleet.members.values()}
+    detected = [m.suo_id for m in faulty if m.error_count > 0]
+    false_alarms = [
+        m.suo_id
+        for m in fleet.members.values()
+        if not m.faulty and m.error_count > 0
+    ]
+    return FleetReport(
+        members=len(fleet),
+        duration=duration,
+        dispatched=dispatched,
+        wall_seconds=wall_seconds,
+        events_per_sec=dispatched / wall_seconds if wall_seconds > 0 else 0.0,
+        errors_by_suo=errors,
+        faulty=[m.suo_id for m in faulty],
+        detected=detected,
+        false_alarms=false_alarms,
+        trace_digest=fleet.trace_digest(),
+        trace_records=fleet.record_count(),
+        telemetry_summary=fleet.telemetry.summary(),
+        telemetry_digest=fleet.telemetry.digest(),
+        retained_trace=fleet.retain_trace,
+        monitored_clean=sum(
+            1
+            for m in fleet.members.values()
+            if m.monitor is not None and not m.faulty
+        ),
+    )
+
 
 class ExperimentRunner:
-    """Run a fault-injection campaign across a :class:`MonitorFleet`."""
+    """Run a fault-injection campaign across a :class:`MonitorFleet`.
+
+    ``run()`` may be called repeatedly: the first call performs the
+    campaign setup (power-on, random users, fault injection) and every
+    call advances the same campaign by ``duration`` — setup is never
+    re-applied, so a second ``run()`` extends the session instead of
+    toggling every TV back into standby or double-attaching drivers.
+    Every report covers the campaign *from its start*: duration,
+    dispatched, and wall time accumulate across segments, matching the
+    cumulative error counts, trace records, and telemetry it carries.
+    """
 
     def __init__(
         self,
@@ -279,38 +423,29 @@ class ExperimentRunner:
         self.fault_fraction = fault_fraction
         self.fault_time = fault_time if fault_time is not None else duration / 3.0
         self.keys = keys
+        self._faulty: List[FleetMember] = []
+        self._started = False
+        self._elapsed = 0.0
+        self._dispatched = 0
+        self._wall = 0.0
 
     def run(self) -> FleetReport:
         fleet = self.fleet
-        fleet.power_on_tvs()
-        fleet.start_random_users(mean_gap=self.mean_gap, keys=self.keys)
-        faulty = []
-        if self.fault_fraction > 0.0:
-            faulty = fleet.inject_faults(
-                fraction=self.fault_fraction,
-                fault=self.fault,
-                at=fleet.kernel.now + self.fault_time,
-            )
+        if not self._started:
+            self._started = True
+            fleet.power_on_tvs()
+            fleet.start_random_users(mean_gap=self.mean_gap, keys=self.keys)
+            if self.fault_fraction > 0.0:
+                self._faulty = fleet.inject_faults(
+                    fraction=self.fault_fraction,
+                    fault=self.fault,
+                    at=fleet.kernel.now + self.fault_time,
+                )
         start = wallclock.perf_counter()
         dispatched = fleet.run(self.duration)
-        wall = wallclock.perf_counter() - start
-        errors = {m.suo_id: m.error_count for m in fleet.members.values()}
-        detected = [m.suo_id for m in faulty if m.error_count > 0]
-        false_alarms = [
-            m.suo_id
-            for m in fleet.members.values()
-            if not m.faulty and m.error_count > 0
-        ]
-        return FleetReport(
-            members=len(fleet),
-            duration=self.duration,
-            dispatched=dispatched,
-            wall_seconds=wall,
-            events_per_sec=dispatched / wall if wall > 0 else 0.0,
-            errors_by_suo=errors,
-            faulty=[m.suo_id for m in faulty],
-            detected=detected,
-            false_alarms=false_alarms,
-            trace_digest=fleet.trace_digest(),
-            trace_records=fleet.trace.count(),
+        self._wall += wallclock.perf_counter() - start
+        self._elapsed += self.duration
+        self._dispatched += dispatched
+        return build_fleet_report(
+            fleet, self._elapsed, self._dispatched, self._wall, self._faulty
         )

@@ -1,0 +1,344 @@
+"""Streaming fleet telemetry: bounded-memory observation of big campaigns.
+
+The merged fleet :class:`~repro.sim.trace.Trace` is the right tool up to a
+few hundred SUOs — every record retained, queryable after the fact, and
+hashable into the determinism witness.  At the thousand-SUO scale the
+ROADMAP asks for, retaining every record is exactly the "observation
+degrades the system" failure the paper's overhead constraint (Sect. 2)
+warns about, applied to memory instead of time.
+
+This module provides the bounded alternative: aggregators that subscribe
+to the runtime bus and fold the event stream into fixed-size state —
+
+* :class:`CounterSet`        — named monotonic counters;
+* :class:`WindowedRate`      — event rate over a sliding window of
+  *simulated* time, kept in a fixed ring of buckets;
+* :class:`ReservoirHistogram`— Vitter Algorithm-R sample of a value
+  stream (seeded, hence deterministic) plus exact count/sum/min/max;
+* :class:`SuoTally`          — per-SUO input/output/stimulus/error counts;
+* :class:`FleetTelemetry`    — the hub: one ``suo.*`` subscription that
+  feeds all of the above and renders a canonical :meth:`summary` whose
+  :meth:`digest` is byte-stable for a fixed seed.
+
+Everything is keyed to simulated time, never wall-clock, so two runs of
+the same seeded scenario produce byte-identical summaries.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import random
+from typing import Any, Callable, Dict, List, Optional
+
+from .bus import EventBus, Subscription
+
+
+class CounterSet:
+    """Named monotonic counters with a canonical sorted view."""
+
+    __slots__ = ("_counts",)
+
+    def __init__(self) -> None:
+        self._counts: Dict[str, int] = {}
+
+    def inc(self, name: str, amount: int = 1) -> None:
+        self._counts[name] = self._counts.get(name, 0) + amount
+
+    def get(self, name: str) -> int:
+        return self._counts.get(name, 0)
+
+    def total(self) -> int:
+        return sum(self._counts.values())
+
+    def as_dict(self) -> Dict[str, int]:
+        """Counters in sorted-key order (canonical for digesting)."""
+        return {name: self._counts[name] for name in sorted(self._counts)}
+
+    def __len__(self) -> int:
+        return len(self._counts)
+
+
+class WindowedRate:
+    """Event rate over a sliding window of simulated time.
+
+    A fixed ring of ``buckets`` equal slices covers the trailing
+    ``window`` time units; adding an event advances the ring (zeroing
+    slices the clock skipped) and bumps the current slice.  Memory is
+    O(buckets) regardless of traffic.
+
+    ``rate()`` divides the in-window count by the window actually
+    *covered* so far, so early in a run (elapsed < window) the rate is
+    not diluted by empty future slices.
+    """
+
+    __slots__ = ("window", "buckets", "_width", "_counts", "_head", "_total",
+                 "_clock", "_started")
+
+    def __init__(
+        self,
+        clock: Callable[[], float],
+        window: float = 10.0,
+        buckets: int = 20,
+    ) -> None:
+        if window <= 0 or buckets <= 0:
+            raise ValueError("window and buckets must be positive")
+        self.window = window
+        self.buckets = buckets
+        self._width = window / buckets
+        self._counts = [0] * buckets
+        self._head = 0  # absolute index of the newest bucket
+        self._total = 0
+        self._clock = clock
+        self._started = clock()
+
+    def _advance(self, now: float) -> None:
+        index = int(now / self._width)
+        if index <= self._head:
+            return
+        steps = index - self._head
+        if steps >= self.buckets:
+            self._counts = [0] * self.buckets
+            self._total = 0
+        else:
+            for offset in range(1, steps + 1):
+                slot = (self._head + offset) % self.buckets
+                self._total -= self._counts[slot]
+                self._counts[slot] = 0
+        self._head = index
+
+    def add(self, amount: int = 1) -> None:
+        now = self._clock()
+        self._advance(now)
+        self._counts[self._head % self.buckets] += amount
+        self._total += amount
+
+    def count(self) -> int:
+        """Events inside the trailing window."""
+        self._advance(self._clock())
+        return self._total
+
+    def rate(self) -> float:
+        """Events per simulated time unit over the covered window."""
+        now = self._clock()
+        self._advance(now)
+        covered = min(max(now - self._started, self._width), self.window)
+        return self._total / covered
+
+
+class ReservoirHistogram:
+    """Seeded Algorithm-R reservoir over a value stream, plus exact
+    count/sum/min/max.
+
+    The reservoir holds at most ``capacity`` samples whatever the stream
+    length; quantiles are computed from the sample, the scalar stats are
+    exact.  With a seeded ``rng`` the retained sample — and therefore the
+    whole summary — is deterministic for a fixed input stream.
+    """
+
+    __slots__ = ("capacity", "_rng", "_samples", "count", "total",
+                 "min", "max")
+
+    def __init__(self, capacity: int = 512, rng: Optional[random.Random] = None) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self._rng = rng or random.Random(0)
+        self._samples: List[float] = []
+        self.count = 0
+        self.total = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+
+    def add(self, value: float) -> None:
+        index = self.count
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+        if index < self.capacity:
+            self._samples.append(value)
+        else:
+            slot = self._rng.randrange(index + 1)
+            if slot < self.capacity:
+                self._samples[slot] = value
+
+    @property
+    def retained(self) -> int:
+        return len(self._samples)
+
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Nearest-rank quantile over the retained sample (0 when empty)."""
+        if not self._samples:
+            return 0.0
+        ordered = sorted(self._samples)
+        rank = min(len(ordered) - 1, max(0, int(q * len(ordered))))
+        return ordered[rank]
+
+    def stats(self, digits: int = 9) -> Dict[str, Any]:
+        """Canonical JSON-friendly stat block (rounded for stability)."""
+        return {
+            "count": self.count,
+            "mean": round(self.mean(), digits),
+            "min": round(self.min, digits) if self.min is not None else 0.0,
+            "p50": round(self.quantile(0.50), digits),
+            "p90": round(self.quantile(0.90), digits),
+            "p99": round(self.quantile(0.99), digits),
+            "max": round(self.max, digits) if self.max is not None else 0.0,
+            "retained": self.retained,
+        }
+
+
+class SuoTally:
+    """Fixed-size per-SUO ledger: one int per event kind."""
+
+    __slots__ = ("inputs", "outputs", "stimuli", "errors", "other")
+
+    def __init__(self) -> None:
+        self.inputs = 0
+        self.outputs = 0
+        self.stimuli = 0
+        self.errors = 0
+        self.other = 0
+
+    def bump(self, kind: str) -> None:
+        if kind == "output":
+            self.outputs += 1
+        elif kind == "input":
+            self.inputs += 1
+        elif kind == "stimulus":
+            self.stimuli += 1
+        elif kind == "error":
+            self.errors += 1
+        else:
+            self.other += 1
+
+    @property
+    def events(self) -> int:
+        return self.inputs + self.outputs + self.stimuli + self.errors + self.other
+
+
+class FleetTelemetry:
+    """The streaming-aggregation hub for one ``suo.*`` namespace.
+
+    One wildcard subscription feeds every aggregator; memory is bounded
+    by O(members + buckets + reservoir capacity), independent of how many
+    events the campaign dispatches.  :meth:`summary` renders the whole
+    state into a canonical dict keyed only to simulated time, and
+    :meth:`digest` hashes it — the bounded-memory analogue of
+    ``MonitorFleet.trace_digest``.
+
+    Latency observation is push-based: wire message channels through
+    :meth:`observe_latency` (``MonitorFleet`` does this for every
+    monitor's input/output channel) to sample delivery latencies into the
+    reservoir histogram.
+    """
+
+    def __init__(
+        self,
+        bus: EventBus,
+        clock: Callable[[], float],
+        rng: Optional[random.Random] = None,
+        namespace: str = "suo",
+        window: float = 10.0,
+        buckets: int = 20,
+        reservoir: int = 512,
+    ) -> None:
+        self.namespace = namespace
+        self.kinds = CounterSet()
+        self.per_suo: Dict[str, SuoTally] = {}
+        self.events_total = 0
+        self.event_rate = WindowedRate(clock, window=window, buckets=buckets)
+        self.latency = ReservoirHistogram(capacity=reservoir, rng=rng)
+        self._clock = clock
+        self._subscription: Optional[Subscription] = bus.subscribe(
+            f"{namespace}.*", self._on_event
+        )
+
+    # ------------------------------------------------------------------
+    # ingestion
+    # ------------------------------------------------------------------
+    def tally(self, suo_id: str) -> SuoTally:
+        """The (created-on-demand) ledger for one SUO.
+
+        ``MonitorFleet`` hands each admitted member its tally so member
+        counters and telemetry are one shared state, not two copies.
+        """
+        tally = self.per_suo.get(suo_id)
+        if tally is None:
+            tally = self.per_suo[suo_id] = SuoTally()
+        return tally
+
+    def _on_event(self, topic: str, event: Any) -> None:
+        # topic == "<namespace>.<suo_id>.<kind>"
+        try:
+            _, suo_id, kind = topic.split(".", 2)
+        except ValueError:
+            suo_id, kind = topic[len(self.namespace) + 1:], "other"
+        self.events_total += 1
+        self.kinds.inc(kind)
+        self.event_rate.add()
+        self.tally(suo_id).bump(kind)
+
+    def observe_latency(self, seconds: float) -> None:
+        """Sample one delivery latency (simulated seconds)."""
+        self.latency.add(seconds)
+
+    def detach(self) -> None:
+        """Stop ingesting; aggregated state stays queryable."""
+        if self._subscription is not None:
+            self._subscription.cancel()
+            self._subscription = None
+
+    # ------------------------------------------------------------------
+    # canonical output
+    # ------------------------------------------------------------------
+    def errors_by_suo(self) -> Dict[str, int]:
+        """Per-SUO error tallies (only SUOs that reported any), sorted."""
+        return {
+            suo_id: tally.errors
+            for suo_id, tally in sorted(self.per_suo.items())
+            if tally.errors
+        }
+
+    def summary(self, per_suo: bool = False) -> Dict[str, Any]:
+        """The canonical aggregate view: pure simulated-time state.
+
+        Deliberately excludes anything wall-clock, so a fixed seed yields
+        a byte-identical summary run over run.  With ``per_suo`` the full
+        per-member ledger is included (one small dict per SUO).
+        """
+        result: Dict[str, Any] = {
+            "time": round(self._clock(), 9),
+            "suos": len(self.per_suo),
+            "events_total": self.events_total,
+            "events_by_kind": self.kinds.as_dict(),
+            "window_rate": round(self.event_rate.rate(), 9),
+            "latency": self.latency.stats(),
+            "errors_total": self.kinds.get("error"),
+            "errors_by_suo": self.errors_by_suo(),
+        }
+        if per_suo:
+            result["per_suo"] = {
+                suo_id: {
+                    "inputs": tally.inputs,
+                    "outputs": tally.outputs,
+                    "stimuli": tally.stimuli,
+                    "errors": tally.errors,
+                    "other": tally.other,
+                }
+                for suo_id, tally in sorted(self.per_suo.items())
+            }
+        return result
+
+    def digest(self) -> str:
+        """SHA-256 over the canonical summary (bounded-memory witness)."""
+        canonical = json.dumps(
+            self.summary(per_suo=True), sort_keys=True, separators=(",", ":")
+        )
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()

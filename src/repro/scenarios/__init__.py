@@ -1,0 +1,54 @@
+"""Scenario engine: declarative, reproducible fleet workloads.
+
+The subsystem every workload PR plugs into:
+
+* :mod:`repro.scenarios.spec`    — :class:`ScenarioSpec` /
+  :class:`UserProfile` / :class:`FaultPhase`, the declarative layer;
+* :mod:`repro.scenarios.compile` — :class:`CompiledScenario`, lowering a
+  spec onto a :class:`~repro.runtime.fleet.MonitorFleet`;
+* :mod:`repro.scenarios.library` — ≥10 named scenarios
+  (``zapping-storm`` … ``recovery-ladder-drill``) in a registry;
+* :mod:`repro.scenarios.runner`  — :class:`ScenarioRunner`, sweeping
+  scenario × seed grids into :class:`ScenarioReport` cells.
+
+Quick start::
+
+    from repro.scenarios import ScenarioRunner, scenario_names
+
+    runner = ScenarioRunner()
+    report = runner.run("zapping-storm", seed=7)
+    print(report.telemetry["events_total"], report.telemetry_digest)
+"""
+
+from .compile import CompiledScenario, FAULT_ACTIONS
+from .library import (
+    SCENARIOS,
+    get_scenario,
+    register_scenario,
+    scenario_names,
+)
+from .runner import ScenarioReport, ScenarioRunner, format_table
+from .spec import (
+    KNOWN_FAULTS,
+    LOAD_FAULTS,
+    FaultPhase,
+    ScenarioSpec,
+    UserProfile,
+)
+
+__all__ = [
+    "CompiledScenario",
+    "FAULT_ACTIONS",
+    "FaultPhase",
+    "KNOWN_FAULTS",
+    "LOAD_FAULTS",
+    "SCENARIOS",
+    "ScenarioReport",
+    "ScenarioRunner",
+    "ScenarioSpec",
+    "UserProfile",
+    "format_table",
+    "get_scenario",
+    "register_scenario",
+    "scenario_names",
+]

@@ -1,0 +1,293 @@
+"""Scenario compiler: lower a :class:`ScenarioSpec` onto a MonitorFleet.
+
+:class:`CompiledScenario` is the bridge between the declarative layer and
+the runtime engine: it builds the device mix, assigns user profiles from
+a seeded stream, schedules every fault phase (applications, pulses, and
+repairs) on the kernel, and drives the whole campaign through
+:func:`~repro.runtime.fleet.build_fleet_report` so declarative and
+hand-coded campaigns report through the same schema.
+
+Determinism contract: every stochastic choice — profile assignment,
+phase targeting, seek positions, print-job sizes — draws from a stream
+named after its role, derived from the fleet seed.  The same
+``(spec, seed)`` pair therefore reproduces the identical event stream,
+trace digest, and telemetry summary.
+"""
+
+from __future__ import annotations
+
+import time as wallclock
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..runtime.fleet import FleetMember, FleetReport, MonitorFleet, build_fleet_report
+from .spec import FaultPhase, ScenarioSpec, TV_FLAG_FAULTS, UserProfile
+
+Action = Callable[[FleetMember], None]
+
+
+def _tv_flag(name: str) -> Tuple[Action, Action]:
+    def apply(member: FleetMember) -> None:
+        member.suo.control.fault_flags[name] = True
+
+    def clear(member: FleetMember) -> None:
+        member.suo.control.fault_flags[name] = False
+
+    return apply, clear
+
+
+def _set_attr(attr: str, on_value, off_value) -> Tuple[Action, Action]:
+    def apply(member: FleetMember) -> None:
+        setattr(member.suo, attr, on_value)
+
+    def clear(member: FleetMember) -> None:
+        setattr(member.suo, attr, off_value)
+
+    return apply, clear
+
+
+def _monitor_stop(member: FleetMember) -> None:
+    if member.monitor is not None:
+        member.monitor.stop()
+
+
+def _monitor_start(member: FleetMember) -> None:
+    if member.monitor is not None:
+        member.monitor.start()
+
+
+#: (kind, fault) -> (apply, clear-or-None).  Load faults (alert floods,
+#: job bursts) have no clear action; they are impulses, not states.
+FAULT_ACTIONS: Dict[Tuple[str, str], Tuple[Action, Optional[Action]]] = {
+    ("tv", "drop_ttx_notify"): (
+        lambda m: m.suo.teletext.inject_sync_loss(),
+        lambda m: m.suo.teletext.repair_sync(),
+    ),
+    ("tv", "alert_broadcast"): (lambda m: m.suo.broadcast_alert(), None),
+    ("tv", "monitor_churn"): (_monitor_stop, _monitor_start),
+    ("player", "stall_on_corrupt"): _set_attr("stall_on_corrupt", True, False),
+    ("player", "decode_slowdown"): _set_attr("decode_slowdown", 3.0, 1.0),
+    ("printer", "silent_jam"): (
+        lambda m: m.suo.inject_silent_jam(),
+        lambda m: m.suo.clear_jam(),
+    ),
+    ("printer", "cold_fuser"): (
+        lambda m: m.suo.inject_cold_fuser(),
+        lambda m: m.suo.repair_fuser(),
+    ),
+    ("printer", "lost_staples"): (
+        lambda m: m.suo.inject_lost_staples(),
+        lambda m: m.suo.refill_staples(),
+    ),
+    # A burst is an impulse, not a state: four jobs of fixed sizes land
+    # at once (deterministic by construction, so no stream needed).
+    ("printer", "job_burst"): (
+        lambda m: [m.suo.submit(pages=pages) for pages in (2, 4, 3, 2)],
+        None,
+    ),
+}
+for _flag in TV_FLAG_FAULTS:
+    FAULT_ACTIONS[("tv", _flag)] = _tv_flag(_flag)
+
+
+class CompiledScenario:
+    """One :class:`ScenarioSpec` lowered onto a fresh MonitorFleet.
+
+    ``run()`` may be called repeatedly; like
+    :class:`~repro.runtime.fleet.ExperimentRunner`, setup happens once
+    and later calls extend the campaign by another ``spec.duration``.
+    """
+
+    def __init__(self, spec: ScenarioSpec, seed: int = 0) -> None:
+        spec.validate()
+        self.spec = spec
+        self.seed = seed
+        self.fleet = MonitorFleet(
+            seed=seed,
+            retain_trace=spec.resolve_retain_trace(),
+            telemetry_window=spec.telemetry_window,
+            telemetry_reservoir=spec.telemetry_reservoir,
+        )
+        corrupt = list(spec.corrupt_player_packets)
+        self.fleet.add_tvs(spec.tvs)
+        for _ in range(spec.players):
+            self.fleet.add_player(
+                packet_count=spec.player_packets, corrupt_indices=corrupt
+            )
+        for _ in range(spec.printers):
+            self.fleet.add_printer()
+        #: Members fault-injected by a marking phase (unique, in order).
+        self.faulty: List[FleetMember] = []
+        #: profile name -> members assigned to it.
+        self.profile_groups: Dict[str, List[FleetMember]] = {
+            profile.name: [] for profile in spec.profiles
+        }
+        self._assign_profiles()
+        self._started = False
+        self._elapsed = 0.0
+        self._dispatched = 0
+        self._wall = 0.0
+
+    # ------------------------------------------------------------------
+    # deterministic assignment
+    # ------------------------------------------------------------------
+    def _members_of(self, kind: str) -> List[FleetMember]:
+        return [m for m in self.fleet.members.values() if m.kind == kind]
+
+    def _assign_profiles(self) -> None:
+        profiles = list(self.spec.profiles)
+        if not profiles:
+            return
+        rng = self.fleet.streams.stream("scenario.profiles")
+        weights = [profile.weight for profile in profiles]
+        for member in self._members_of("tv"):
+            profile = rng.choices(profiles, weights=weights)[0]
+            self.profile_groups[profile.name].append(member)
+
+    def _phase_targets(self, index: int, phase: FaultPhase) -> List[FleetMember]:
+        rng = self.fleet.streams.stream(f"scenario.phase.{index}")
+        targets = [
+            member
+            for member in self._members_of(phase.kind)
+            if rng.random() < phase.fraction
+        ]
+        if phase.marks_faulty:
+            for member in targets:
+                # Only monitored members enter detection-rate accounting:
+                # a fault on an unmonitored SUO (printers today) is still
+                # applied, but counting it as "injected" would pin the
+                # scenario's detection rate at a structural zero no
+                # monitor improvement could ever move.
+                if member.monitor is not None and not member.faulty:
+                    member.faulty = True
+                    self.faulty.append(member)
+        return targets
+
+    # ------------------------------------------------------------------
+    # drivers
+    # ------------------------------------------------------------------
+    def _start_users(self) -> None:
+        for profile in self.spec.profiles:
+            group = self.profile_groups[profile.name]
+            if group:
+                self.fleet.start_random_users(
+                    mean_gap=profile.mean_gap,
+                    keys=list(profile.keys) if profile.keys else None,
+                    members=group,
+                )
+
+    def _start_players(self) -> None:
+        # Each loop closure is built by a factory so its recursive
+        # self-reference is its own cell — a bare inner `def` in the for
+        # loop would late-bind the name to the LAST member's closure and
+        # funnel every reschedule onto one device.
+        kernel = self.fleet.kernel
+        seek_every = self.spec.player_seek_every
+
+        def make_seek_loop(player, rng, horizon):
+            def seek_loop() -> None:
+                if player.state != "stopped":
+                    player.command(
+                        "seek", position=rng.uniform(0.0, horizon * 0.9)
+                    )
+                kernel.schedule(seek_every, seek_loop, name="scenario:seek")
+
+            return seek_loop
+
+        for index, member in enumerate(self._members_of("player")):
+            player = member.suo
+            kernel.schedule(
+                index * self.spec.stagger,
+                lambda p=player: p.command("play"),
+                name=f"scenario:play:{member.suo_id}",
+            )
+            if seek_every is None:
+                continue
+            rng = self.fleet.streams.stream(f"scenario.seek.{member.suo_id}")
+            horizon = player.source.packet_count * player.source.packet_interval
+            kernel.schedule(
+                seek_every + index * self.spec.stagger,
+                make_seek_loop(player, rng, horizon),
+            )
+
+    def _start_printers(self) -> None:
+        gap = self.spec.printer_job_gap
+        if gap is None:
+            return
+        kernel = self.fleet.kernel
+        low, high = self.spec.printer_pages
+
+        def make_submit_loop(printer, rng):
+            def submit_loop() -> None:
+                printer.submit(
+                    pages=rng.randint(low, high), staple=rng.random() < 0.3
+                )
+                kernel.schedule(
+                    rng.expovariate(1.0 / gap), submit_loop, name="scenario:job"
+                )
+
+            return submit_loop
+
+        for member in self._members_of("printer"):
+            rng = self.fleet.streams.stream(f"scenario.jobs.{member.suo_id}")
+            kernel.schedule(
+                rng.expovariate(1.0 / gap), make_submit_loop(member.suo, rng)
+            )
+
+    # ------------------------------------------------------------------
+    # fault schedule
+    # ------------------------------------------------------------------
+    def _schedule_phases(self) -> None:
+        kernel = self.fleet.kernel
+        for index, phase in enumerate(self.spec.phases):
+            apply, clear = FAULT_ACTIONS[(phase.kind, phase.fault)]
+            targets = self._phase_targets(index, phase)
+            if not targets:
+                continue
+
+            def fire(targets=targets, apply=apply) -> None:
+                for member in targets:
+                    apply(member)
+
+            kernel.schedule_at(phase.at, fire, name=f"scenario:{phase.fault}")
+            if phase.pulse_every is not None and phase.duration is not None:
+                pulse_at = phase.at + phase.pulse_every
+                while pulse_at < phase.at + phase.duration:
+                    kernel.schedule_at(
+                        pulse_at, fire, name=f"scenario:{phase.fault}:pulse"
+                    )
+                    pulse_at += phase.pulse_every
+            if phase.duration is not None and clear is not None:
+
+                def repair(targets=targets, clear=clear) -> None:
+                    for member in targets:
+                        clear(member)
+
+                kernel.schedule_at(
+                    phase.at + phase.duration,
+                    repair,
+                    name=f"scenario:{phase.fault}:clear",
+                )
+
+    # ------------------------------------------------------------------
+    def run(self) -> FleetReport:
+        """Drive the campaign for one ``spec.duration`` segment.
+
+        The report covers the campaign from its start — duration,
+        dispatched, and wall time accumulate across segments, matching
+        the cumulative error counts and telemetry it carries.
+        """
+        if not self._started:
+            self._started = True
+            self.fleet.power_on_tvs(stagger=self.spec.stagger)
+            self._start_users()
+            self._start_players()
+            self._start_printers()
+            self._schedule_phases()
+        start = wallclock.perf_counter()
+        dispatched = self.fleet.run(self.spec.duration)
+        self._wall += wallclock.perf_counter() - start
+        self._elapsed += self.spec.duration
+        self._dispatched += dispatched
+        return build_fleet_report(
+            self.fleet, self._elapsed, self._dispatched, self._wall, self.faulty
+        )

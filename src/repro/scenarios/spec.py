@@ -1,0 +1,207 @@
+"""Declarative scenario specifications.
+
+The paper's industry-as-laboratory method (Sect. 3) validates awareness
+monitors by driving real systems through realistic usage — which only
+works if the workloads are *diverse* and *reproducible*.  PR 1's
+:class:`~repro.runtime.fleet.ExperimentRunner` made campaigns runnable;
+this module makes them **declarative**: a :class:`ScenarioSpec` names a
+device mix, per-profile user behaviors, and a phased fault-injection
+schedule, and the compiler (:mod:`repro.scenarios.compile`) lowers it
+onto a :class:`~repro.runtime.fleet.MonitorFleet`.
+
+Specs are frozen dataclasses: hashable, comparable, and safe to share
+between sweep points.  Everything stochastic inside a compiled scenario
+draws from streams derived from ``(seed, scenario)`` names, so the same
+``(spec, seed)`` pair reproduces the identical campaign byte for byte.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional, Tuple
+
+#: TV faults toggled through ``control.fault_flags``.
+TV_FLAG_FAULTS = ("volume_overshoot", "mute_noop", "menu_opens_epg")
+
+#: Every ``(kind, fault)`` pair the compiler knows how to apply.  Faults
+#: in :data:`LOAD_FAULTS` are load/churn disturbances rather than latent
+#: defects: they do not mark their targets "faulty" for detection-rate
+#: accounting.
+KNOWN_FAULTS = frozenset(
+    [("tv", name) for name in TV_FLAG_FAULTS]
+    + [
+        ("tv", "drop_ttx_notify"),
+        ("tv", "alert_broadcast"),
+        ("tv", "monitor_churn"),
+        ("player", "stall_on_corrupt"),
+        ("player", "decode_slowdown"),
+        ("printer", "silent_jam"),
+        ("printer", "cold_fuser"),
+        ("printer", "lost_staples"),
+        ("printer", "job_burst"),
+    ]
+)
+
+LOAD_FAULTS = frozenset(
+    [("tv", "alert_broadcast"), ("tv", "monitor_churn"), ("printer", "job_burst")]
+)
+
+
+@dataclass(frozen=True)
+class UserProfile:
+    """One class of TV user: how often they press, and what.
+
+    ``weight`` sets the share of the TV population assigned to this
+    profile (normalized across the spec's profiles, drawn from a seeded
+    stream so assignment is deterministic per seed).
+    """
+
+    name: str
+    mean_gap: float = 4.0
+    keys: Optional[Tuple[str, ...]] = None
+    weight: float = 1.0
+
+    def validate(self) -> None:
+        if self.mean_gap <= 0:
+            raise ValueError(f"profile {self.name!r}: mean_gap must be > 0")
+        if self.weight <= 0:
+            raise ValueError(f"profile {self.name!r}: weight must be > 0")
+        if self.keys is not None and not self.keys:
+            raise ValueError(f"profile {self.name!r}: keys may not be empty")
+
+
+@dataclass(frozen=True)
+class FaultPhase:
+    """One entry in the fault-injection schedule.
+
+    At simulated time ``at``, ``fault`` is applied to a seeded
+    ``fraction`` of the members of ``kind``.  With ``duration`` the fault
+    is cleared again at ``at + duration`` (a repair / recovery drill);
+    with ``pulse_every`` the application repeats on that period until the
+    phase window closes (floods and bursts).
+    """
+
+    fault: str
+    at: float
+    kind: str = "tv"
+    fraction: float = 0.25
+    duration: Optional[float] = None
+    pulse_every: Optional[float] = None
+
+    @property
+    def marks_faulty(self) -> bool:
+        """Whether targets count as fault-injected for detection rates."""
+        return (self.kind, self.fault) not in LOAD_FAULTS
+
+    def validate(self) -> None:
+        if (self.kind, self.fault) not in KNOWN_FAULTS:
+            raise ValueError(f"unknown fault {self.fault!r} for kind {self.kind!r}")
+        if self.at < 0:
+            raise ValueError(f"fault {self.fault!r}: at must be >= 0")
+        if not 0.0 < self.fraction <= 1.0:
+            raise ValueError(f"fault {self.fault!r}: fraction must be in (0, 1]")
+        if self.duration is not None and self.duration <= 0:
+            raise ValueError(f"fault {self.fault!r}: duration must be > 0")
+        if self.pulse_every is not None:
+            if self.pulse_every <= 0:
+                raise ValueError(f"fault {self.fault!r}: pulse_every must be > 0")
+            if self.duration is None:
+                raise ValueError(
+                    f"fault {self.fault!r}: pulse_every needs a duration window"
+                )
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """A complete declarative campaign: who, what, when, for how long."""
+
+    name: str
+    description: str
+    duration: float
+    # device mix ------------------------------------------------------
+    tvs: int = 0
+    players: int = 0
+    printers: int = 0
+    # behavior --------------------------------------------------------
+    profiles: Tuple[UserProfile, ...] = (UserProfile("default"),)
+    phases: Tuple[FaultPhase, ...] = ()
+    #: Players issue a seeded seek every this many simulated seconds.
+    player_seek_every: Optional[float] = None
+    player_packets: int = 500
+    corrupt_player_packets: Tuple[int, ...] = ()
+    #: Mean gap between background print jobs (None: no background jobs).
+    printer_job_gap: Optional[float] = 30.0
+    printer_pages: Tuple[int, int] = (1, 4)
+    #: Power-on stagger between TVs.
+    stagger: float = 0.1
+    # telemetry / tracing ---------------------------------------------
+    #: None → automatic: retain the full merged trace only for fleets
+    #: under :data:`AUTO_STREAM_THRESHOLD` members.
+    retain_trace: Optional[bool] = None
+    telemetry_window: float = 10.0
+    telemetry_reservoir: int = 512
+
+    AUTO_STREAM_THRESHOLD = 200
+
+    @property
+    def members(self) -> int:
+        return self.tvs + self.players + self.printers
+
+    def resolve_retain_trace(self) -> bool:
+        if self.retain_trace is not None:
+            return self.retain_trace
+        return self.members < self.AUTO_STREAM_THRESHOLD
+
+    def validate(self) -> None:
+        if self.duration <= 0:
+            raise ValueError(f"scenario {self.name!r}: duration must be > 0")
+        if min(self.tvs, self.players, self.printers) < 0:
+            raise ValueError(f"scenario {self.name!r}: negative device count")
+        if self.members == 0:
+            raise ValueError(f"scenario {self.name!r}: empty device mix")
+        if self.tvs and not self.profiles:
+            raise ValueError(f"scenario {self.name!r}: TVs need user profiles")
+        seen = set()
+        for profile in self.profiles:
+            profile.validate()
+            if profile.name in seen:
+                raise ValueError(
+                    f"scenario {self.name!r}: duplicate profile {profile.name!r}"
+                )
+            seen.add(profile.name)
+        counts = {"tv": self.tvs, "player": self.players, "printer": self.printers}
+        for phase in self.phases:
+            phase.validate()
+            if phase.at >= self.duration:
+                raise ValueError(
+                    f"scenario {self.name!r}: fault {phase.fault!r} at "
+                    f"{phase.at} starts after the scenario ends"
+                )
+            if counts.get(phase.kind, 0) == 0:
+                raise ValueError(
+                    f"scenario {self.name!r}: fault {phase.fault!r} targets "
+                    f"kind {phase.kind!r} but the mix has no such devices "
+                    "(a silent no-op would read as perfect detection)"
+                )
+        if self.player_seek_every is not None and self.player_seek_every <= 0:
+            raise ValueError(f"scenario {self.name!r}: player_seek_every must be > 0")
+        if self.printer_job_gap is not None and self.printer_job_gap <= 0:
+            raise ValueError(f"scenario {self.name!r}: printer_job_gap must be > 0")
+        if self.printer_pages[0] < 1 or self.printer_pages[1] < self.printer_pages[0]:
+            raise ValueError(f"scenario {self.name!r}: bad printer_pages range")
+
+    def scaled(self, factor: float) -> "ScenarioSpec":
+        """The same scenario with the device mix scaled by ``factor``
+        (at least one device of every kind present in the original)."""
+        if factor <= 0:
+            raise ValueError("scale factor must be > 0")
+
+        def scale(count: int) -> int:
+            return max(1, round(count * factor)) if count else 0
+
+        return replace(
+            self,
+            tvs=scale(self.tvs),
+            players=scale(self.players),
+            printers=scale(self.printers),
+        )

@@ -140,7 +140,32 @@ class Kernel:
         """
         if delay < 0:
             raise SimulationError(f"cannot schedule in the past (delay={delay})")
-        time = self._now + delay
+        return self.schedule_at(
+            self._now + delay, callback, priority=priority, name=name
+        )
+
+    def schedule_at(
+        self,
+        time: float,
+        callback: Callable[[], None],
+        *,
+        priority: int = 0,
+        name: str = "",
+    ) -> Event:
+        """Schedule ``callback`` at an absolute simulated time.
+
+        This is the scheduling primitive (:meth:`schedule` delegates
+        here).  The event fires at exactly ``time`` — it is *not*
+        re-derived from a relative delay, because ``now + (time - now)``
+        need not round-trip in floating point and can land an ulp early,
+        reordering callers (like
+        :class:`~repro.awareness.channel.MessageChannel`) that rely on
+        monotone absolute deadlines.
+        """
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule in the past (at={time}, now={self._now})"
+            )
         seq = next(self._seq)
         event = Event(
             time=time,
@@ -152,17 +177,6 @@ class Kernel:
         )
         heapq.heappush(self._queue, (time, priority, seq, event))
         return event
-
-    def schedule_at(
-        self,
-        time: float,
-        callback: Callable[[], None],
-        *,
-        priority: int = 0,
-        name: str = "",
-    ) -> Event:
-        """Schedule ``callback`` at an absolute simulated time."""
-        return self.schedule(time - self._now, callback, priority=priority, name=name)
 
     def add_dispatch_hook(self, hook: Callable[[Event], None]) -> None:
         """Register a hook called just before every event dispatch.

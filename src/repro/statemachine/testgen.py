@@ -10,6 +10,7 @@ these scenarios as key-press sequences over the TV.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set, Tuple
 
@@ -98,7 +99,6 @@ class TestGenerator:
             scenario = self._cover_some(graph, uncovered, f"scenario_{counter}")
             if scenario is None or not scenario.events:
                 break
-            uncovered -= scenario.covers
             scenarios.append(scenario)
         return scenarios
 
@@ -108,18 +108,25 @@ class TestGenerator:
         uncovered: Set[Tuple[str, str, str]],
         name: str,
     ) -> Optional[Scenario]:
-        """One walk from the initial state chaining nearby uncovered edges."""
+        """One walk from the initial state chaining nearby uncovered edges.
+
+        ``uncovered`` shrinks in place as the walk covers edges; keeping
+        one mutable set (instead of re-deriving ``uncovered - covers``
+        per hop) is what makes covering an E-edge graph roughly linear
+        in E rather than quadratic.
+        """
         assert self._initial_key is not None
         events: List[str] = []
         covers: Set[Tuple[str, str, str]] = set()
         position = self._initial_key
         for _ in range(len(uncovered) + 1):
-            target_edge = self._nearest_uncovered(graph, position, uncovered - covers)
+            target_edge = self._nearest_uncovered(graph, position, uncovered)
             if target_edge is None:
                 break
             path_events, end = target_edge
             events.extend(e for _, _, e in path_events)
             covers.update(path_events)
+            uncovered.difference_update(path_events)
             position = end
         if not events:
             return None
@@ -131,22 +138,33 @@ class TestGenerator:
         start: str,
         uncovered: Set[Tuple[str, str, str]],
     ) -> Optional[Tuple[List[Tuple[str, str, str]], str]]:
-        """BFS for the closest uncovered edge; returns (edge-path, end node)."""
+        """BFS for the closest uncovered edge; returns (edge-path, end node).
+
+        Parent-pointer BFS: the path is reconstructed only for the one
+        edge returned, so expanding a node costs O(out-degree) instead
+        of copying a growing path for every neighbour.
+        """
         if not uncovered:
             return None
-        # BFS over nodes remembering the edge-path taken.
-        queue: List[Tuple[str, List[Tuple[str, str, str]]]] = [(start, [])]
+        parents: Dict[str, Tuple[str, Tuple[str, str, str]]] = {}
         seen = {start}
+        queue = deque([start])
         while queue:
-            node, path = queue.pop(0)
+            node = queue.popleft()
             for _, successor, data in graph.out_edges(node, data=True):
                 edge = (node, successor, data["event"])
-                new_path = path + [edge]
                 if edge in uncovered:
-                    return new_path, successor
+                    path = [edge]
+                    step = node
+                    while step != start:
+                        step, parent_edge = parents[step]
+                        path.append(parent_edge)
+                    path.reverse()
+                    return path, successor
                 if successor not in seen:
                     seen.add(successor)
-                    queue.append((successor, new_path))
+                    parents[successor] = (node, edge)
+                    queue.append(successor)
         return None
 
     # ------------------------------------------------------------------

@@ -185,7 +185,12 @@ def build_tv_model(
     for src in _VOLUME_BAR_SOURCES:
         for ev in ("vol_up", "vol_down"):
             b.transition(src, "volbar", event=ev, action=_adjust_volume)
-    for src in _TTX_STATES + ("epg",):
+    # Volume also works under overlays that outrank the volume bar: the
+    # implementation blocks volume only in the menu, so teletext, the
+    # programme guide, *and an active alert* adjust it without showing
+    # the bar (alert was a model omission — found by the alert-flood
+    # scenario: expected sound stayed put while the set got louder).
+    for src in _TTX_STATES + ("epg", "alert"):
         for ev in ("vol_up", "vol_down"):
             b.transition(src, None, event=ev, action=_adjust_volume, internal=True)
     b.transition("volbar", "viewing", after=VOLUME_BAR_TIMEOUT)

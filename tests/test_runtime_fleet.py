@@ -6,6 +6,8 @@ determinism (same seed → byte-identical fleet trace), and that the
 campaign machinery actually detects injected faults without false alarms.
 """
 
+import pytest
+
 from repro.runtime import ExperimentRunner, MonitorFleet
 from repro.runtime.fleet import derive_member_seed
 
@@ -110,3 +112,124 @@ def test_fleet_scales_to_one_hundred_suos():
     assert report.dispatched > 10_000
     powered = sum(1 for m in fleet.members.values() if m.suo.powered)
     assert powered > 50  # random users zap some off; most stay on
+
+
+# ----------------------------------------------------------------------
+# report-ratio guards (zero-fault / zero-member campaigns)
+# ----------------------------------------------------------------------
+def _report(members=0, faulty=(), detected=(), false_alarms=()):
+    from repro.runtime import FleetReport
+
+    return FleetReport(
+        members=members,
+        duration=1.0,
+        dispatched=0,
+        wall_seconds=0.0,
+        events_per_sec=0.0,
+        errors_by_suo={},
+        faulty=list(faulty),
+        detected=list(detected),
+        false_alarms=list(false_alarms),
+        trace_digest="",
+        trace_records=0,
+    )
+
+
+def test_detection_rate_guards_zero_fault_campaigns():
+    assert _report(members=5).detection_rate == 1.0
+    assert _report(members=5, faulty=["a", "b"], detected=["a"]).detection_rate == 0.5
+
+
+def test_false_alarm_rate_guards_degenerate_fleets():
+    # empty fleet and all-faulty fleet: nobody *could* false-alarm
+    assert _report(members=0).false_alarm_rate == 0.0
+    assert _report(members=2, faulty=["a", "b"]).false_alarm_rate == 0.0
+    assert _report(
+        members=4, faulty=["a", "b"], false_alarms=["c"]
+    ).false_alarm_rate == 0.5
+
+
+def test_wall_clock_zero_does_not_divide():
+    assert _report(members=1).events_per_sec == 0.0
+
+
+# ----------------------------------------------------------------------
+# ExperimentRunner edge cases
+# ----------------------------------------------------------------------
+def test_runner_on_an_empty_fleet():
+    fleet = MonitorFleet(seed=1)
+    report = ExperimentRunner(fleet, duration=10.0, fault_fraction=0.5).run()
+    assert report.members == 0
+    assert report.dispatched == 0
+    assert report.faulty == []
+    assert report.detection_rate == 1.0
+    assert report.false_alarm_rate == 0.0
+    assert report.telemetry_summary["events_total"] == 0
+
+
+def test_runner_faults_into_every_member():
+    fleet = MonitorFleet(seed=8)
+    fleet.add_tvs(6)
+    report = ExperimentRunner(
+        fleet,
+        duration=120.0,
+        fault_fraction=1.0,
+        keys=["power", "vol_up", "vol_down", "mute", "ch_up"],
+    ).run()
+    assert len(report.faulty) == 6  # fraction 1.0 afflicts everyone
+    assert report.false_alarms == []
+    assert report.false_alarm_rate == 0.0  # no clean member exists
+    assert report.detected, "an all-faulty campaign must detect someone"
+
+
+def test_repeated_run_extends_the_campaign_instead_of_restarting():
+    fleet = MonitorFleet(seed=21)
+    fleet.add_tvs(8)
+    runner = ExperimentRunner(fleet, duration=30.0, mean_gap=5.0)
+    first = runner.run()
+    powered = sum(1 for m in fleet.members.values() if m.suo.powered)
+    assert powered > 0
+    second = runner.run()
+    # setup ran once: every TV has exactly one driver and the clock moved on
+    assert all(m.driver is not None for m in fleet.members.values() if m.kind == "tv")
+    assert fleet.kernel.now == pytest.approx(60.0)
+    # reports are cumulative: the second covers both segments
+    assert second.duration == pytest.approx(60.0)
+    assert second.trace_records >= first.trace_records
+    assert second.dispatched >= first.dispatched > 0
+
+
+def test_streaming_mode_matches_retained_digest_with_no_records():
+    def campaign(retain):
+        fleet = MonitorFleet(seed=13, retain_trace=retain)
+        fleet.add_tvs(4)
+        report = ExperimentRunner(fleet, duration=30.0).run()
+        return fleet, report
+
+    retained_fleet, retained = campaign(True)
+    streaming_fleet, streaming = campaign(False)
+    assert retained.trace_digest == streaming.trace_digest
+    assert retained.trace_records == streaming.trace_records
+    assert len(retained_fleet.trace.records) == retained.trace_records
+    assert streaming_fleet.trace.records == []  # bounded memory
+    assert streaming.retained_trace is False
+    assert retained.telemetry_digest == streaming.telemetry_digest
+
+
+def test_false_alarm_denominator_counts_monitored_clean_members():
+    """Unmonitored members can be fault-injected too; the false-alarm
+    pool is the monitored AND fault-free population, not monitored minus
+    total faulty."""
+    fleet = MonitorFleet(seed=30)
+    fleet.add_tvs(3, monitor=True)
+    fleet.add_tvs(2, monitor=False)
+    # mark both unmonitored TVs faulty by hand
+    for member in fleet.members.values():
+        if member.monitor is None:
+            member.faulty = True
+    faulty = [m for m in fleet.members.values() if m.faulty]
+    from repro.runtime import build_fleet_report
+
+    report = build_fleet_report(fleet, 1.0, 0, 0.0, faulty)
+    assert report.monitored_clean == 3  # the three monitored, clean TVs
+    assert report.false_alarm_rate == 0.0

@@ -1,0 +1,168 @@
+"""Tests for the streaming telemetry aggregators.
+
+The contract under test: bounded memory whatever the traffic, windowing
+keyed to *simulated* time, and byte-stable summaries for a fixed seed —
+the properties that let a thousand-SUO campaign run without retaining
+the merged trace.
+"""
+
+import json
+import random
+
+import pytest
+
+from repro.runtime import (
+    CounterSet,
+    EventBus,
+    FleetTelemetry,
+    ReservoirHistogram,
+    WindowedRate,
+)
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+
+# ----------------------------------------------------------------------
+# CounterSet
+# ----------------------------------------------------------------------
+def test_counter_set_counts_and_sorts():
+    counters = CounterSet()
+    counters.inc("b")
+    counters.inc("a", 3)
+    counters.inc("b")
+    assert counters.get("a") == 3
+    assert counters.get("missing") == 0
+    assert counters.total() == 5
+    assert list(counters.as_dict()) == ["a", "b"]
+
+
+# ----------------------------------------------------------------------
+# WindowedRate
+# ----------------------------------------------------------------------
+def test_windowed_rate_counts_only_the_trailing_window():
+    clock = FakeClock()
+    rate = WindowedRate(clock, window=10.0, buckets=10)
+    for t in (0.5, 1.5, 2.5):
+        clock.now = t
+        rate.add()
+    assert rate.count() == 3
+    # advance so the first two events fall off the 10s window
+    clock.now = 11.6
+    assert rate.count() == 1
+    # far past the window everything expires
+    clock.now = 50.0
+    assert rate.count() == 0
+
+
+def test_windowed_rate_is_per_sim_time_not_wall_time():
+    clock = FakeClock()
+    rate = WindowedRate(clock, window=10.0, buckets=10)
+    for i in range(20):
+        clock.now = 10.0 + i * 0.5  # 2 events per sim second
+        rate.add()
+    assert rate.rate() == pytest.approx(2.0, rel=0.2)
+
+
+def test_windowed_rate_early_rate_uses_covered_span():
+    clock = FakeClock()
+    rate = WindowedRate(clock, window=100.0, buckets=10)
+    clock.now = 1.0
+    rate.add()
+    rate.add()
+    # 2 events in ~1s must not read as 2/100
+    assert rate.rate() > 0.1
+
+
+def test_windowed_rate_rejects_bad_parameters():
+    with pytest.raises(ValueError):
+        WindowedRate(FakeClock(), window=0.0)
+    with pytest.raises(ValueError):
+        WindowedRate(FakeClock(), buckets=0)
+
+
+# ----------------------------------------------------------------------
+# ReservoirHistogram
+# ----------------------------------------------------------------------
+def test_reservoir_is_bounded_and_stats_exact():
+    hist = ReservoirHistogram(capacity=64, rng=random.Random(1))
+    for i in range(10_000):
+        hist.add(float(i))
+    assert hist.retained == 64  # bounded whatever the stream length
+    assert hist.count == 10_000
+    assert hist.min == 0.0
+    assert hist.max == 9999.0
+    assert hist.mean() == pytest.approx(4999.5)
+    assert 0.0 <= hist.quantile(0.5) <= 9999.0
+
+
+def test_reservoir_is_deterministic_under_a_fixed_seed():
+    def sample():
+        hist = ReservoirHistogram(capacity=16, rng=random.Random(7))
+        for i in range(1000):
+            hist.add(float(i % 97))
+        return hist.stats()
+
+    assert sample() == sample()
+
+
+def test_reservoir_quantiles_on_small_streams():
+    hist = ReservoirHistogram(capacity=8)
+    assert hist.quantile(0.5) == 0.0  # empty
+    hist.add(3.0)
+    assert hist.quantile(0.5) == 3.0
+    assert hist.stats()["count"] == 1
+
+
+# ----------------------------------------------------------------------
+# FleetTelemetry
+# ----------------------------------------------------------------------
+def test_fleet_telemetry_tallies_per_suo_and_kind():
+    bus = EventBus()
+    clock = FakeClock()
+    telemetry = FleetTelemetry(bus, clock, rng=random.Random(0))
+    bus.publish("suo.tv-0.input", "press")
+    bus.publish("suo.tv-0.output", "screen")
+    bus.publish("suo.tv-1.output", "screen")
+    bus.publish("suo.tv-1.error", "report")
+    assert telemetry.events_total == 4
+    assert telemetry.kinds.as_dict() == {"error": 1, "input": 1, "output": 2}
+    assert telemetry.per_suo["tv-0"].inputs == 1
+    assert telemetry.per_suo["tv-1"].errors == 1
+    assert telemetry.errors_by_suo() == {"tv-1": 1}
+
+
+def test_fleet_telemetry_summary_is_canonical_json():
+    bus = EventBus()
+    telemetry = FleetTelemetry(bus, FakeClock(), rng=random.Random(0))
+    bus.publish("suo.a.input", 1)
+    summary = telemetry.summary(per_suo=True)
+    # round-trips through JSON and sorts stably → byte-stable digest
+    assert json.loads(json.dumps(summary)) == summary
+    assert telemetry.digest() == telemetry.digest()
+
+
+def test_fleet_telemetry_detach_stops_ingestion():
+    bus = EventBus()
+    telemetry = FleetTelemetry(bus, FakeClock(), rng=random.Random(0))
+    bus.publish("suo.a.input", 1)
+    telemetry.detach()
+    bus.publish("suo.a.input", 2)
+    assert telemetry.events_total == 1
+    telemetry.detach()  # idempotent
+
+
+def test_fleet_telemetry_latency_reservoir():
+    bus = EventBus()
+    telemetry = FleetTelemetry(bus, FakeClock(), rng=random.Random(0), reservoir=4)
+    for value in (0.05, 0.06, 0.07, 0.08, 0.09, 0.10):
+        telemetry.observe_latency(value)
+    stats = telemetry.summary()["latency"]
+    assert stats["count"] == 6
+    assert stats["retained"] == 4
+    assert stats["max"] == 0.10

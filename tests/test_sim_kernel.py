@@ -247,3 +247,28 @@ def test_run_with_max_events_zero_dispatches_nothing():
     kernel.schedule(1.0, lambda: None)
     assert kernel.run(max_events=0) == 0
     assert kernel.pending_count() == 1
+
+
+def test_schedule_at_fires_at_exact_absolute_time():
+    """schedule_at must not round-trip through now + (t - now): after the
+    clock has advanced, that sum can land an ulp *before* t and reorder
+    callers that rely on monotone absolute deadlines (regression for the
+    MessageChannel FIFO fuzz failure)."""
+    kernel = Kernel()
+    deadline = 1.8  # not exactly representable relative to now=0.4
+    fired_at = []
+    kernel.schedule(0.4, lambda: None)
+    kernel.run()
+    assert kernel.now == 0.4
+    event = kernel.schedule_at(deadline, lambda: fired_at.append(kernel.now))
+    assert event.time == deadline
+    kernel.run()
+    assert fired_at == [deadline]
+
+
+def test_schedule_at_rejects_the_past():
+    kernel = Kernel()
+    kernel.schedule(1.0, lambda: None)
+    kernel.run()
+    with pytest.raises(SimulationError):
+        kernel.schedule_at(0.5, lambda: None)
