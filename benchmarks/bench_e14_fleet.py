@@ -13,6 +13,11 @@ Claims checked:
 * injected faults are detected with zero false alarms (the Sect. 4.3
   comparator discipline survives multiplexing);
 * the run is deterministic — same fleet seed, byte-identical trace.
+
+This bench intentionally drives the legacy hand-built-fleet path
+(``MonitorFleet`` + the deprecated ``ExperimentRunner`` shim) so its
+throughput and determinism stay covered; declarative campaigns run
+through ``repro.campaign`` (bench_e16).
 """
 
 import pytest

@@ -18,7 +18,13 @@ Claims checked:
 
 import json
 
-from repro.scenarios import FaultPhase, ScenarioRunner, ScenarioSpec, UserProfile
+from repro.campaign import SerialBackend
+from repro.scenarios import (
+    CompiledScenario,
+    FaultPhase,
+    ScenarioSpec,
+    UserProfile,
+)
 
 from conftest import print_table, qscale, run_once
 
@@ -42,7 +48,7 @@ THOUSAND = ScenarioSpec(
 
 def test_e15_thousand_suo_streaming_campaign(benchmark):
     def campaign():
-        compiled = ScenarioRunner().compile(THOUSAND, seed=15)
+        compiled = CompiledScenario(THOUSAND, seed=15)
         report = compiled.run()
         return compiled, report
 
@@ -75,14 +81,14 @@ def test_e15_thousand_suo_streaming_campaign(benchmark):
 
 def test_e15_streaming_run_is_deterministic(benchmark):
     def both():
-        first = ScenarioRunner().run(THOUSAND, seed=15)
-        second = ScenarioRunner().run(THOUSAND, seed=15)
+        first = SerialBackend().run(THOUSAND, seed=15)
+        second = SerialBackend().run(THOUSAND, seed=15)
         return first, second
 
     first, second = run_once(benchmark, both)
-    assert first.fleet.trace_digest == second.fleet.trace_digest
+    assert first.shard_trace_digests == second.shard_trace_digests
     assert first.telemetry_digest == second.telemetry_digest
-    assert json.dumps(first.telemetry, sort_keys=True) == json.dumps(
-        second.telemetry, sort_keys=True
+    assert json.dumps(first.telemetry_summary, sort_keys=True) == json.dumps(
+        second.telemetry_summary, sort_keys=True
     )
-    assert first.fleet.dispatched == second.fleet.dispatched
+    assert first.dispatched == second.dispatched

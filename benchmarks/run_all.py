@@ -24,7 +24,11 @@ throughput probes measure the runtime itself:
 * ``fleet``      — a 100-SUO MonitorFleet campaign (events/sec), plus a
   byte-identical-trace determinism check;
 * ``scenarios``  — a 1000-SUO streaming-telemetry scenario (the E15
-  workload), recording its trace and telemetry digests.
+  workload), recording its trace and telemetry digests;
+* ``sharded``    — the same scenario through the campaign API, serial vs
+  ``ProcessShardBackend``: records the wall-clock speedup and **fails
+  the run if the serial and sharded telemetry digests diverge** (the CI
+  shard-determinism gate; quick mode shrinks to 2 shards).
 
 ``BENCH_runtime.json`` carries the numbers plus the seed-kernel baseline
 measured before the runtime refactor, so future PRs can see the
@@ -96,13 +100,22 @@ def probe_single_suo() -> float:
 
 
 def probe_fleet(members: int = 100, duration: float = 60.0) -> dict:
-    """100-SUO campaign throughput + determinism witness."""
+    """100-SUO campaign throughput + determinism witness.
+
+    Intentionally stays on the legacy hand-built-fleet path (the
+    deprecated ``ExperimentRunner`` shim) so its throughput remains
+    tracked; the campaign API is probed by :func:`probe_sharded`.
+    """
+    import warnings
+
     from repro.runtime import ExperimentRunner, MonitorFleet
 
     def campaign():
         fleet = MonitorFleet(seed=14)
         fleet.add_tvs(members)
-        runner = ExperimentRunner(fleet, duration=duration, fault_fraction=0.2)
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            runner = ExperimentRunner(fleet, duration=duration, fault_fraction=0.2)
         return runner.run()
 
     first = campaign()
@@ -119,7 +132,8 @@ def probe_fleet(members: int = 100, duration: float = 60.0) -> dict:
 
 def probe_scenarios(members: int = 1000, duration: float = 20.0) -> dict:
     """One 1000-SUO streaming scenario campaign (the E15 workload)."""
-    from repro.scenarios import FaultPhase, ScenarioRunner, ScenarioSpec, UserProfile
+    from repro.campaign import SerialBackend
+    from repro.scenarios import FaultPhase, ScenarioSpec, UserProfile
 
     spec = ScenarioSpec(
         name="probe-thousand-suo",
@@ -130,16 +144,61 @@ def probe_scenarios(members: int = 1000, duration: float = 20.0) -> dict:
                               keys=("power", "ch_up", "vol_up", "mute")),),
         phases=(FaultPhase("volume_overshoot", at=duration / 2, fraction=0.1),),
     )
-    report = ScenarioRunner().run(spec, seed=15)
+    report, fleet_report, _compiled = SerialBackend().run_detailed(spec, 15)
     return {
-        "members": report.fleet.members,
+        "members": report.members,
         "sim_duration": duration,
-        "dispatched": report.fleet.dispatched,
-        "events_per_sec": round(report.fleet.events_per_sec),
-        "streaming": not report.fleet.retained_trace,
-        "suo_events": report.telemetry["events_total"],
+        "dispatched": report.dispatched,
+        "events_per_sec": round(fleet_report.events_per_sec),
+        "streaming": not fleet_report.retained_trace,
+        "suo_events": report.telemetry_summary["events_total"],
         "telemetry_digest": report.telemetry_digest,
-        "trace_digest": report.fleet.trace_digest,
+        "trace_digest": report.shard_trace_digests[0],
+    }
+
+
+def probe_sharded(quick: bool = False) -> dict:
+    """Serial vs sharded execution of the E15-scale scenario.
+
+    Full mode: 1000 SUOs, 4 shards.  Quick mode: 300 SUOs, 2 shards —
+    the CI smoke that gates shard determinism.  ``digests_match`` is the
+    gate: the merged counter/tally telemetry of the sharded run must be
+    byte-identical to the serial run's.
+    """
+    from repro.campaign import ProcessShardBackend, SerialBackend
+    from repro.scenarios import FaultPhase, ScenarioSpec, UserProfile
+
+    members = 300 if quick else 1000
+    duration = 10.0 if quick else 20.0
+    shards = 2 if quick else 4
+    spec = ScenarioSpec(
+        name="probe-sharded",
+        description="run_all probe: sharded vs serial execution",
+        duration=duration,
+        tvs=members,
+        profiles=(UserProfile("probe", mean_gap=15.0,
+                              keys=("power", "ch_up", "vol_up", "mute")),),
+        phases=(FaultPhase("volume_overshoot", at=duration / 2, fraction=0.1),),
+    )
+    # Sharded first: fork from a lean parent (a prior serial run would
+    # leave a big heap whose pages the workers' refcount writes unshare).
+    sharded = ProcessShardBackend(shards=shards).run(spec, seed=16)
+    serial = SerialBackend().run(spec, seed=16)
+    speedup = (
+        serial.wall_seconds / sharded.wall_seconds
+        if sharded.wall_seconds > 0 else 0.0
+    )
+    return {
+        "members": members,
+        "sim_duration": duration,
+        "shards": shards,
+        "cpu_count": os.cpu_count(),
+        "serial_wall_seconds": round(serial.wall_seconds, 3),
+        "sharded_wall_seconds": round(sharded.wall_seconds, 3),
+        "speedup": round(speedup, 3),
+        "digests_match": sharded.telemetry_digest == serial.telemetry_digest,
+        "telemetry_digest": serial.telemetry_digest,
+        "shard_trace_digests": sharded.shard_trace_digests,
     }
 
 
@@ -213,6 +272,16 @@ def main() -> int:
         f"  fleet: {fleet['events_per_sec']:,} events/sec over "
         f"{fleet['members']} SUOs, deterministic={fleet['deterministic']}"
     )
+    # The sharded probe runs before the big serial scenario probe: its
+    # workers fork from a still-lean parent, so the recorded speedup
+    # measures the backend rather than copy-on-write page duplication.
+    print("probing sharded vs serial campaign execution ...", flush=True)
+    sharded = probe_sharded(quick=args.quick)
+    print(
+        f"  sharded: {sharded['members']} SUOs on {sharded['shards']} shards "
+        f"({sharded['cpu_count']} cores): {sharded['speedup']}x speedup, "
+        f"digests_match={sharded['digests_match']}"
+    )
     print("probing 1000-SUO streaming scenario ...", flush=True)
     scenarios = probe_scenarios()
     print(
@@ -232,6 +301,7 @@ def main() -> int:
         "single_suo_events_per_sec": round(single_eps),
         "fleet": fleet,
         "scenarios": scenarios,
+        "sharded": sharded,
         "seed_baseline": SEED_BASELINE,
         "benches": benches,
     }
@@ -243,6 +313,10 @@ def main() -> int:
     failed = [name for name, r in benches.items() if not r["ok"]]
     if failed:
         print("FAILED:", ", ".join(failed))
+        return 1
+    if not sharded["digests_match"]:
+        print("FAILED: serial and sharded telemetry digests diverged "
+              "(shard determinism gate)")
         return 1
     if round(kernel_eps) < SEED_BASELINE["kernel_events_per_sec"]:
         print("WARNING: kernel throughput regressed below the seed baseline")

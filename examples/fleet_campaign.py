@@ -1,60 +1,79 @@
-"""Fleet campaign: 120 monitored devices on one kernel, one event bus.
+"""Fleet campaign through the unified API: one plan, two backends.
 
 The paper's framework (Fig. 1/2) watches a single TV.  This example runs
-the production-scale version: a :class:`~repro.runtime.MonitorFleet` of
-TVs and media players, each with its own awareness monitor and its own
-deterministic random streams, multiplexed on one simulation kernel and
-one runtime :class:`~repro.runtime.EventBus`.  A fault-injection campaign
-afflicts a seeded subset of devices; the per-device monitors catch the
-divergences with zero false alarms, and the whole run is reproducible —
-the merged fleet trace hashes to the same digest every time.
+the production-scale version end to end: a declarative
+:class:`~repro.scenarios.ScenarioSpec` for 120 monitored devices (110
+TVs + 10 media players) with a seeded volume-fault wave, executed twice
+through :class:`~repro.campaign.Campaign` —
+
+* once on :class:`~repro.campaign.SerialBackend` — one kernel, one
+  fleet, one telemetry hub (PR 1's hand-coded campaign, now one call);
+* once on :class:`~repro.campaign.ProcessShardBackend` — the device mix
+  partitioned into 4 per-shard plans, one kernel + fleet per worker
+  process, telemetry merged back into one report.
+
+The point of the demo: the two reports carry the *identical* merged
+counter/tally telemetry digest.  Per-member behaviour is keyed to
+``(campaign seed, suo_id)``, so how the fleet is placed across kernels
+is invisible in what it does — which is what makes sharding safe to
+reach for when one kernel stops being enough.
+
+(Hand-built fleets remain available underneath: ``repro.runtime.
+MonitorFleet`` is unchanged, and the deprecated ``ExperimentRunner``
+still drives custom mixes the declarative layer cannot express.)
 
 Run:  python examples/fleet_campaign.py
 """
 
-from repro.runtime import ExperimentRunner, MonitorFleet
+from repro.campaign import Campaign, ProcessShardBackend
+from repro.scenarios import FaultPhase, ScenarioSpec, UserProfile
+
+CAMPAIGN_SPEC = ScenarioSpec(
+    name="fleet-campaign",
+    description="110 TVs + 10 players, volume fault on a seeded quarter",
+    duration=120.0,
+    tvs=110,
+    players=10,
+    profiles=(
+        UserProfile("active", mean_gap=3.0,
+                    keys=("power", "vol_up", "vol_down", "ch_up", "ch_down",
+                          "mute", "ttx", "menu", "epg", "back")),
+    ),
+    phases=(FaultPhase("volume_overshoot", at=40.0, fraction=0.25),),
+)
 
 
 def main() -> None:
-    # 1. the fleet: 110 TVs + 10 media players, one kernel ------------
-    fleet = MonitorFleet(seed=2026)
-    fleet.add_tvs(110)
-    for _ in range(10):
-        fleet.add_player()
-    print(f"fleet: {len(fleet)} SUOs on one kernel")
+    campaign = Campaign(CAMPAIGN_SPEC)
 
-    # 2. the campaign: random users everywhere, volume-overshoot fault
-    #    injected into a seeded 25% of the TVs at t=40 -----------------
-    runner = ExperimentRunner(
-        fleet,
-        duration=120.0,
-        mean_gap=3.0,
-        fault="volume_overshoot",
-        fault_fraction=0.25,
-        keys=["power", "vol_up", "vol_down", "ch_up", "ch_down",
-              "mute", "ttx", "menu", "epg", "back"],
+    # 1. the serial path: one kernel runs the whole fleet ---------------
+    serial = campaign.run_cell(CAMPAIGN_SPEC, seed=2026)
+    print(f"serial : {serial.members} SUOs, {serial.dispatched:,} events in "
+          f"{serial.wall_seconds:.2f}s wall "
+          f"({serial.events_per_sec:,.0f} events/sec)")
+    print(f"         afflicted {len(serial.faulty)}, detected "
+          f"{len(serial.detected)} ({serial.detection_rate:.0%}), "
+          f"false alarms: {len(serial.false_alarms)}")
+
+    # 2. the sharded path: same plan, 4 worker processes ----------------
+    sharded = campaign.run_cell(
+        CAMPAIGN_SPEC, seed=2026, backend=ProcessShardBackend(shards=4)
     )
-    report = runner.run()
+    print(f"sharded: {sharded.members} SUOs across {sharded.shards} worker "
+          f"processes in {sharded.wall_seconds:.2f}s wall "
+          f"(shard walls {[f'{w:.2f}' for w in sharded.shard_wall_seconds]})")
+    print(f"         per-shard trace digests: "
+          f"{[d[:10] for d in sharded.shard_trace_digests]}")
 
-    # 3. what happened -------------------------------------------------
-    print(f"simulated {report.duration:.0f}s, dispatched {report.dispatched:,} "
-          f"events at {report.events_per_sec:,.0f} events/sec wall")
-    print(f"afflicted {len(report.faulty)} devices; monitors caught "
-          f"{len(report.detected)} ({report.detection_rate:.0%}), "
-          f"false alarms: {len(report.false_alarms)}")
-    for suo_id in report.detected[:5]:
-        member = fleet.members[suo_id]
-        first = member.monitor.errors[0]
-        print(f"  {suo_id}: first divergence at t={first.time:.2f} "
-              f"on {first.observable!r} "
-              f"(expected {first.expected!r}, saw {first.actual!r})")
-
-    # 4. determinism: same seed, byte-identical fleet trace ------------
-    print(f"fleet trace: {report.trace_records} records, "
-          f"digest {report.trace_digest[:16]}…")
-    assert report.false_alarms == [], "fault-free devices must stay silent"
-    assert report.detected, "the campaign must catch someone"
-    print("one kernel, one bus, a whole fleet under observation.")
+    # 3. the witness: the partition is invisible in the telemetry -------
+    print(f"serial  telemetry digest: {serial.telemetry_digest[:24]}…")
+    print(f"sharded telemetry digest: {sharded.telemetry_digest[:24]}…")
+    assert sharded.telemetry_digest == serial.telemetry_digest
+    assert sharded.faulty == serial.faulty
+    assert sharded.detected == serial.detected
+    assert serial.false_alarms == [] and sharded.false_alarms == []
+    print("identical merged counters, tallies, and detections — one "
+          "campaign API, pluggable execution.")
 
 
 if __name__ == "__main__":

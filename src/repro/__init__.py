@@ -27,7 +27,12 @@ awareness stack on a fully simulated substrate:
   memory;
 * :mod:`repro.scenarios`   — declarative workload scenarios
   (ScenarioSpec → MonitorFleet compiler, a ≥10-entry named library,
-  scenario × seed sweeps via ScenarioRunner).
+  deterministic placement plans for sharded execution);
+* :mod:`repro.campaign`    — the unified campaign API: Campaign
+  (scenario × seed plans) executed through pluggable backends —
+  SerialBackend (one kernel) or ProcessShardBackend (one kernel per
+  shard in worker processes, merged telemetry, backend-invariant
+  telemetry digests).
 """
 
 __version__ = "1.0.0"

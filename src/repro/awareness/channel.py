@@ -48,7 +48,10 @@ class MessageChannel:
         self.receivers: List[Callable[[Message], None]] = []
         self.sent = 0
         self.delivered = 0
+        self.flushed = 0
         self._last_delivery_time = 0.0
+        #: Delivery events still scheduled on the kernel (socket buffer).
+        self._in_flight: List[Any] = []
 
     def connect(self, receiver: Callable[[Message], None]) -> None:
         self.receivers.append(receiver)
@@ -62,12 +65,37 @@ class MessageChannel:
         # previously queued message (sockets are ordered streams).
         deliver_at = max(self.kernel.now + latency, self._last_delivery_time)
         self._last_delivery_time = deliver_at
-        self.kernel.schedule_at(
+        event = self.kernel.schedule_at(
             deliver_at, lambda: self._deliver(message), name=f"chan:{self.name}"
         )
+        self._in_flight.append(event)
         return message
+
+    def pending(self) -> int:
+        """Messages sent but not yet delivered (nor flushed)."""
+        return len(self._in_flight)
+
+    def flush_pending(self) -> int:
+        """Drop every in-flight message; returns how many were dropped.
+
+        Models closing and reopening the socket: a restarting monitor
+        must not receive datagrams from before its re-sync snapshot, or
+        it would apply them to a model that already reflects them.
+        """
+        dropped = 0
+        for event in self._in_flight:
+            if not event.cancelled:
+                event.cancel()
+                dropped += 1
+        self._in_flight.clear()
+        self.flushed += dropped
+        return dropped
 
     def _deliver(self, message: Message) -> None:
         self.delivered += 1
+        # Deliveries happen in send order (FIFO clamp above) and flushed
+        # events never reach here, so the front entry is always ours.
+        if self._in_flight:
+            self._in_flight.pop(0)
         for receiver in self.receivers:
             receiver(message)

@@ -93,11 +93,41 @@ class AwarenessMonitor:
         ):
             self.controller.manage(component)
 
+        #: Re-sync handshake run on every restart (see
+        #: :meth:`attach_resync`); ``resyncs`` counts invocations.
+        self._resync: Optional[Callable[[], None]] = None
+        self._was_stopped = False
+        self.resyncs = 0
+
     # ------------------------------------------------------------------
+    def attach_resync(self, handshake: Callable[[], None]) -> None:
+        """Install the restart re-sync handshake.
+
+        A monitor stopped mid-session misses inputs, so on restart its
+        model executor would replay expectations from a stale state and
+        false-alarm on every divergence it "missed" (the monitor-churn
+        scenario made this visible).  The handshake re-seeds the model —
+        and the output observer's last-seen values — from the SUO's
+        *current* observable state before components restart.
+        """
+        self._resync = handshake
+
     def start(self) -> None:
+        if self.controller.running:
+            return
+        if self._was_stopped and self._resync is not None:
+            # Drop datagrams still in flight from before the stop: the
+            # snapshot below already reflects them, and replaying them
+            # would double-apply inputs to the re-seeded model.
+            self.input_channel.flush_pending()
+            self.output_channel.flush_pending()
+            self._resync()
+            self.resyncs += 1
         self.controller.start()
 
     def stop(self) -> None:
+        if self.controller.running:
+            self._was_stopped = True
         self.controller.stop()
 
     @property
@@ -110,6 +140,91 @@ class AwarenessMonitor:
 
     def send_output(self, name: str, value: Any, time: float) -> None:
         self.output_channel.send("output", {"name": name, "value": value, "time": time})
+
+
+# ----------------------------------------------------------------------
+# restart re-sync handshakes
+# ----------------------------------------------------------------------
+_OVERLAY_TO_MODEL_STATE = {
+    "none": "viewing",
+    "volume_bar": "volbar",
+    "info_banner": "banner",
+    "menu": "menu",
+    "epg": "epg",
+    "alert": "alert",
+}
+
+
+def resync_tv_monitor(monitor: "AwarenessMonitor", tv: TVSet) -> None:
+    """Re-seed a TV monitor's model from the TV's current observable
+    state (the restart handshake; ROADMAP "monitor re-sync" item).
+
+    The model adopts the SUO's *actual* state as its new baseline: the
+    active overlay maps to the model leaf (with transient-overlay timers
+    re-armed at the TV's true expiry instants), control variables copy
+    the component state the user could observe, and the output
+    observer's last-seen values refresh to the current screen/sound so
+    timed comparisons do not run against pre-stop observations.  An
+    active fault is *not* masked for long — the adopted baseline matches
+    reality right now, and the next interaction that exercises the
+    faulty behaviour diverges again and is re-detected.
+    """
+    now = tv.kernel.now
+    if not tv.powered:
+        leaf = "standby"
+    else:
+        overlay = tv.osd.op_osd_current_overlay()
+        if overlay == "ttx":
+            rendered = tv.teletext.op_ttx_rendered_page()
+            leaf = "ttx_shown" if rendered.get("status") == "shown" else "ttx_searching"
+        else:
+            leaf = _OVERLAY_TO_MODEL_STATE.get(overlay, "viewing")
+    deadlines = {}
+    for kind, state_name in (("volume_bar", "volbar"), ("info_banner", "banner")):
+        pending = tv._transient_events.get(kind)
+        if pending is not None and leaf == state_name:
+            deadlines[state_name] = pending.time
+    monitor.executor.machine.reseed(
+        leaf,
+        now,
+        vars={
+            "channel": tv.channel,
+            "channel_count": tv.tuner.channel_count,
+            "volume": tv.audio.op_audio_get_volume(),
+            "mute": tv.audio.mode == "mute",
+            "dual": tv.dual.active,
+            "pip": tv.dual.pip_channel if tv.dual.active else 0,
+            "lock_enabled": tv.features.mode == "locked",
+            "locked": frozenset(tv.features.locked_channels),
+            "sleep": tv.features.op_features_get_sleep(),
+        },
+        timer_deadlines=deadlines,
+    )
+    for name, value in (
+        ("screen", tv.screen_descriptor()),
+        ("sound", tv.sound_level()),
+    ):
+        monitor.output_observer.latest[name] = Observation(
+            time=now, source="suo", name=name, value=value
+        )
+    monitor.comparator.reset()
+
+
+def resync_player_monitor(monitor: "AwarenessMonitor", player) -> None:
+    """Re-seed a player monitor from the player's current state.
+
+    A stalled player has no model counterpart (the stall *is* the
+    fault); the model adopts ``playing`` — what an unfaulty pipeline
+    would be doing — so the persistent divergence is re-detected
+    immediately after restart instead of being masked.
+    """
+    now = player.kernel.now
+    state = player.state if player.state in ("stopped", "playing", "paused") else "playing"
+    monitor.executor.machine.reseed(state, now)
+    monitor.output_observer.latest["state"] = Observation(
+        time=now, source="suo", name="state", value=player.state
+    )
+    monitor.comparator.reset()
 
 
 # ----------------------------------------------------------------------
@@ -198,6 +313,7 @@ def make_tv_monitor(
             event.name, event.value, event.time
         ),
     )
+    monitor.attach_resync(lambda: resync_tv_monitor(monitor, tv))
     if start:
         monitor.start()
     return monitor
@@ -250,6 +366,7 @@ def make_player_monitor(
             output[0], output[1], player.kernel.now
         ),
     )
+    monitor.attach_resync(lambda: resync_player_monitor(monitor, player))
     if start:
         monitor.start()
     return monitor

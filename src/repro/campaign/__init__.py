@@ -1,0 +1,48 @@
+"""Campaign layer: one public API over every way to run a campaign.
+
+The paper's industry-as-laboratory premise (Sect. 3) is that runtime
+awareness must hold up under production-scale workloads.  This package
+is the API seam that makes scale pluggable:
+
+* :mod:`repro.campaign.core`     — :class:`Campaign`, the scenario × seed
+  plan built from specs or library names;
+* :mod:`repro.campaign.backends` — the :class:`ExecutionBackend`
+  protocol, :class:`SerialBackend` (one kernel, in-process), and
+  :class:`ProcessShardBackend` (device mix partitioned into per-shard
+  plans, one kernel + fleet per worker process, merged telemetry);
+* :mod:`repro.campaign.report`   — :class:`CampaignReport`, the merged
+  result schema with the backend-invariant ``telemetry_digest``.
+
+``ExperimentRunner`` (PR 1) and ``ScenarioRunner`` (PR 2) survive as
+thin deprecation shims; see docs/CAMPAIGNS.md for the API, the backend
+selection guide, and the shard determinism rules.
+"""
+
+from .backends import (
+    ExecutionBackend,
+    ProcessShardBackend,
+    SerialBackend,
+    derive_shard_seed,
+    run_shard_plan,
+)
+from .core import Campaign, ScenarioLike
+from .report import (
+    CAMPAIGN_TABLE_HEADER,
+    CampaignReport,
+    format_campaign_table,
+    merge_shard_results,
+)
+
+__all__ = [
+    "CAMPAIGN_TABLE_HEADER",
+    "Campaign",
+    "CampaignReport",
+    "ExecutionBackend",
+    "ProcessShardBackend",
+    "ScenarioLike",
+    "SerialBackend",
+    "derive_shard_seed",
+    "format_campaign_table",
+    "merge_shard_results",
+    "run_shard_plan",
+]

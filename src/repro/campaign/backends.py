@@ -1,0 +1,187 @@
+"""Execution backends: how one campaign cell actually runs.
+
+The :class:`ExecutionBackend` protocol is the seam the ROADMAP's
+"sharded fleets" decade needed: everything above it (Campaign, sweeps,
+benches, CI gates) speaks (spec, seed) → :class:`CampaignReport`, and the
+backend decides whether that cell simulates on one kernel
+(:class:`SerialBackend`) or is partitioned across worker processes, one
+kernel + fleet + telemetry hub per shard
+(:class:`ProcessShardBackend`).
+
+The sharded backend's contract (verified by ``tests/test_campaign.py``
+and gated in CI):
+
+* merged counter/tally telemetry is **identical** to the serial run's —
+  per-member behaviour keys to ``(campaign seed, suo_id)`` so placement
+  cannot perturb it;
+* per-shard trace digests are reproducible across reruns;
+* shard-local randomness (reservoir sampling) keys to
+  ``derive_shard_seed(seed, shard_id)``.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time as wallclock
+from typing import Any, Dict, Optional, Protocol, Tuple, runtime_checkable
+
+from ..runtime.fleet import FleetReport
+from ..scenarios.compile import CompiledScenario
+from ..scenarios.plan import (
+    ScenarioPlan,
+    build_plan,
+    derive_shard_seed,
+    partition_plan,
+)
+from ..scenarios.spec import ScenarioSpec
+from .report import CampaignReport, merge_shard_results
+
+__all__ = [
+    "ExecutionBackend",
+    "SerialBackend",
+    "ProcessShardBackend",
+    "derive_shard_seed",
+    "run_shard_plan",
+]
+
+
+@runtime_checkable
+class ExecutionBackend(Protocol):
+    """Anything that can execute one (scenario, seed) campaign cell."""
+
+    name: str
+
+    def run(self, spec: ScenarioSpec, seed: int) -> CampaignReport: ...
+
+
+def _shard_result(
+    compiled: CompiledScenario, fleet_report: FleetReport
+) -> Dict[str, Any]:
+    """Everything a worker sends home: JSON-friendly, mergeable."""
+    fleet = compiled.fleet
+    return {
+        "shard_id": compiled.plan.shard_id,
+        "members": len(fleet),
+        "duration": fleet_report.duration,
+        "dispatched": fleet_report.dispatched,
+        "wall_seconds": fleet_report.wall_seconds,
+        "trace_digest": fleet.trace_digest(),
+        "trace_records": fleet.record_count(),
+        # per_suo + samples make the summary mergeable (see telemetry).
+        "summary": fleet.telemetry.summary(per_suo=True, samples=True),
+        "faulty": fleet_report.faulty,
+        "detected": fleet_report.detected,
+        "false_alarms": fleet_report.false_alarms,
+        "monitored_clean": fleet_report.monitored_clean or 0,
+        "errors_by_suo": fleet_report.errors_by_suo,
+        "profile_mix": {
+            name: len(group)
+            for name, group in compiled.profile_groups.items()
+        },
+    }
+
+
+def run_shard_plan(plan: ScenarioPlan) -> Dict[str, Any]:
+    """Compile and run one plan (a full cell or one shard of it).
+
+    Module-level so :mod:`multiprocessing` can ship it to workers by
+    reference under every start method.
+    """
+    compiled = CompiledScenario(plan.spec, plan.seed, plan=plan)
+    fleet_report = compiled.run()
+    return _shard_result(compiled, fleet_report)
+
+
+class SerialBackend:
+    """The single-kernel path: one fleet, one telemetry hub, in-process.
+
+    Routes its one result through the same merge as the sharded backend,
+    so serial and sharded reports are structurally identical and their
+    ``telemetry_digest`` fields are directly comparable.
+    """
+
+    name = "serial"
+
+    def run_detailed(
+        self, spec: ScenarioSpec, seed: int
+    ) -> Tuple[CampaignReport, FleetReport, CompiledScenario]:
+        """Run and also expose the live fleet objects (legacy shims and
+        tests that inspect members use this)."""
+        start = wallclock.perf_counter()
+        compiled = CompiledScenario(spec, seed)
+        fleet_report = compiled.run()
+        result = _shard_result(compiled, fleet_report)
+        wall = wallclock.perf_counter() - start
+        report = merge_shard_results(
+            scenario=spec.name,
+            seed=seed,
+            backend=self.name,
+            shards=1,
+            results=[result],
+            wall_seconds=wall,
+            reservoir=spec.telemetry_reservoir,
+        )
+        return report, fleet_report, compiled
+
+    def run(self, spec: ScenarioSpec, seed: int) -> CampaignReport:
+        return self.run_detailed(spec, seed)[0]
+
+
+class ProcessShardBackend:
+    """Partitioned execution: one kernel + fleet per worker process.
+
+    The cell's plan is built once from the campaign seed, partitioned
+    round-robin per device kind, and each shard simulates its members in
+    its own process (``fork`` where available — workers inherit the
+    loaded interpreter — else the platform default).  Results merge into
+    one :class:`CampaignReport`.
+
+    ``inline=True`` runs the shard plans sequentially in-process: same
+    partitioning, same merge, no processes — for debugging shard logic
+    and for hosts where spawning is unavailable.
+    """
+
+    def __init__(
+        self,
+        shards: int = 2,
+        start_method: Optional[str] = None,
+        inline: bool = False,
+    ) -> None:
+        if shards < 1:
+            raise ValueError("shards must be >= 1")
+        self.shards = shards
+        self.start_method = start_method
+        self.inline = inline
+
+    @property
+    def name(self) -> str:
+        suffix = "-inline" if self.inline else ""
+        return f"process-shard[{self.shards}]{suffix}"
+
+    def _context(self):
+        if self.start_method is not None:
+            return multiprocessing.get_context(self.start_method)
+        methods = multiprocessing.get_all_start_methods()
+        return multiprocessing.get_context(
+            "fork" if "fork" in methods else None
+        )
+
+    def run(self, spec: ScenarioSpec, seed: int) -> CampaignReport:
+        start = wallclock.perf_counter()
+        plans = partition_plan(build_plan(spec, seed), self.shards)
+        if self.inline or len(plans) == 1:
+            results = [run_shard_plan(plan) for plan in plans]
+        else:
+            with self._context().Pool(processes=len(plans)) as pool:
+                results = pool.map(run_shard_plan, plans)
+        results.sort(key=lambda result: result["shard_id"])
+        wall = wallclock.perf_counter() - start
+        return merge_shard_results(
+            scenario=spec.name,
+            seed=seed,
+            backend=self.name,
+            shards=len(plans),
+            results=results,
+            wall_seconds=wall,
+            reservoir=spec.telemetry_reservoir,
+        )

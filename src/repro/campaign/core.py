@@ -1,0 +1,94 @@
+"""Campaign: the unified entry point for running scenario campaigns.
+
+One class replaces the three overlapping PR 1/PR 2 surfaces
+(``ExperimentRunner``, ``ScenarioRunner``, raw ``MonitorFleet``
+driving): a :class:`Campaign` is a scenario × seed *plan* — scenarios
+given as library names or :class:`~repro.scenarios.ScenarioSpec`
+objects — executed by a pluggable
+:class:`~repro.campaign.backends.ExecutionBackend`.
+
+    from repro.campaign import Campaign, ProcessShardBackend
+
+    campaign = Campaign(["zapping-storm", "alert-flood"], seeds=[1, 2])
+    reports = campaign.run()                          # serial, in-process
+    sharded = campaign.run(ProcessShardBackend(shards=4))
+
+Both calls yield the same list of :class:`CampaignReport` cells, in
+row-major order (scenario outer, seed inner), with merged telemetry and
+the backend-invariant ``telemetry_digest`` witness.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Tuple, Union
+
+from ..scenarios.library import get_scenario
+from ..scenarios.spec import ScenarioSpec
+from .backends import ExecutionBackend, SerialBackend
+from .report import CampaignReport
+
+ScenarioLike = Union[str, ScenarioSpec]
+
+
+class Campaign:
+    """A scenario × seed plan plus the backend that executes it."""
+
+    def __init__(
+        self,
+        scenarios: Union[ScenarioLike, Iterable[ScenarioLike]],
+        seeds: Iterable[int] = (0,),
+        scale: float = 1.0,
+        backend: Optional[ExecutionBackend] = None,
+    ) -> None:
+        if isinstance(scenarios, (str, ScenarioSpec)):
+            scenarios = [scenarios]
+        if scale <= 0:
+            raise ValueError("scale must be > 0")
+        self.scale = scale
+        self.backend: ExecutionBackend = backend or SerialBackend()
+        specs = [self._resolve(scenario) for scenario in scenarios]
+        seeds = [int(seed) for seed in seeds]
+        if not specs:
+            raise ValueError("a campaign needs at least one scenario")
+        if not seeds:
+            raise ValueError("a campaign needs at least one seed")
+        #: The grid, row-major (scenario outer, seed inner).
+        self.cells: List[Tuple[ScenarioSpec, int]] = [
+            (spec, seed) for spec in specs for seed in seeds
+        ]
+
+    # ------------------------------------------------------------------
+    def _resolve(self, scenario: ScenarioLike) -> ScenarioSpec:
+        spec = get_scenario(scenario) if isinstance(scenario, str) else scenario
+        if self.scale != 1.0:
+            spec = spec.scaled(self.scale)
+        spec.validate()
+        return spec
+
+    # ------------------------------------------------------------------
+    def run_cell(
+        self,
+        scenario: ScenarioLike,
+        seed: int = 0,
+        backend: Optional[ExecutionBackend] = None,
+    ) -> CampaignReport:
+        """Run a single (scenario, seed) cell through a backend.
+
+        A spec taken from :attr:`cells` is already resolved — it runs
+        as-is, so feeding a grid cell back in never double-applies the
+        campaign scale.  Anything else (a name or a fresh spec) resolves
+        the same way the constructor did.
+        """
+        engine = backend or self.backend
+        if isinstance(scenario, ScenarioSpec) and any(
+            spec is scenario for spec, _seed in self.cells
+        ):
+            return engine.run(scenario, seed)
+        return engine.run(self._resolve(scenario), seed)
+
+    def run(
+        self, backend: Optional[ExecutionBackend] = None
+    ) -> List[CampaignReport]:
+        """Run every cell of the plan; one report per cell, grid order."""
+        engine = backend or self.backend
+        return [engine.run(spec, seed) for spec, seed in self.cells]

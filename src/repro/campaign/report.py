@@ -1,0 +1,172 @@
+"""CampaignReport: the one result schema every execution backend fills.
+
+A report describes one (scenario, seed) campaign cell however it was
+executed — single kernel or N worker processes.  Counters, tallies, and
+detection accounting are merged across shards (exact sums: every member
+lives on exactly one shard); the reproducibility witnesses are
+
+* ``telemetry_digest`` — hash of the *shard-invariant* telemetry core
+  (:func:`repro.runtime.telemetry.merge_digest`), identical between a
+  serial run and any sharding of it;
+* ``shard_trace_digests`` — one merged-event-stream digest per shard,
+  each reproducible across reruns (the serial report carries exactly
+  one, equal to the old ``FleetReport.trace_digest``).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from typing import Any, Dict, List, Sequence
+
+from ..runtime.telemetry import merge_digest, merge_summaries
+
+
+@dataclass
+class CampaignReport:
+    """Outcome of one (scenario, seed) cell under some backend."""
+
+    scenario: str
+    seed: int
+    backend: str
+    shards: int
+    members: int
+    duration: float
+    dispatched: int
+    #: End-to-end wall time for the cell (includes worker spawn for
+    #: sharded runs); per-shard simulation walls are in
+    #: :attr:`shard_wall_seconds`.
+    wall_seconds: float
+    faulty: List[str] = field(default_factory=list)
+    detected: List[str] = field(default_factory=list)
+    false_alarms: List[str] = field(default_factory=list)
+    monitored_clean: int = 0
+    errors_by_suo: Dict[str, int] = field(default_factory=dict)
+    shard_trace_digests: List[str] = field(default_factory=list)
+    shard_wall_seconds: List[float] = field(default_factory=list)
+    trace_records: int = 0
+    telemetry_summary: Dict[str, Any] = field(default_factory=dict)
+    telemetry_digest: str = ""
+    profile_mix: Dict[str, int] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    @property
+    def events_per_sec(self) -> float:
+        return self.dispatched / self.wall_seconds if self.wall_seconds > 0 else 0.0
+
+    @property
+    def detection_rate(self) -> float:
+        """Detected / injected (vacuously 1.0 for zero-fault cells)."""
+        if not self.faulty:
+            return 1.0
+        return len(self.detected) / len(self.faulty)
+
+    @property
+    def false_alarm_rate(self) -> float:
+        """False alarms / monitored fault-free members (0.0 when none)."""
+        if self.monitored_clean <= 0:
+            return 0.0
+        return len(self.false_alarms) / self.monitored_clean
+
+    # ------------------------------------------------------------------
+    def as_dict(self) -> Dict[str, Any]:
+        """JSON-compatible dict (derived rates included)."""
+        data = asdict(self)
+        data["detection_rate"] = self.detection_rate
+        data["false_alarm_rate"] = self.false_alarm_rate
+        data["events_per_sec"] = self.events_per_sec
+        return data
+
+    def to_json(self, indent: int = None) -> str:
+        return json.dumps(self.as_dict(), indent=indent, sort_keys=True)
+
+    def row(self) -> List[Any]:
+        """One summary-table row (see :func:`format_campaign_table`)."""
+        return [
+            self.scenario,
+            self.seed,
+            self.backend,
+            self.members,
+            f"{self.duration:.0f}",
+            self.dispatched,
+            self.telemetry_summary.get("events_total", 0),
+            len(self.faulty),
+            len(self.detected),
+            len(self.false_alarms),
+            self.telemetry_digest[:12],
+        ]
+
+
+#: Header matching :meth:`CampaignReport.row`.
+CAMPAIGN_TABLE_HEADER = [
+    "scenario", "seed", "backend", "suos", "sim s", "dispatched",
+    "suo events", "faulty", "detected", "false alarms", "telemetry digest",
+]
+
+
+def format_campaign_table(reports: Sequence[CampaignReport]) -> str:
+    """Render campaign results as an aligned text table."""
+    rows = [CAMPAIGN_TABLE_HEADER] + [report.row() for report in reports]
+    widths = [
+        max(len(str(row[i])) for row in rows)
+        for i in range(len(CAMPAIGN_TABLE_HEADER))
+    ]
+    lines = [
+        "  ".join(str(cell).ljust(width) for cell, width in zip(row, widths)).rstrip()
+        for row in rows
+    ]
+    lines.insert(1, "  ".join("-" * width for width in widths))
+    return "\n".join(lines)
+
+
+def merge_shard_results(
+    scenario: str,
+    seed: int,
+    backend: str,
+    shards: int,
+    results: Sequence[Dict[str, Any]],
+    wall_seconds: float,
+    reservoir: int = 512,
+) -> CampaignReport:
+    """Fold per-shard worker results into one :class:`CampaignReport`.
+
+    ``results`` must arrive in shard order (shard 0 first); every field
+    except the telemetry quantiles merges exactly.  Membership sets are
+    disjoint by construction, so list merges concatenate then sort.
+    """
+    if not results:
+        raise ValueError("no shard results to merge")
+    summary = merge_summaries(
+        [result["summary"] for result in results], reservoir=reservoir
+    )
+    summary.get("latency", {}).pop("samples", None)
+    errors: Dict[str, int] = {}
+    for result in results:
+        errors.update(result["errors_by_suo"])
+    profile_mix: Dict[str, int] = {}
+    for result in results:
+        for name, count in result["profile_mix"].items():
+            profile_mix[name] = profile_mix.get(name, 0) + count
+    return CampaignReport(
+        scenario=scenario,
+        seed=seed,
+        backend=backend,
+        shards=shards,
+        members=sum(result["members"] for result in results),
+        duration=max(result["duration"] for result in results),
+        dispatched=sum(result["dispatched"] for result in results),
+        wall_seconds=wall_seconds,
+        faulty=sorted(suo for result in results for suo in result["faulty"]),
+        detected=sorted(suo for result in results for suo in result["detected"]),
+        false_alarms=sorted(
+            suo for result in results for suo in result["false_alarms"]
+        ),
+        monitored_clean=sum(result["monitored_clean"] for result in results),
+        errors_by_suo={key: errors[key] for key in sorted(errors)},
+        shard_trace_digests=[result["trace_digest"] for result in results],
+        shard_wall_seconds=[result["wall_seconds"] for result in results],
+        trace_records=sum(result["trace_records"] for result in results),
+        telemetry_summary=summary,
+        telemetry_digest=merge_digest(summary),
+        profile_mix={key: profile_mix[key] for key in sorted(profile_mix)},
+    )

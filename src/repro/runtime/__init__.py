@@ -6,9 +6,10 @@ This package is the scale layer the ROADMAP's north star asks for:
   plane that the kernel, trace, probes, and awareness observers all ride;
 * :mod:`repro.runtime.registry` — :class:`ServiceRegistry`, typed
   replacement for the old ``kernel.registry`` dict;
-* :mod:`repro.runtime.fleet` — :class:`MonitorFleet` /
-  :class:`ExperimentRunner`, running hundreds of monitored SUOs on one
-  kernel with deterministic per-SUO random streams;
+* :mod:`repro.runtime.fleet` — :class:`MonitorFleet` running hundreds
+  of monitored SUOs on one kernel with deterministic per-SUO random
+  streams (plus the deprecated :class:`ExperimentRunner` shim; new
+  campaigns go through :mod:`repro.campaign`);
 * :mod:`repro.runtime.telemetry` — :class:`FleetTelemetry` and its
   bounded-memory aggregators (counters, windowed rates, reservoir
   histograms), the streaming alternative to retaining the merged fleet

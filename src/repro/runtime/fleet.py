@@ -26,6 +26,7 @@ from __future__ import annotations
 
 import hashlib
 import time as wallclock
+import warnings
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional
 
@@ -98,11 +99,19 @@ class MonitorFleet:
         retain_trace: bool = True,
         telemetry_window: float = 10.0,
         telemetry_reservoir: int = 512,
+        stream_seed: Optional[int] = None,
     ) -> None:
         self.seed = seed
         self.kernel = kernel or Kernel()
         self.bus = self.kernel.bus
-        self.streams = RandomStreams(derive_member_seed(seed, "<fleet>"))
+        #: ``seed`` keys *member* behaviour (per-member streams derive
+        #: from ``(seed, suo_id)``); ``stream_seed`` keys the fleet's own
+        #: internal streams (fault selection, telemetry reservoir).  They
+        #: coincide by default; a shard worker passes the campaign seed
+        #: as ``seed`` — so members behave exactly as in the serial run —
+        #: and its ``(seed, shard_id)``-derived seed as ``stream_seed``.
+        self.stream_seed = seed if stream_seed is None else stream_seed
+        self.streams = RandomStreams(derive_member_seed(self.stream_seed, "<fleet>"))
         self.members: Dict[str, FleetMember] = {}
         self.retain_trace = retain_trace
         #: Merged, time-stamped record of every SUO input/output/stimulus
@@ -396,6 +405,14 @@ def build_fleet_report(
 class ExperimentRunner:
     """Run a fault-injection campaign across a :class:`MonitorFleet`.
 
+    .. deprecated:: PR 3
+        :class:`repro.campaign.Campaign` is the unified campaign entry
+        point (declarative specs, pluggable serial/sharded execution
+        backends).  ``ExperimentRunner`` remains for hand-built fleets
+        the declarative layer cannot express, but new code should write
+        a :class:`~repro.scenarios.ScenarioSpec` and run it through a
+        ``Campaign``.
+
     ``run()`` may be called repeatedly: the first call performs the
     campaign setup (power-on, random users, fault injection) and every
     call advances the same campaign by ``duration`` — setup is never
@@ -416,6 +433,12 @@ class ExperimentRunner:
         fault_time: Optional[float] = None,
         keys: Optional[List[str]] = None,
     ) -> None:
+        warnings.warn(
+            "ExperimentRunner is deprecated: build a ScenarioSpec and run "
+            "it through repro.campaign.Campaign (serial or sharded).",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         self.fleet = fleet
         self.duration = duration
         self.mean_gap = mean_gap

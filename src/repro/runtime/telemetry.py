@@ -169,6 +169,12 @@ class ReservoirHistogram:
     def retained(self) -> int:
         return len(self._samples)
 
+    def samples(self, digits: int = 9) -> List[float]:
+        """The retained sample, in retention order (rounded for
+        canonical JSON).  Shard workers ship this so
+        :func:`merge_summaries` can re-sample the merged reservoir."""
+        return [round(value, digits) for value in self._samples]
+
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
 
@@ -306,20 +312,27 @@ class FleetTelemetry:
             if tally.errors
         }
 
-    def summary(self, per_suo: bool = False) -> Dict[str, Any]:
+    def summary(self, per_suo: bool = False, samples: bool = False) -> Dict[str, Any]:
         """The canonical aggregate view: pure simulated-time state.
 
         Deliberately excludes anything wall-clock, so a fixed seed yields
         a byte-identical summary run over run.  With ``per_suo`` the full
-        per-member ledger is included (one small dict per SUO).
+        per-member ledger is included (one small dict per SUO).  With
+        ``samples`` the latency block also carries the retained reservoir
+        sample, which makes the summary *mergeable*: shard workers ship
+        sampled summaries so :func:`merge_summaries` can re-sample one
+        combined reservoir.
         """
+        latency = self.latency.stats()
+        if samples:
+            latency["samples"] = self.latency.samples()
         result: Dict[str, Any] = {
             "time": round(self._clock(), 9),
             "suos": len(self.per_suo),
             "events_total": self.events_total,
             "events_by_kind": self.kinds.as_dict(),
             "window_rate": round(self.event_rate.rate(), 9),
-            "latency": self.latency.stats(),
+            "latency": latency,
             "errors_total": self.kinds.get("error"),
             "errors_by_suo": self.errors_by_suo(),
         }
@@ -338,7 +351,151 @@ class FleetTelemetry:
 
     def digest(self) -> str:
         """SHA-256 over the canonical summary (bounded-memory witness)."""
-        canonical = json.dumps(
-            self.summary(per_suo=True), sort_keys=True, separators=(",", ":")
+        return summary_digest(self.summary(per_suo=True))
+
+
+# ----------------------------------------------------------------------
+# summary merging (sharded campaigns)
+# ----------------------------------------------------------------------
+def summary_digest(summary: Dict[str, Any]) -> str:
+    """SHA-256 over a canonical JSON rendering of one summary dict."""
+    canonical = json.dumps(summary, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+def mergeable_summary(summary: Dict[str, Any]) -> Dict[str, Any]:
+    """The shard-invariant projection of a summary.
+
+    Counters, per-SUO tallies, and the exact latency scalars (count,
+    min, max) are *placement-invariant*: partitioning a fleet across
+    shards and merging reproduces them bit for bit, because every
+    member's event stream is keyed to ``(campaign seed, suo_id)`` and
+    the quantities are order-independent sums over it.  Reservoir
+    quantiles, means, and windowed rates are deliberately excluded —
+    they depend on which samples a particular reservoir retained or on
+    float summation order, so including them would make the digest
+    depend on the execution backend rather than on the campaign.
+    """
+    latency = summary.get("latency", {})
+    core: Dict[str, Any] = {
+        "time": summary["time"],
+        "suos": summary["suos"],
+        "events_total": summary["events_total"],
+        "events_by_kind": summary["events_by_kind"],
+        "errors_total": summary["errors_total"],
+        "errors_by_suo": summary["errors_by_suo"],
+        "latency": {
+            "count": latency.get("count", 0),
+            "min": latency.get("min", 0.0),
+            "max": latency.get("max", 0.0),
+        },
+    }
+    if "per_suo" in summary:
+        core["per_suo"] = summary["per_suo"]
+    return core
+
+
+def merge_digest(summary: Dict[str, Any]) -> str:
+    """Backend-invariant digest: hash of :func:`mergeable_summary`.
+
+    This is the witness a sharded campaign and its serial twin agree on
+    (``CampaignReport.telemetry_digest``)."""
+    return summary_digest(mergeable_summary(summary))
+
+
+def _merge_dicts(parts: List[Dict[str, int]]) -> Dict[str, int]:
+    merged: Dict[str, int] = {}
+    for part in parts:
+        for key, value in part.items():
+            merged[key] = merged.get(key, 0) + value
+    return {key: merged[key] for key in sorted(merged)}
+
+
+def merge_summaries(
+    summaries: List[Dict[str, Any]],
+    reservoir: int = 512,
+    digits: int = 9,
+) -> Dict[str, Any]:
+    """Pure companion to :meth:`FleetTelemetry.summary`: fold N shard
+    summaries into one fleet summary.
+
+    Merge rules, field by field:
+
+    * counters and tallies (``events_total``, ``events_by_kind``,
+      ``errors_*``, ``per_suo``, ``suos``) **sum** — exact, because each
+      member lives on exactly one shard;
+    * ``time`` takes the max (shards share the simulated clock, so for a
+      completed campaign these are equal);
+    * ``window_rate`` sums — the windowed-rate buckets of every shard
+      align on *simulated* time, so rates over the same trailing window
+      are additive (up to the 1e-9 canonical rounding);
+    * ``latency`` count/min/max are exact; the mean is re-derived from
+      count-weighted totals; quantiles are re-computed from a reservoir
+      **re-sampled deterministically** (fixed-seed Algorithm R) from the
+      concatenated retained samples of the inputs — the same bounded
+      sketch a serial run would produce, not a biased average of
+      quantiles.  Inputs without ``samples`` fall back to
+      count-weighted quantile interpolation (deterministic, approximate).
+
+    Merging a single summary is the identity on counters, tallies, and
+    quantiles, so serial campaigns route through the same code path.
+    """
+    if not summaries:
+        raise ValueError("merge_summaries needs at least one summary")
+    latencies = [s.get("latency", {}) for s in summaries]
+    counts = [lat.get("count", 0) for lat in latencies]
+    total_count = sum(counts)
+    merged_latency: Dict[str, Any] = {"count": total_count}
+    nonzero = [lat for lat in latencies if lat.get("count", 0) > 0]
+    if nonzero:
+        total = sum(lat.get("mean", 0.0) * lat.get("count", 0) for lat in nonzero)
+        merged_latency["mean"] = round(total / total_count, digits)
+        merged_latency["min"] = min(lat.get("min", 0.0) for lat in nonzero)
+        merged_latency["max"] = max(lat.get("max", 0.0) for lat in nonzero)
+    else:
+        merged_latency.update({"mean": 0.0, "min": 0.0, "max": 0.0})
+    if any("samples" in lat for lat in latencies):
+        # Fixed-seed Algorithm R over the concatenated shard samples:
+        # the same sketch FleetTelemetry keeps, so a single-summary
+        # merge reproduces its quantiles exactly.
+        resampler = ReservoirHistogram(capacity=reservoir, rng=random.Random(0))
+        for lat in latencies:
+            for value in lat.get("samples", ()):
+                resampler.add(value)
+        for name, q in (("p50", 0.50), ("p90", 0.90), ("p99", 0.99)):
+            merged_latency[name] = round(resampler.quantile(q), digits)
+        merged_latency["retained"] = resampler.retained
+        merged_latency["samples"] = resampler.samples(digits)
+    else:
+        for name in ("p50", "p90", "p99"):
+            if total_count:
+                weighted = sum(
+                    lat.get(name, 0.0) * lat.get("count", 0) for lat in nonzero
+                )
+                merged_latency[name] = round(weighted / total_count, digits)
+            else:
+                merged_latency[name] = 0.0
+        merged_latency["retained"] = sum(
+            lat.get("retained", 0) for lat in latencies
         )
-        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+    merged: Dict[str, Any] = {
+        "time": max(s["time"] for s in summaries),
+        "suos": sum(s["suos"] for s in summaries),
+        "events_total": sum(s["events_total"] for s in summaries),
+        "events_by_kind": _merge_dicts([s["events_by_kind"] for s in summaries]),
+        "window_rate": round(sum(s["window_rate"] for s in summaries), digits),
+        "latency": merged_latency,
+        "errors_total": sum(s["errors_total"] for s in summaries),
+        "errors_by_suo": _merge_dicts([s["errors_by_suo"] for s in summaries]),
+    }
+    if any("per_suo" in s for s in summaries):
+        per_suo: Dict[str, Dict[str, int]] = {}
+        for s in summaries:
+            for suo_id, tally in s.get("per_suo", {}).items():
+                if suo_id in per_suo:
+                    for field in tally:
+                        per_suo[suo_id][field] += tally[field]
+                else:
+                    per_suo[suo_id] = dict(tally)
+        merged["per_suo"] = {key: per_suo[key] for key in sorted(per_suo)}
+    return merged

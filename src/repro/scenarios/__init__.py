@@ -21,6 +21,13 @@ Quick start::
 """
 
 from .compile import CompiledScenario, FAULT_ACTIONS
+from .plan import (
+    PlannedMember,
+    ScenarioPlan,
+    build_plan,
+    derive_shard_seed,
+    partition_plan,
+)
 from .library import (
     SCENARIOS,
     get_scenario,
@@ -42,13 +49,18 @@ __all__ = [
     "FaultPhase",
     "KNOWN_FAULTS",
     "LOAD_FAULTS",
+    "PlannedMember",
     "SCENARIOS",
+    "ScenarioPlan",
     "ScenarioReport",
     "ScenarioRunner",
     "ScenarioSpec",
     "UserProfile",
+    "build_plan",
+    "derive_shard_seed",
     "format_table",
     "get_scenario",
+    "partition_plan",
     "register_scenario",
     "scenario_names",
 ]

@@ -9,9 +9,14 @@ hand-coded campaigns report through the same schema.
 
 Determinism contract: every stochastic choice — profile assignment,
 phase targeting, seek positions, print-job sizes — draws from a stream
-named after its role, derived from the fleet seed.  The same
+named after its role.  Pre-run decisions come from a
+:class:`~repro.scenarios.plan.ScenarioPlan` keyed to the campaign seed;
+in-run per-member streams key to ``(campaign seed, suo_id)``.  The same
 ``(spec, seed)`` pair therefore reproduces the identical event stream,
-trace digest, and telemetry summary.
+trace digest, and telemetry summary — *and* each member's stream is
+placement-invariant, which is what lets
+:class:`~repro.campaign.ProcessShardBackend` partition a scenario across
+worker processes without perturbing any member's behaviour.
 """
 
 from __future__ import annotations
@@ -20,7 +25,9 @@ import time as wallclock
 from typing import Callable, Dict, List, Optional, Tuple
 
 from ..runtime.fleet import FleetMember, FleetReport, MonitorFleet, build_fleet_report
-from .spec import FaultPhase, ScenarioSpec, TV_FLAG_FAULTS, UserProfile
+from ..sim.random import RandomStreams
+from .plan import PlannedMember, ScenarioPlan, build_plan, derive_shard_seed
+from .spec import FaultPhase, ScenarioSpec, TV_FLAG_FAULTS
 
 Action = Callable[[FleetMember], None]
 
@@ -95,33 +102,63 @@ class CompiledScenario:
     ``run()`` may be called repeatedly; like
     :class:`~repro.runtime.fleet.ExperimentRunner`, setup happens once
     and later calls extend the campaign by another ``spec.duration``.
+
+    Every pre-run decision comes from a :class:`ScenarioPlan` (built
+    here when not supplied), so a shard worker can compile its slice of
+    a partitioned plan and each member behaves exactly as it would in
+    the serial run: member identity, profile, stagger slot, and phase
+    membership are global facts, keyed to the campaign seed.
     """
 
-    def __init__(self, spec: ScenarioSpec, seed: int = 0) -> None:
-        spec.validate()
-        self.spec = spec
-        self.seed = seed
+    def __init__(
+        self,
+        spec: ScenarioSpec,
+        seed: int = 0,
+        plan: Optional[ScenarioPlan] = None,
+    ) -> None:
+        if plan is None:
+            plan = build_plan(spec, seed)
+        self.plan = plan
+        self.spec = plan.spec
+        self.seed = plan.seed
+        spec = self.spec
         self.fleet = MonitorFleet(
-            seed=seed,
+            seed=plan.seed,
             retain_trace=spec.resolve_retain_trace(),
             telemetry_window=spec.telemetry_window,
             telemetry_reservoir=spec.telemetry_reservoir,
+            # Shard-local streams (telemetry reservoir sampling) key to
+            # (seed, shard_id); member streams stay on the campaign seed.
+            stream_seed=(
+                derive_shard_seed(plan.seed, plan.shard_id)
+                if plan.is_shard else None
+            ),
         )
         corrupt = list(spec.corrupt_player_packets)
-        self.fleet.add_tvs(spec.tvs)
-        for _ in range(spec.players):
-            self.fleet.add_player(
-                packet_count=spec.player_packets, corrupt_indices=corrupt
-            )
-        for _ in range(spec.printers):
-            self.fleet.add_printer()
+        self._planned: Dict[str, "PlannedMember"] = {}
+        for planned in plan.members:
+            if planned.kind == "tv":
+                self.fleet.add_tv(suo_id=planned.suo_id)
+            elif planned.kind == "player":
+                self.fleet.add_player(
+                    suo_id=planned.suo_id,
+                    packet_count=spec.player_packets,
+                    corrupt_indices=corrupt,
+                )
+            else:
+                self.fleet.add_printer(suo_id=planned.suo_id)
+            self._planned[planned.suo_id] = planned
         #: Members fault-injected by a marking phase (unique, in order).
         self.faulty: List[FleetMember] = []
         #: profile name -> members assigned to it.
         self.profile_groups: Dict[str, List[FleetMember]] = {
             profile.name: [] for profile in spec.profiles
         }
-        self._assign_profiles()
+        for planned in plan.members:
+            if planned.profile is not None:
+                self.profile_groups[planned.profile].append(
+                    self.fleet.members[planned.suo_id]
+                )
         self._started = False
         self._elapsed = 0.0
         self._dispatched = 0
@@ -133,22 +170,19 @@ class CompiledScenario:
     def _members_of(self, kind: str) -> List[FleetMember]:
         return [m for m in self.fleet.members.values() if m.kind == kind]
 
-    def _assign_profiles(self) -> None:
-        profiles = list(self.spec.profiles)
-        if not profiles:
-            return
-        rng = self.fleet.streams.stream("scenario.profiles")
-        weights = [profile.weight for profile in profiles]
-        for member in self._members_of("tv"):
-            profile = rng.choices(profiles, weights=weights)[0]
-            self.profile_groups[profile.name].append(member)
+    def _kind_index(self, member: FleetMember) -> int:
+        """The member's stagger slot among its kind, campaign-global."""
+        return self._planned[member.suo_id].kind_index
+
+    def _member_stream(self, member: FleetMember, name: str):
+        """A per-member scenario stream, keyed to (campaign seed,
+        suo_id) — placement-invariant, so shards reproduce it."""
+        return RandomStreams(member.seed).stream(name)
 
     def _phase_targets(self, index: int, phase: FaultPhase) -> List[FleetMember]:
-        rng = self.fleet.streams.stream(f"scenario.phase.{index}")
         targets = [
-            member
-            for member in self._members_of(phase.kind)
-            if rng.random() < phase.fraction
+            self.fleet.members[suo_id]
+            for suo_id in self.plan.phase_targets[index]
         ]
         if phase.marks_faulty:
             for member in targets:
@@ -165,6 +199,16 @@ class CompiledScenario:
     # ------------------------------------------------------------------
     # drivers
     # ------------------------------------------------------------------
+    def _power_on_tvs(self) -> None:
+        """Stagger power-on by the *campaign-global* kind index, so a
+        shard's TVs power up at the same simulated instants as in the
+        serial run (matches ``MonitorFleet.power_on_tvs`` for full
+        plans, where slot order equals admission order)."""
+        for member in self._members_of("tv"):
+            member.suo.remote.schedule_press(
+                self._kind_index(member) * self.spec.stagger, "power"
+            )
+
     def _start_users(self) -> None:
         for profile in self.spec.profiles:
             group = self.profile_groups[profile.name]
@@ -193,8 +237,9 @@ class CompiledScenario:
 
             return seek_loop
 
-        for index, member in enumerate(self._members_of("player")):
+        for member in self._members_of("player"):
             player = member.suo
+            index = self._kind_index(member)
             kernel.schedule(
                 index * self.spec.stagger,
                 lambda p=player: p.command("play"),
@@ -202,7 +247,7 @@ class CompiledScenario:
             )
             if seek_every is None:
                 continue
-            rng = self.fleet.streams.stream(f"scenario.seek.{member.suo_id}")
+            rng = self._member_stream(member, "scenario.seek")
             horizon = player.source.packet_count * player.source.packet_interval
             kernel.schedule(
                 seek_every + index * self.spec.stagger,
@@ -228,7 +273,7 @@ class CompiledScenario:
             return submit_loop
 
         for member in self._members_of("printer"):
-            rng = self.fleet.streams.stream(f"scenario.jobs.{member.suo_id}")
+            rng = self._member_stream(member, "scenario.jobs")
             kernel.schedule(
                 rng.expovariate(1.0 / gap), make_submit_loop(member.suo, rng)
             )
@@ -278,7 +323,7 @@ class CompiledScenario:
         """
         if not self._started:
             self._started = True
-            self.fleet.power_on_tvs(stagger=self.spec.stagger)
+            self._power_on_tvs()
             self._start_users()
             self._start_players()
             self._start_printers()

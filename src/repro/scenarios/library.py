@@ -6,9 +6,9 @@ class the Trader case studies worry about (Sect. 3–5): zapping storms,
 overnight soaks, teletext-heavy sessions, seek stress, printer bursts,
 broadcast alert floods, degraded platforms, monitor churn, and repair
 drills.  Scenarios are intentionally modest in device count; scale any of
-them with ``spec.scaled(factor)`` or ``ScenarioRunner(scale=...)`` — the
-thousand-SUO benchmark (``benchmarks/bench_e15_scenarios.py``) runs
-``overnight-soak`` at 50×.
+them with ``spec.scaled(factor)`` or ``Campaign(..., scale=...)`` — the
+thousand-SUO benchmarks (``benchmarks/bench_e15_scenarios.py``,
+``bench_e16_sharded.py``) run at 40-60x this size.
 
 Use :func:`get_scenario` / :func:`scenario_names` to look entries up, and
 :func:`register_scenario` to add project-local ones.

@@ -1,18 +1,19 @@
-"""ScenarioRunner: sweep scenario × seed grids, one report per cell.
+"""ScenarioRunner: deprecated shim over :class:`repro.campaign.Campaign`.
 
-The runner is the campaign-level API the ROADMAP's "many-scenario
-campaigns" item asks for: give it scenario names (or specs) and seeds,
-get back one :class:`ScenarioReport` per grid cell, each carrying the
-fleet outcome *and* the bounded-memory telemetry summary whose digest is
-the reproducibility witness at scales where retaining the merged trace
-would be prohibitive.
+PR 2's runner was the campaign-level API; PR 3 unified that surface in
+:mod:`repro.campaign` (one ``Campaign`` plan, pluggable serial/sharded
+execution backends).  ``ScenarioRunner`` survives for callers that hold
+:class:`ScenarioReport` cells with live fleet objects attached — every
+``run`` now routes through the campaign serial backend, so legacy sweeps
+and new campaigns execute the exact same code path.
 """
 
 from __future__ import annotations
 
-import time as wallclock
+import json
+import warnings
 from dataclasses import dataclass, field
-from typing import Any, Dict, Iterable, List, Sequence, Union
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Union
 
 from ..runtime.fleet import FleetReport
 from .compile import CompiledScenario
@@ -48,6 +49,33 @@ class ScenarioReport:
     @property
     def telemetry_digest(self) -> str:
         return self.fleet.telemetry_digest
+
+    def as_dict(self) -> Dict[str, Any]:
+        """JSON-compatible dict: the full cell outcome, machine-readable."""
+        return {
+            "scenario": self.scenario,
+            "seed": self.seed,
+            "members": self.fleet.members,
+            "duration": self.fleet.duration,
+            "dispatched": self.fleet.dispatched,
+            "wall_seconds": self.wall_seconds,
+            "events_per_sec": self.fleet.events_per_sec,
+            "faulty": list(self.fleet.faulty),
+            "detected": list(self.fleet.detected),
+            "false_alarms": list(self.fleet.false_alarms),
+            "detection_rate": self.detection_rate,
+            "false_alarm_rate": self.false_alarm_rate,
+            "errors_by_suo": dict(self.fleet.errors_by_suo),
+            "profile_mix": dict(self.profile_mix),
+            "trace_digest": self.fleet.trace_digest,
+            "trace_records": self.fleet.trace_records,
+            "telemetry": self.fleet.telemetry_summary,
+            "telemetry_digest": self.telemetry_digest,
+        }
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        """The cell outcome as a JSON document."""
+        return json.dumps(self.as_dict(), indent=indent, sort_keys=True)
 
     def row(self) -> List[Any]:
         """One summary-table row (see :func:`format_table`)."""
@@ -87,9 +115,23 @@ def format_table(reports: Sequence[ScenarioReport]) -> str:
 
 
 class ScenarioRunner:
-    """Run named scenarios and sweep scenario × seed grids."""
+    """Deprecated: run named scenarios and sweep scenario × seed grids.
+
+    .. deprecated:: PR 3
+        Use :class:`repro.campaign.Campaign` — the same grid semantics
+        plus pluggable execution backends (serial today, sharded
+        multiprocess for big fleets).  This shim forwards to the
+        campaign serial backend and re-wraps its results in the legacy
+        :class:`ScenarioReport` shape.
+    """
 
     def __init__(self, scale: float = 1.0) -> None:
+        warnings.warn(
+            "ScenarioRunner is deprecated: use repro.campaign.Campaign "
+            "(same scenario x seed grids, pluggable execution backends).",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         #: Device-mix multiplier applied to every scenario (lets one
         #: sweep definition serve both smoke tests and load campaigns).
         self.scale = scale
@@ -106,20 +148,18 @@ class ScenarioRunner:
 
     def run(self, scenario: ScenarioLike, seed: int = 0) -> ScenarioReport:
         """Run one (scenario, seed) cell to completion."""
+        from ..campaign.backends import SerialBackend
+
         spec = self._resolve(scenario)
-        compiled = CompiledScenario(spec, seed=seed)
-        start = wallclock.perf_counter()
-        fleet_report = compiled.run()
-        wall = wallclock.perf_counter() - start
+        campaign_report, fleet_report, _compiled = SerialBackend().run_detailed(
+            spec, seed
+        )
         return ScenarioReport(
             scenario=spec.name,
             seed=seed,
             fleet=fleet_report,
-            profile_mix={
-                name: len(group)
-                for name, group in compiled.profile_groups.items()
-            },
-            wall_seconds=wall,
+            profile_mix=campaign_report.profile_mix,
+            wall_seconds=campaign_report.wall_seconds,
         )
 
     def sweep(

@@ -346,6 +346,52 @@ class Machine:
                 _Timer(deadline, transition, self._find_state(sname))
             )
 
+    def reseed(
+        self,
+        leaf: str,
+        time: float,
+        vars: Optional[Dict[str, Any]] = None,
+        timer_deadlines: Optional[Dict[str, float]] = None,
+    ) -> None:
+        """Force the configuration to ``leaf`` at ``time`` without running
+        entry/exit actions — the monitor re-sync handshake.
+
+        A restarted awareness monitor has missed inputs, so its model is
+        stale; re-seeding adopts the SUO's *observed* state instead of
+        replaying the missed history.  ``leaf`` is a bare state name (or a
+        dotted full name); ``vars`` updates model variables in place; and
+        every ``after`` transition armed in the adopted configuration is
+        (re)armed at ``time + after`` unless ``timer_deadlines`` pins the
+        deadline for that state by name (used when the SUO exposes the
+        true expiry of a transient, e.g. an on-screen volume bar).
+        """
+        state = self._find_state(leaf) if "." in leaf else self._find_leaf(leaf)
+        if time < self.time:
+            raise MachineError("cannot reseed backwards in time")
+        if vars:
+            self.vars.update(vars)
+        self.time = time
+        self._queue.clear()
+        self._timers = []
+        self.active = state.descend_to_leaf()
+        deadlines = timer_deadlines or {}
+        for node in self.active.path():
+            for transition in self.transitions_from(node):
+                if transition.after is None:
+                    continue
+                deadline = deadlines.get(node.name, self.time + transition.after)
+                self._timers.append(_Timer(deadline, transition, node))
+
+    def _find_leaf(self, name: str) -> State:
+        """Locate a state by bare name anywhere in the tree."""
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            if node.name == name:
+                return node
+            stack.extend(node.children.values())
+        raise MachineError(f"unknown state {name!r}")
+
     def _find_state(self, full_name: str) -> State:
         parts = full_name.split(".")
         node = self.root
