@@ -28,7 +28,16 @@ throughput probes measure the runtime itself:
 * ``sharded``    — the same scenario through the campaign API, serial vs
   ``ProcessShardBackend``: records the wall-clock speedup and **fails
   the run if the serial and sharded telemetry digests diverge** (the CI
-  shard-determinism gate; quick mode shrinks to 2 shards).
+  shard-determinism gate; quick mode shrinks to 2 shards);
+* ``detection``  — the three detection/recovery library scenarios
+  (player-seek-stress, printer-burst, recovery-ladder-drill) serial and
+  2-shard: **fails the run if any detection rate is zero, a recovery
+  wave records no finite time-to-recover, or the serial and sharded
+  detection stats diverge** (the CI detection gate).
+
+Exit status is computed by :func:`evaluate_report` over the JSON report:
+any failed bench, a diverged digest, a zeroed detection rate, or a
+kernel-throughput regression below the seed baseline exits nonzero.
 
 ``BENCH_runtime.json`` carries the numbers plus the seed-kernel baseline
 measured before the runtime refactor, so future PRs can see the
@@ -40,6 +49,7 @@ from __future__ import annotations
 import argparse
 import glob
 import json
+import math
 import os
 import subprocess
 import sys
@@ -202,6 +212,51 @@ def probe_sharded(quick: bool = False) -> dict:
     }
 
 
+#: The library scenarios whose detection/recovery rates CI gates on.
+DETECTION_SCENARIOS = (
+    "player-seek-stress", "printer-burst", "recovery-ladder-drill",
+)
+
+
+def probe_detection(seed: int = 7) -> dict:
+    """Detection-depth probe (the PR 4 gate): the three detection and
+    recovery scenarios, each serial and 2-shard.
+
+    Gated facts per scenario: faults were injected, the detection rate
+    is nonzero, nobody false-alarmed, the recovery drill recorded a
+    finite time-to-recover for every wave, and the sharded run agrees
+    with the serial run on the telemetry digest AND the detection
+    accounting (faulty/detected/false-alarm sets).
+    """
+    from repro.campaign import ProcessShardBackend, SerialBackend
+
+    result = {}
+    for name in DETECTION_SCENARIOS:
+        from repro.scenarios import get_scenario
+
+        spec = get_scenario(name)
+        sharded = ProcessShardBackend(shards=2).run(spec, seed)
+        serial = SerialBackend().run(spec, seed)
+        recovery = serial.telemetry_summary.get("recovery", {})
+        result[name] = {
+            "members": serial.members,
+            "seed": seed,
+            "faulty": len(serial.faulty),
+            "detected": len(serial.detected),
+            "detection_rate": round(serial.detection_rate, 4),
+            "false_alarms": len(serial.false_alarms),
+            "recovered": recovery.get("recovered", 0),
+            "ttr_waves": recovery.get("waves", {}),
+            "digests_match": sharded.telemetry_digest == serial.telemetry_digest,
+            "detection_invariant": (
+                sharded.faulty == serial.faulty
+                and sharded.detected == serial.detected
+                and sharded.false_alarms == serial.false_alarms
+            ),
+        }
+    return result
+
+
 def run_benches(quick: bool = False) -> dict:
     """Each bench_e*.py once; returns per-file status."""
     results = {}
@@ -235,6 +290,68 @@ def run_benches(quick: bool = False) -> dict:
             tail = "\n".join(proc.stdout.splitlines()[-15:])
             print(tail)
     return results
+
+
+def evaluate_report(report: dict) -> list:
+    """Every gate the given run_all report violates (empty = pass).
+
+    Pure over the JSON report, so CI steps and unit tests apply exactly
+    the rules the smoke run enforces — and so ANY failed bench (not just
+    the sharded probe) makes the run exit nonzero.
+    """
+    failures = []
+    for name, bench in sorted(report.get("benches", {}).items()):
+        if not bench.get("ok"):
+            failures.append(f"bench {name} failed")
+    sharded = report.get("sharded", {})
+    if sharded and not sharded.get("digests_match"):
+        failures.append(
+            "serial and sharded telemetry digests diverged "
+            "(shard determinism gate)"
+        )
+    detection = report.get("detection", {})
+    for name, cell in sorted(detection.items()):
+        if cell.get("faulty", 0) == 0:
+            failures.append(f"{name}: no faults were injected")
+        elif cell.get("detection_rate", 0.0) <= 0.0:
+            failures.append(f"{name}: detection rate is zero")
+        if cell.get("false_alarms", 0):
+            failures.append(f"{name}: false alarms on clean members")
+        if not cell.get("digests_match"):
+            failures.append(
+                f"{name}: serial vs sharded telemetry digests diverged"
+            )
+        if not cell.get("detection_invariant"):
+            failures.append(
+                f"{name}: serial vs sharded detection stats diverged"
+            )
+    drill = detection.get("recovery-ladder-drill")
+    if drill is not None:
+        if drill.get("recovered", 0) <= 0:
+            failures.append("recovery-ladder-drill: no completed recoveries")
+        waves = drill.get("ttr_waves", {})
+        if not waves:
+            failures.append(
+                "recovery-ladder-drill: no per-wave time-to-recover recorded"
+            )
+        for wave, entry in sorted(waves.items()):
+            values = [
+                entry.get("min", 0.0), entry.get("max", 0.0),
+                entry.get("mean", 0.0),
+            ]
+            if entry.get("count", 0) <= 0 or not all(
+                isinstance(v, (int, float)) and math.isfinite(v) for v in values
+            ):
+                failures.append(
+                    f"recovery-ladder-drill wave {wave}: "
+                    "time-to-recover not finite"
+                )
+    baseline = report.get("seed_baseline", SEED_BASELINE).get(
+        "kernel_events_per_sec", 0
+    )
+    if round(report.get("kernel_events_per_sec", 0)) < baseline:
+        failures.append("kernel throughput regressed below the seed baseline")
+    return failures
 
 
 def main() -> int:
@@ -282,6 +399,17 @@ def main() -> int:
         f"({sharded['cpu_count']} cores): {sharded['speedup']}x speedup, "
         f"digests_match={sharded['digests_match']}"
     )
+    print("probing detection/recovery scenarios (serial vs 2-shard) ...", flush=True)
+    detection = probe_detection()
+    for name, cell in detection.items():
+        print(
+            f"  {name}: detected {cell['detected']}/{cell['faulty']} "
+            f"(rate {cell['detection_rate']}), "
+            f"false_alarms={cell['false_alarms']}, "
+            f"recovered={cell['recovered']}, "
+            f"digests_match={cell['digests_match']}, "
+            f"detection_invariant={cell['detection_invariant']}"
+        )
     print("probing 1000-SUO streaming scenario ...", flush=True)
     scenarios = probe_scenarios()
     print(
@@ -302,6 +430,7 @@ def main() -> int:
         "fleet": fleet,
         "scenarios": scenarios,
         "sharded": sharded,
+        "detection": detection,
         "seed_baseline": SEED_BASELINE,
         "benches": benches,
     }
@@ -310,18 +439,10 @@ def main() -> int:
         handle.write("\n")
     print(f"wrote {args.out}")
 
-    failed = [name for name, r in benches.items() if not r["ok"]]
-    if failed:
-        print("FAILED:", ", ".join(failed))
-        return 1
-    if not sharded["digests_match"]:
-        print("FAILED: serial and sharded telemetry digests diverged "
-              "(shard determinism gate)")
-        return 1
-    if round(kernel_eps) < SEED_BASELINE["kernel_events_per_sec"]:
-        print("WARNING: kernel throughput regressed below the seed baseline")
-        return 1
-    return 0
+    failures = evaluate_report(report)
+    for failure in failures:
+        print(f"FAILED: {failure}")
+    return 1 if failures else 0
 
 
 if __name__ == "__main__":

@@ -14,9 +14,12 @@ from .modes import (
 )
 from .monitor import (
     AwarenessMonitor,
+    default_player_config,
     default_tv_config,
     make_player_monitor,
     make_tv_monitor,
+    resync_player_monitor,
+    resync_tv_monitor,
 )
 from .output_observer import OutputObserver
 
@@ -36,10 +39,13 @@ __all__ = [
     "ObservableSpec",
     "OutputObserver",
     "TIME_BASED",
+    "default_player_config",
     "default_tv_config",
     "deviation_magnitude",
     "make_player_monitor",
     "make_tv_monitor",
+    "resync_player_monitor",
+    "resync_tv_monitor",
     "modes_equal_rule",
     "ttx_sync_rule",
 ]

@@ -48,6 +48,12 @@ class _Streak:
 
     count: int = 0
     started_at: Optional[float] = None
+    #: Simulated instant of the latest deviation: several comparisons at
+    #: one instant (a batch of same-timestamp model steps racing an
+    #: output across the other channel) count as ONE deviation, or a
+    #: burst would burn through ``max_consecutive`` inside a snapshot
+    #: that is inherently transient.
+    last_at: Optional[float] = None
     reported: bool = False
 
 
@@ -82,6 +88,11 @@ class Comparator:
         self.reports: List[ErrorReport] = []
         self._streaks: Dict[str, _Streak] = {}
         self.running = False
+        #: Bumped on every start: a pending timed sample from a previous
+        #: start generation dies instead of rescheduling, so stop+start
+        #: in quick succession (a recovery restart) cannot leave two
+        #: sampling chains running per observable.
+        self._epoch = 0
 
     # -- IControl ------------------------------------------------------
     def start(self) -> None:
@@ -89,9 +100,10 @@ class Comparator:
         if self.running:
             return
         self.running = True
+        self._epoch += 1
         for spec in self.config.observables.values():
             if spec.time_based:
-                self._schedule_timed(spec)
+                self._schedule_timed(spec, self._epoch)
 
     def stop(self) -> None:
         self.running = False
@@ -120,13 +132,13 @@ class Comparator:
                 self._compare_one(spec)
 
     # -- time-based sampling ---------------------------------------------------
-    def _schedule_timed(self, spec: ObservableSpec) -> None:
+    def _schedule_timed(self, spec: ObservableSpec, epoch: int) -> None:
         def sample() -> None:
-            if not self.running:
+            if not self.running or epoch != self._epoch:
                 return
             self.executor.sync_time(self.kernel.now)
             self._compare_one(spec)
-            self._schedule_timed(spec)
+            self._schedule_timed(spec, epoch)
 
         self.kernel.schedule(spec.period, sample, name=f"compare:{spec.name}")
 
@@ -149,7 +161,9 @@ class Comparator:
             self._streaks[spec.name] = _Streak()
             return
         self.stats.deviations += 1
-        streak.count += 1
+        if streak.last_at != self.kernel.now or streak.count == 0:
+            streak.count += 1
+        streak.last_at = self.kernel.now
         if streak.started_at is None:
             streak.started_at = self.kernel.now
         if streak.count > spec.max_consecutive and not streak.reported:

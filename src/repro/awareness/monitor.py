@@ -29,7 +29,14 @@ from ..tv.control_model import (
     expected_sound,
     key_to_event_name,
 )
-from ..tv.mediaplayer import build_player_model, expected_player_state
+from ..tv.mediaplayer import (
+    MediaPlayer,
+    build_player_model,
+    expected_player_pace,
+    expected_player_position,
+    expected_player_progressing,
+    expected_player_state,
+)
 from ..tv.tvset import TVSet
 from .channel import MessageChannel
 from .comparator import Comparator
@@ -216,14 +223,33 @@ def resync_player_monitor(monitor: "AwarenessMonitor", player) -> None:
     A stalled player has no model counterpart (the stall *is* the
     fault); the model adopts ``playing`` — what an unfaulty pipeline
     would be doing — so the persistent divergence is re-detected
-    immediately after restart instead of being masked.
+    immediately after restart instead of being masked.  The depth
+    observables re-seed too: position adopts the player's reported
+    position, and the progress/pace expectations re-arm at the restart
+    instant so the stale pre-stop frame history cannot false-alarm.
     """
     now = player.kernel.now
     state = player.state if player.state in ("stopped", "playing", "paused") else "playing"
-    monitor.executor.machine.reseed(state, now)
-    monitor.output_observer.latest["state"] = Observation(
-        time=now, source="suo", name="state", value=player.state
+    monitor.executor.machine.reseed(
+        state,
+        now,
+        vars={
+            "position": player.position,
+            "last_progress": now,
+            "last_gap": 0.0,
+            "pending_since": None,
+        },
     )
+    for name, value in (
+        ("state", player.state),
+        ("position", round(player.position, 3)),
+        ("buffer", player.buffer_level()),
+        ("progressing", True),
+        ("pace", True),
+    ):
+        monitor.output_observer.latest[name] = Observation(
+            time=now, source="suo", name=name, value=value
+        )
     monitor.comparator.reset()
 
 
@@ -321,8 +347,53 @@ def make_tv_monitor(
 
 def _player_translator(observation: Observation) -> Optional[Tuple[str, Dict[str, Any]]]:
     if observation.name == "command":
-        return observation.value, {}
+        command, params = observation.value
+        if command == "seek":
+            return "seek", {"position": params.get("position", 0.0)}
+        return command, {}
+    if observation.name == "progress":
+        return "progress", {"position": observation.value}
     return None
+
+
+def default_player_config() -> AwarenessConfig:
+    """The player comparison policy (PR 4 detection depth).
+
+    * ``state``       — control-state lockstep (the PR 1 observable);
+    * ``position``    — reported position must track the model's last
+      confirmed position (consistency; generous threshold rides out
+      seek transients crossing the channel);
+    * ``progressing`` — belief/verdict stall detector (catches
+      ``stall_on_corrupt``);
+    * ``pace``        — belief/verdict throughput detector (catches
+      ``decode_slowdown``);
+    * ``buffer``      — range invariant: the demux buffer level must
+      stay inside [0, capacity].
+    """
+    config = AwarenessConfig()
+    config.observable("state", max_consecutive=2, trigger="both", period=0.5)
+    # Time-sampled on purpose: around a seek, the model step, the stale
+    # in-flight frame, and the progress-input-vs-output race each
+    # produce one same-streak comparison instant (the Sect. 4.3 "small
+    # delays" effect); sampling once per period keeps the transient to
+    # a single deviation while a genuinely diverged position still
+    # accumulates a streak within a few seconds.
+    config.observable(
+        "position", threshold=2.0, max_consecutive=3, trigger="time",
+        period=1.0, severity=1.5,
+    )
+    config.observable(
+        "progressing", max_consecutive=2, trigger="time", period=1.0,
+        severity=2.0,
+    )
+    config.observable(
+        "pace", max_consecutive=3, trigger="time", period=1.0, severity=1.5,
+    )
+    config.observable(
+        "buffer", threshold=MediaPlayer.BUFFER_CAPACITY / 2.0,
+        max_consecutive=2, trigger="event", period=1.0,
+    )
+    return config
 
 
 def make_player_monitor(
@@ -337,18 +408,29 @@ def make_player_monitor(
 
     The player publishes its commands and observables on the runtime bus
     (``suo.<suo_id>.input`` / ``.output``), so no method wrapping is
-    needed — the monitor simply subscribes.
+    needed — the monitor simply subscribes.  Rendered frames double as
+    model inputs (``progress`` events drive the position/pace vars) and
+    as the SUO's standing belief that it is progressing at nominal pace.
     """
-    machine = build_player_model()
-    if config is None:
-        config = AwarenessConfig()
-        config.observable("state", max_consecutive=2, trigger="both", period=0.5)
+    source = player.source
+    machine = build_player_model(
+        media_duration=source.packet_count * source.packet_interval
+    )
+    half_buffer = player.BUFFER_CAPACITY / 2.0
     monitor = AwarenessMonitor(
         player.kernel,
         machine,
         _player_translator,
-        providers={"state": lambda m: expected_player_state(m)},
-        config=config,
+        providers={
+            "state": expected_player_state,
+            "position": expected_player_position,
+            "progressing": expected_player_progressing,
+            "pace": expected_player_pace,
+            # Range invariant: level within [0, capacity] ⇔ deviation
+            # from the midpoint stays within the half-capacity threshold.
+            "buffer": lambda m: half_buffer,
+        },
+        config=config or default_player_config(),
         channel_delay=channel_delay,
         channel_jitter=channel_jitter,
         name=name or "player-awareness",
@@ -357,15 +439,25 @@ def make_player_monitor(
     bus.subscribe(
         f"suo.{player.suo_id}.input",
         lambda _topic, command: monitor.send_input(
-            "command", command[0], player.kernel.now
+            "command", command, player.kernel.now
         ),
     )
-    bus.subscribe(
-        f"suo.{player.suo_id}.output",
-        lambda _topic, output: monitor.send_output(
-            output[0], output[1], player.kernel.now
-        ),
-    )
+
+    def forward_output(_topic: str, output) -> None:
+        output_name, value = output
+        now = player.kernel.now
+        if output_name == "frame":
+            # a rendered frame is a model input (progress event) and the
+            # SUO's belief that playback is healthy — deliberately NOT
+            # derived from `position`, which also moves on seek echoes
+            # that prove nothing about the pipeline
+            monitor.send_input("progress", value, now)
+            monitor.send_output("progressing", True, now)
+            monitor.send_output("pace", True, now)
+            return
+        monitor.send_output(output_name, value, now)
+
+    bus.subscribe(f"suo.{player.suo_id}.output", forward_output)
     monitor.attach_resync(lambda: resync_player_monitor(monitor, player))
     if start:
         monitor.start()

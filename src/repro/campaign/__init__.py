@@ -23,6 +23,7 @@ from .backends import (
     ProcessShardBackend,
     SerialBackend,
     derive_shard_seed,
+    resolve_shards,
     run_shard_plan,
 )
 from .core import Campaign, ScenarioLike
@@ -44,5 +45,6 @@ __all__ = [
     "derive_shard_seed",
     "format_campaign_table",
     "merge_shard_results",
+    "resolve_shards",
     "run_shard_plan",
 ]

@@ -22,6 +22,7 @@ and gated in CI):
 from __future__ import annotations
 
 import multiprocessing
+import os
 import time as wallclock
 from typing import Any, Dict, Optional, Protocol, Tuple, runtime_checkable
 
@@ -41,8 +42,27 @@ __all__ = [
     "SerialBackend",
     "ProcessShardBackend",
     "derive_shard_seed",
+    "resolve_shards",
     "run_shard_plan",
 ]
+
+#: Fewest members worth a dedicated worker process: below this the
+#: fork/merge overhead of another shard outweighs its share of the
+#: simulation (measured on bench_e16 scale points).
+MIN_MEMBERS_PER_SHARD = 25
+
+
+def resolve_shards(members: int, cpu_count: Optional[int] = None) -> int:
+    """Pick a shard count from the host and the plan size (ROADMAP
+    "shard-count autotuning").
+
+    One shard per ``MIN_MEMBERS_PER_SHARD`` members, capped at the CPU
+    count — a 1-CPU container degrades to a single in-process shard and
+    a thousand-SUO cell on a big host fans out to every core.
+    """
+    cpus = cpu_count if cpu_count is not None else (os.cpu_count() or 1)
+    by_size = max(1, members // MIN_MEMBERS_PER_SHARD)
+    return max(1, min(cpus, by_size))
 
 
 @runtime_checkable
@@ -139,16 +159,19 @@ class ProcessShardBackend:
     ``inline=True`` runs the shard plans sequentially in-process: same
     partitioning, same merge, no processes — for debugging shard logic
     and for hosts where spawning is unavailable.
+
+    ``shards=None`` autotunes per cell: :func:`resolve_shards` picks the
+    count from ``os.cpu_count()`` and the scenario's member count.
     """
 
     def __init__(
         self,
-        shards: int = 2,
+        shards: Optional[int] = 2,
         start_method: Optional[str] = None,
         inline: bool = False,
     ) -> None:
-        if shards < 1:
-            raise ValueError("shards must be >= 1")
+        if shards is not None and shards < 1:
+            raise ValueError("shards must be >= 1 (or None to autotune)")
         self.shards = shards
         self.start_method = start_method
         self.inline = inline
@@ -156,7 +179,14 @@ class ProcessShardBackend:
     @property
     def name(self) -> str:
         suffix = "-inline" if self.inline else ""
-        return f"process-shard[{self.shards}]{suffix}"
+        label = "auto" if self.shards is None else str(self.shards)
+        return f"process-shard[{label}]{suffix}"
+
+    def resolve(self, spec: ScenarioSpec) -> int:
+        """The shard count this backend will use for one cell."""
+        if self.shards is not None:
+            return self.shards
+        return resolve_shards(spec.members)
 
     def _context(self):
         if self.start_method is not None:
@@ -168,7 +198,7 @@ class ProcessShardBackend:
 
     def run(self, spec: ScenarioSpec, seed: int) -> CampaignReport:
         start = wallclock.perf_counter()
-        plans = partition_plan(build_plan(spec, seed), self.shards)
+        plans = partition_plan(build_plan(spec, seed), self.resolve(spec))
         if self.inline or len(plans) == 1:
             results = [run_shard_plan(plan) for plan in plans]
         else:

@@ -140,6 +140,7 @@ def merge_shard_results(
         [result["summary"] for result in results], reservoir=reservoir
     )
     summary.get("latency", {}).pop("samples", None)
+    summary.get("recovery", {}).get("ttr", {}).pop("samples", None)
     errors: Dict[str, int] = {}
     for result in results:
         errors.update(result["errors_by_suo"])

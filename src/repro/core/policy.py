@@ -89,6 +89,20 @@ class RecoveryPolicy:
         """A recovery verified as successful resets the ladder."""
         self._escalation[observable] = 0
 
+    def reset(self, observable: Optional[str] = None) -> None:
+        """Drop escalation state — for one observable, or entirely.
+
+        A scenario recovery harness resets the whole policy when a new
+        fault episode is armed, so every wave walks the ladder from the
+        bottom instead of inheriting the previous wave's escalation.
+        """
+        if observable is None:
+            self._escalation.clear()
+            self._last_error_time.clear()
+            return
+        self._escalation.pop(observable, None)
+        self._last_error_time.pop(observable, None)
+
     def escalation_level(self, observable: str) -> int:
         return self._escalation.get(observable, 0)
 

@@ -149,10 +149,21 @@ class BufferProbe:
         self.kernel = kernel
         self.interval = interval
         self.stores: List[Any] = []
+        self._gauges: List[Any] = []
         self._running = False
 
     def watch(self, store) -> None:
         self.stores.append(store)
+
+    def watch_gauge(self, name: str, level: Callable[[], int]) -> None:
+        """Watch a level *provider* instead of a store reference.
+
+        Some pipelines (the media player) tear their stores down and
+        rebuild them across seeks and restarts; a held store reference
+        would silently sample a dead buffer.  A gauge callable — e.g.
+        ``player.buffer_level`` — survives the rebuild.
+        """
+        self._gauges.append((name, level))
 
     def start(self) -> None:
         if self._running:
@@ -179,4 +190,6 @@ class BufferProbe:
                     "drops": store.drop_count,
                 },
             )
+        for name, level in self._gauges:
+            self.trace.emit("buffers", "buffer", {"name": name, "fill": level()})
         self._schedule()

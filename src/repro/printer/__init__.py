@@ -4,9 +4,12 @@ from .engine import Feeder, Finisher, PrintEngine, PrintedPage, Printer, PrintJo
 from .model import (
     build_printer_model,
     default_printer_config,
+    expected_page_rate,
     expected_progressing,
+    expected_queue_depth,
     expected_status,
     make_printer_monitor,
+    resync_printer_monitor,
 )
 
 __all__ = [
@@ -18,7 +21,10 @@ __all__ = [
     "Printer",
     "build_printer_model",
     "default_printer_config",
+    "expected_page_rate",
     "expected_progressing",
+    "expected_queue_depth",
     "expected_status",
     "make_printer_monitor",
+    "resync_printer_monitor",
 ]

@@ -183,7 +183,25 @@ class Finisher(Component):
 
 
 class Printer:
-    """The assembled printer: job queue + paper path + observables."""
+    """The assembled printer: job queue + paper path + observables.
+
+    Observables published on ``suo.<suo_id>.output`` (PR 4 deepened the
+    set: status and queue length alone could not expose a silent jam to
+    a monitor watching the bus):
+
+    * ``status``       — idle | printing | paused on every change;
+    * ``queue``        — queue depth on submit/complete/cancel;
+    * ``pages_done`` / ``page_quality`` — per delivered page;
+    * ``job_done``     — job id on every completed job;
+    * ``page_rate``    — pages per :attr:`RATE_WINDOW`, sampled every
+      :attr:`RATE_PERIOD` while the paper path is active (the
+      throughput observable the spec model predicts a floor for).
+    """
+
+    #: Trailing window (simulated time) for the throughput observable.
+    RATE_WINDOW = 5.0
+    #: Sampling period of the periodic ``page_rate`` publisher.
+    RATE_PERIOD = 1.0
 
     def __init__(self, kernel: Optional[Kernel] = None, suo_id: str = "printer") -> None:
         self.kernel = kernel or Kernel()
@@ -201,6 +219,7 @@ class Printer:
         self.command_hooks: List[Callable[[str], None]] = []
         self._job_counter = 0
         self._worker: Optional[Process] = None
+        self._rate_publisher: Optional[Process] = None
 
     # ------------------------------------------------------------------
     # command API (the printer's input events)
@@ -242,6 +261,21 @@ class Printer:
     # ------------------------------------------------------------------
     def _start_worker(self) -> None:
         self._worker = Process(self.kernel, self._run_jobs(), name="paper-path")
+        if self._rate_publisher is None or not self._rate_publisher.alive:
+            self._rate_publisher = Process(
+                self.kernel, self._publish_rate_loop(), name="page-rate"
+            )
+
+    def _publish_rate_loop(self) -> Generator[Any, Any, None]:
+        """Sample the throughput observable while the paper path is
+        active; one final zero sample marks the return to idle."""
+        try:
+            while self.status != "idle" or self.queue:
+                self._publish("page_rate", round(self.page_rate(), 3))
+                yield Delay(self.RATE_PERIOD)
+            self._publish("page_rate", 0.0)
+        except Interrupted:
+            return
 
     def _run_jobs(self) -> Generator[Any, Any, None]:
         try:
@@ -271,6 +305,7 @@ class Printer:
                 job.delivered = True
                 self.completed.append(job)
                 self.queue.pop(0)
+                self._publish("job_done", job.job_id)
                 self._publish("queue", len(self.queue))
             self.feeder.rest()
             self._set_status("idle")
@@ -295,6 +330,17 @@ class Printer:
         for hook in self.command_hooks:
             hook(command)
         self._publish_command(command)
+
+    def page_rate(self, window: Optional[float] = None) -> float:
+        """Pages delivered per time unit over the trailing window."""
+        window = window if window is not None else self.RATE_WINDOW
+        cutoff = self.kernel.now - window
+        count = 0
+        for page in reversed(self.pages):
+            if page.time <= cutoff:
+                break
+            count += 1
+        return count / window
 
     def mean_quality(self, since: float = 0.0) -> float:
         relevant = [p.quality for p in self.pages if p.time >= since]

@@ -27,6 +27,7 @@ from .registry import ServiceRegistry, TOPIC_PROVIDE
 from .telemetry import (
     CounterSet,
     FleetTelemetry,
+    RecoveryStats,
     ReservoirHistogram,
     SuoTally,
     WindowedRate,
@@ -34,6 +35,7 @@ from .telemetry import (
 
 __all__ = [
     "CounterSet",
+    "RecoveryStats",
     "EventBus",
     "ExperimentRunner",
     "FleetMember",

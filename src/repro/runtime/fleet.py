@@ -36,6 +36,7 @@ from ..awareness.monitor import (
     make_tv_monitor,
 )
 from ..printer.engine import Printer
+from ..printer.model import make_printer_monitor
 from ..sim.kernel import Kernel
 from ..sim.random import RandomStreams
 from ..sim.trace import Trace
@@ -182,12 +183,34 @@ class MonitorFleet:
             mon = make_player_monitor(player, name=f"{suo_id}.awareness")
         return self._admit(FleetMember(suo_id, "player", player, mon, member_seed))
 
-    def add_printer(self, suo_id: Optional[str] = None) -> FleetMember:
-        """Add one printer SUO (hardware-style monitors attach separately)."""
+    def add_printer(
+        self,
+        suo_id: Optional[str] = None,
+        monitor: bool = True,
+        config: Any = None,
+        channel_delay: float = 0.05,
+        channel_jitter: float = 0.02,
+    ) -> FleetMember:
+        """Add one printer SUO (and, by default, its awareness monitor).
+
+        Until PR 4 printers joined fleets unmonitored, which pinned the
+        printer scenarios' detection rates at a structural zero; the
+        queue-depth and page-rate observables now give the monitor
+        something a silent jam actually moves.
+        """
         suo_id = suo_id or f"printer-{len(self.members)}"
         member_seed = derive_member_seed(self.seed, suo_id)
         printer = Printer(kernel=self.kernel, suo_id=suo_id)
-        return self._admit(FleetMember(suo_id, "printer", printer, None, member_seed))
+        mon = None
+        if monitor:
+            mon = make_printer_monitor(
+                printer,
+                config=config,
+                channel_delay=channel_delay,
+                channel_jitter=channel_jitter,
+                name=f"{suo_id}.awareness",
+            )
+        return self._admit(FleetMember(suo_id, "printer", printer, mon, member_seed))
 
     def _admit(self, member: FleetMember) -> FleetMember:
         if member.suo_id in self.members:
@@ -348,8 +371,8 @@ class FleetReport:
     def false_alarm_rate(self) -> float:
         """False alarms / monitored fault-free members (0.0 when no such
         member exists — nobody *could* have false-alarmed).  Unmonitored
-        members (printers today) are excluded from the denominator,
-        mirroring the detection-rate accounting."""
+        members (``monitor=False`` admissions) are excluded from the
+        denominator, mirroring the detection-rate accounting."""
         if self.monitored_clean is not None:
             clean = self.monitored_clean
         else:
@@ -402,6 +425,20 @@ def build_fleet_report(
     )
 
 
+#: Keys of deprecation warnings already emitted — the shims are often
+#: constructed in sweep loops, and one warning per process is signal
+#: while hundreds are noise.  Tests discard a key to assert on it.
+_DEPRECATION_WARNED: set = set()
+
+
+def warn_deprecated_once(key: str, message: str) -> None:
+    """Emit ``message`` as a DeprecationWarning once per process per key."""
+    if key in _DEPRECATION_WARNED:
+        return
+    _DEPRECATION_WARNED.add(key)
+    warnings.warn(message, DeprecationWarning, stacklevel=3)
+
+
 class ExperimentRunner:
     """Run a fault-injection campaign across a :class:`MonitorFleet`.
 
@@ -433,11 +470,10 @@ class ExperimentRunner:
         fault_time: Optional[float] = None,
         keys: Optional[List[str]] = None,
     ) -> None:
-        warnings.warn(
+        warn_deprecated_once(
+            "ExperimentRunner",
             "ExperimentRunner is deprecated: build a ScenarioSpec and run "
-            "it through repro.campaign.Campaign (serial or sharded).",
-            DeprecationWarning,
-            stacklevel=2,
+            "it through repro.campaign.Campaign (serial or sharded)."
         )
         self.fleet = fleet
         self.duration = duration

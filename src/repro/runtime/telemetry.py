@@ -200,6 +200,69 @@ class ReservoirHistogram:
         }
 
 
+class RecoveryStats:
+    """Bounded aggregate of recovery-ladder activity (PR 4).
+
+    Fed from ``suo.<id>.recovery`` events published by the scenario
+    recovery harness: every executed rung counts into ``actions``; a
+    completed episode additionally carries its time-to-recover, sampled
+    into a seeded reservoir and folded into exact per-wave scalars.
+    Everything is keyed to simulated time, so the per-wave count/min/max
+    core is placement-invariant under sharding (each member recovers on
+    exactly one shard, on its own deterministic timeline).
+    """
+
+    __slots__ = ("actions", "ttr", "waves")
+
+    def __init__(self, capacity: int = 512, rng: Optional[random.Random] = None) -> None:
+        self.actions = CounterSet()
+        self.ttr = ReservoirHistogram(capacity=capacity, rng=rng)
+        #: wave label -> exact {count, min, max, sum} over its TTRs.
+        self.waves: Dict[str, Dict[str, float]] = {}
+
+    def observe(self, event: Any) -> None:
+        """Fold one recovery event (a dict with action/wave/ttr keys)."""
+        if not isinstance(event, dict):
+            return
+        action = event.get("action")
+        if action:
+            self.actions.inc(str(action))
+        ttr = event.get("ttr")
+        if ttr is None:
+            return
+        ttr = float(ttr)
+        self.ttr.add(ttr)
+        wave = str(event.get("wave", "?"))
+        entry = self.waves.get(wave)
+        if entry is None:
+            self.waves[wave] = {"count": 1, "min": ttr, "max": ttr, "sum": ttr}
+        else:
+            entry["count"] += 1
+            entry["min"] = min(entry["min"], ttr)
+            entry["max"] = max(entry["max"], ttr)
+            entry["sum"] += ttr
+
+    def summary(self, samples: bool = False, digits: int = 9) -> Dict[str, Any]:
+        """Canonical JSON-friendly view (see :meth:`FleetTelemetry.summary`)."""
+        ttr = self.ttr.stats(digits)
+        if samples:
+            ttr["samples"] = self.ttr.samples(digits)
+        return {
+            "recovered": self.ttr.count,
+            "actions": self.actions.as_dict(),
+            "ttr": ttr,
+            "waves": {
+                wave: {
+                    "count": int(entry["count"]),
+                    "min": round(entry["min"], digits),
+                    "max": round(entry["max"], digits),
+                    "mean": round(entry["sum"] / entry["count"], digits),
+                }
+                for wave, entry in sorted(self.waves.items())
+            },
+        }
+
+
 class SuoTally:
     """Fixed-size per-SUO ledger: one int per event kind."""
 
@@ -261,6 +324,7 @@ class FleetTelemetry:
         self.events_total = 0
         self.event_rate = WindowedRate(clock, window=window, buckets=buckets)
         self.latency = ReservoirHistogram(capacity=reservoir, rng=rng)
+        self.recovery = RecoveryStats(capacity=reservoir, rng=rng)
         self._clock = clock
         self._subscription: Optional[Subscription] = bus.subscribe(
             f"{namespace}.*", self._on_event
@@ -290,6 +354,8 @@ class FleetTelemetry:
         self.kinds.inc(kind)
         self.event_rate.add()
         self.tally(suo_id).bump(kind)
+        if kind == "recovery":
+            self.recovery.observe(event)
 
     def observe_latency(self, seconds: float) -> None:
         """Sample one delivery latency (simulated seconds)."""
@@ -335,6 +401,7 @@ class FleetTelemetry:
             "latency": latency,
             "errors_total": self.kinds.get("error"),
             "errors_by_suo": self.errors_by_suo(),
+            "recovery": self.recovery.summary(samples=samples),
         }
         if per_suo:
             result["per_suo"] = {
@@ -377,6 +444,8 @@ def mergeable_summary(summary: Dict[str, Any]) -> Dict[str, Any]:
     depend on the execution backend rather than on the campaign.
     """
     latency = summary.get("latency", {})
+    recovery = summary.get("recovery", {})
+    ttr = recovery.get("ttr", {})
     core: Dict[str, Any] = {
         "time": summary["time"],
         "suos": summary["suos"],
@@ -388,6 +457,26 @@ def mergeable_summary(summary: Dict[str, Any]) -> Dict[str, Any]:
             "count": latency.get("count", 0),
             "min": latency.get("min", 0.0),
             "max": latency.get("max", 0.0),
+        },
+        # Recovery counts and per-wave TTR count/min/max are exact sums
+        # and extrema over per-member timelines, hence shard-invariant;
+        # TTR means/quantiles are excluded like the latency ones.
+        "recovery": {
+            "recovered": recovery.get("recovered", 0),
+            "actions": recovery.get("actions", {}),
+            "ttr": {
+                "count": ttr.get("count", 0),
+                "min": ttr.get("min", 0.0),
+                "max": ttr.get("max", 0.0),
+            },
+            "waves": {
+                wave: {
+                    "count": entry.get("count", 0),
+                    "min": entry.get("min", 0.0),
+                    "max": entry.get("max", 0.0),
+                }
+                for wave, entry in sorted(recovery.get("waves", {}).items())
+            },
         },
     }
     if "per_suo" in summary:
@@ -411,6 +500,86 @@ def _merge_dicts(parts: List[Dict[str, int]]) -> Dict[str, int]:
     return {key: merged[key] for key in sorted(merged)}
 
 
+def _merge_stat_blocks(
+    blocks: List[Dict[str, Any]], reservoir: int, digits: int
+) -> Dict[str, Any]:
+    """Merge N :meth:`ReservoirHistogram.stats` blocks into one.
+
+    Count/min/max are exact; the mean is re-derived from count-weighted
+    totals; quantiles come from a deterministic fixed-seed re-sample of
+    the concatenated retained samples when available, else from
+    count-weighted interpolation (see :func:`merge_summaries`).
+    """
+    counts = [block.get("count", 0) for block in blocks]
+    total_count = sum(counts)
+    merged: Dict[str, Any] = {"count": total_count}
+    nonzero = [block for block in blocks if block.get("count", 0) > 0]
+    if nonzero:
+        total = sum(block.get("mean", 0.0) * block.get("count", 0) for block in nonzero)
+        merged["mean"] = round(total / total_count, digits)
+        merged["min"] = min(block.get("min", 0.0) for block in nonzero)
+        merged["max"] = max(block.get("max", 0.0) for block in nonzero)
+    else:
+        merged.update({"mean": 0.0, "min": 0.0, "max": 0.0})
+    if any("samples" in block for block in blocks):
+        # Fixed-seed Algorithm R over the concatenated shard samples:
+        # the same sketch FleetTelemetry keeps, so a single-summary
+        # merge reproduces its quantiles exactly.
+        resampler = ReservoirHistogram(capacity=reservoir, rng=random.Random(0))
+        for block in blocks:
+            for value in block.get("samples", ()):
+                resampler.add(value)
+        for name, q in (("p50", 0.50), ("p90", 0.90), ("p99", 0.99)):
+            merged[name] = round(resampler.quantile(q), digits)
+        merged["retained"] = resampler.retained
+        merged["samples"] = resampler.samples(digits)
+    else:
+        for name in ("p50", "p90", "p99"):
+            if total_count:
+                weighted = sum(
+                    block.get(name, 0.0) * block.get("count", 0) for block in nonzero
+                )
+                merged[name] = round(weighted / total_count, digits)
+            else:
+                merged[name] = 0.0
+        merged["retained"] = sum(block.get("retained", 0) for block in blocks)
+    return merged
+
+
+def _merge_recovery(
+    parts: List[Dict[str, Any]], reservoir: int, digits: int
+) -> Dict[str, Any]:
+    """Fold N per-shard recovery blocks into one (exact counts/extrema,
+    re-derived means, deterministically re-sampled TTR quantiles)."""
+    waves: Dict[str, Dict[str, Any]] = {}
+    for part in parts:
+        for wave, entry in part.get("waves", {}).items():
+            merged = waves.get(wave)
+            count = entry.get("count", 0)
+            if count <= 0:
+                continue
+            if merged is None:
+                waves[wave] = dict(entry)
+            else:
+                total = merged["count"] + count
+                merged["min"] = min(merged["min"], entry.get("min", 0.0))
+                merged["max"] = max(merged["max"], entry.get("max", 0.0))
+                merged["mean"] = round(
+                    (merged["mean"] * merged["count"]
+                     + entry.get("mean", 0.0) * count) / total,
+                    digits,
+                )
+                merged["count"] = total
+    return {
+        "recovered": sum(part.get("recovered", 0) for part in parts),
+        "actions": _merge_dicts([part.get("actions", {}) for part in parts]),
+        "ttr": _merge_stat_blocks(
+            [part.get("ttr", {}) for part in parts], reservoir, digits
+        ),
+        "waves": {wave: waves[wave] for wave in sorted(waves)},
+    }
+
+
 def merge_summaries(
     summaries: List[Dict[str, Any]],
     reservoir: int = 512,
@@ -429,64 +598,37 @@ def merge_summaries(
     * ``window_rate`` sums — the windowed-rate buckets of every shard
       align on *simulated* time, so rates over the same trailing window
       are additive (up to the 1e-9 canonical rounding);
-    * ``latency`` count/min/max are exact; the mean is re-derived from
-      count-weighted totals; quantiles are re-computed from a reservoir
-      **re-sampled deterministically** (fixed-seed Algorithm R) from the
-      concatenated retained samples of the inputs — the same bounded
-      sketch a serial run would produce, not a biased average of
-      quantiles.  Inputs without ``samples`` fall back to
-      count-weighted quantile interpolation (deterministic, approximate).
+    * ``latency`` (and ``recovery.ttr``) count/min/max are exact; the
+      mean is re-derived from count-weighted totals; quantiles are
+      re-computed from a reservoir **re-sampled deterministically**
+      (fixed-seed Algorithm R) from the concatenated retained samples of
+      the inputs — the same bounded sketch a serial run would produce,
+      not a biased average of quantiles.  Inputs without ``samples``
+      fall back to count-weighted quantile interpolation (deterministic,
+      approximate);
+    * ``recovery`` counts/actions and per-wave TTR count/min/max sum or
+      take extrema exactly (each member recovers on exactly one shard);
+      per-wave means are count-weighted.
 
     Merging a single summary is the identity on counters, tallies, and
     quantiles, so serial campaigns route through the same code path.
     """
     if not summaries:
         raise ValueError("merge_summaries needs at least one summary")
-    latencies = [s.get("latency", {}) for s in summaries]
-    counts = [lat.get("count", 0) for lat in latencies]
-    total_count = sum(counts)
-    merged_latency: Dict[str, Any] = {"count": total_count}
-    nonzero = [lat for lat in latencies if lat.get("count", 0) > 0]
-    if nonzero:
-        total = sum(lat.get("mean", 0.0) * lat.get("count", 0) for lat in nonzero)
-        merged_latency["mean"] = round(total / total_count, digits)
-        merged_latency["min"] = min(lat.get("min", 0.0) for lat in nonzero)
-        merged_latency["max"] = max(lat.get("max", 0.0) for lat in nonzero)
-    else:
-        merged_latency.update({"mean": 0.0, "min": 0.0, "max": 0.0})
-    if any("samples" in lat for lat in latencies):
-        # Fixed-seed Algorithm R over the concatenated shard samples:
-        # the same sketch FleetTelemetry keeps, so a single-summary
-        # merge reproduces its quantiles exactly.
-        resampler = ReservoirHistogram(capacity=reservoir, rng=random.Random(0))
-        for lat in latencies:
-            for value in lat.get("samples", ()):
-                resampler.add(value)
-        for name, q in (("p50", 0.50), ("p90", 0.90), ("p99", 0.99)):
-            merged_latency[name] = round(resampler.quantile(q), digits)
-        merged_latency["retained"] = resampler.retained
-        merged_latency["samples"] = resampler.samples(digits)
-    else:
-        for name in ("p50", "p90", "p99"):
-            if total_count:
-                weighted = sum(
-                    lat.get(name, 0.0) * lat.get("count", 0) for lat in nonzero
-                )
-                merged_latency[name] = round(weighted / total_count, digits)
-            else:
-                merged_latency[name] = 0.0
-        merged_latency["retained"] = sum(
-            lat.get("retained", 0) for lat in latencies
-        )
     merged: Dict[str, Any] = {
         "time": max(s["time"] for s in summaries),
         "suos": sum(s["suos"] for s in summaries),
         "events_total": sum(s["events_total"] for s in summaries),
         "events_by_kind": _merge_dicts([s["events_by_kind"] for s in summaries]),
         "window_rate": round(sum(s["window_rate"] for s in summaries), digits),
-        "latency": merged_latency,
+        "latency": _merge_stat_blocks(
+            [s.get("latency", {}) for s in summaries], reservoir, digits
+        ),
         "errors_total": sum(s["errors_total"] for s in summaries),
         "errors_by_suo": _merge_dicts([s["errors_by_suo"] for s in summaries]),
+        "recovery": _merge_recovery(
+            [s.get("recovery", {}) for s in summaries], reservoir, digits
+        ),
     }
     if any("per_suo" in s for s in summaries):
         per_suo: Dict[str, Dict[str, int]] = {}

@@ -21,6 +21,7 @@ Quick start::
 """
 
 from .compile import CompiledScenario, FAULT_ACTIONS
+from .recovery import MemberRecovery
 from .plan import (
     PlannedMember,
     ScenarioPlan,
@@ -49,6 +50,7 @@ __all__ = [
     "FaultPhase",
     "KNOWN_FAULTS",
     "LOAD_FAULTS",
+    "MemberRecovery",
     "PlannedMember",
     "SCENARIOS",
     "ScenarioPlan",

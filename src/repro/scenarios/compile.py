@@ -27,6 +27,7 @@ from typing import Callable, Dict, List, Optional, Tuple
 from ..runtime.fleet import FleetMember, FleetReport, MonitorFleet, build_fleet_report
 from ..sim.random import RandomStreams
 from .plan import PlannedMember, ScenarioPlan, build_plan, derive_shard_seed
+from .recovery import MemberRecovery
 from .spec import FaultPhase, ScenarioSpec, TV_FLAG_FAULTS
 
 Action = Callable[[FleetMember], None]
@@ -150,6 +151,9 @@ class CompiledScenario:
             self._planned[planned.suo_id] = planned
         #: Members fault-injected by a marking phase (unique, in order).
         self.faulty: List[FleetMember] = []
+        #: Recovery harnesses by suo_id (created lazily when a
+        #: ``recovery=True`` phase afflicts a monitored member).
+        self.recoveries: Dict[str, MemberRecovery] = {}
         #: profile name -> members assigned to it.
         self.profile_groups: Dict[str, List[FleetMember]] = {
             profile.name: [] for profile in spec.profiles
@@ -187,10 +191,10 @@ class CompiledScenario:
         if phase.marks_faulty:
             for member in targets:
                 # Only monitored members enter detection-rate accounting:
-                # a fault on an unmonitored SUO (printers today) is still
-                # applied, but counting it as "injected" would pin the
-                # scenario's detection rate at a structural zero no
-                # monitor improvement could ever move.
+                # a fault on an unmonitored SUO (a monitor=False
+                # admission) is still applied, but counting it as
+                # "injected" would pin the scenario's detection rate at
+                # a structural zero no monitor improvement could move.
                 if member.monitor is not None and not member.faulty:
                     member.faulty = True
                     self.faulty.append(member)
@@ -281,12 +285,50 @@ class CompiledScenario:
     # ------------------------------------------------------------------
     # fault schedule
     # ------------------------------------------------------------------
+    def _recovery_harness(self, member: FleetMember) -> Optional[MemberRecovery]:
+        """The member's (lazily created) recovery ladder; None when the
+        member carries no monitor — nothing could detect, so nothing can
+        drive a recovery."""
+        if member.monitor is None:
+            return None
+        harness = self.recoveries.get(member.suo_id)
+        if harness is None:
+            harness = MemberRecovery(
+                member, self.fleet.kernel, self.fleet.bus
+            )
+            self.recoveries[member.suo_id] = harness
+        return harness
+
     def _schedule_phases(self) -> None:
         kernel = self.fleet.kernel
         for index, phase in enumerate(self.spec.phases):
             apply, clear = FAULT_ACTIONS[(phase.kind, phase.fault)]
             targets = self._phase_targets(index, phase)
             if not targets:
+                continue
+
+            if phase.recovery:
+                if clear is None:
+                    raise ValueError(
+                        f"fault {phase.fault!r} has no repair action, so a "
+                        "recovery ladder could never clear it"
+                    )
+
+                def fire_recovery(
+                    targets=targets, apply=apply, clear=clear, index=index
+                ) -> None:
+                    for member in targets:
+                        apply(member)
+                        harness = self._recovery_harness(member)
+                        if harness is not None:
+                            harness.arm(
+                                index,
+                                lambda member=member, clear=clear: clear(member),
+                            )
+
+                kernel.schedule_at(
+                    phase.at, fire_recovery, name=f"scenario:{phase.fault}"
+                )
                 continue
 
             def fire(targets=targets, apply=apply) -> None:

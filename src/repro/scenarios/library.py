@@ -171,15 +171,24 @@ register_scenario(ScenarioSpec(
 
 register_scenario(ScenarioSpec(
     name="recovery-ladder-drill",
-    description="Escalating inject/repair cycles — each wave afflicts a "
-                "larger slice and is repaired ten seconds later, drilling "
-                "the Fig. 1 recovery loop end to end.",
+    description="Escalating fault waves with NO scheduled repair: each "
+                "afflicted member's awareness controller must detect the "
+                "divergence and walk the recovery ladder (local reset → "
+                "component restart → rebind) until the fault is gone — "
+                "the Fig. 1 loop end to end, with per-wave time-to-"
+                "recover recorded in fleet telemetry.",
     duration=80.0,
     tvs=10,
-    profiles=(UserProfile("driller", mean_gap=2.0, keys=VOLUME_KEYS),),
+    # Volume-heavy and never standby: every rung of the ladder needs a
+    # fresh faulty interaction to re-diverge after the restart re-sync,
+    # so the drill keeps the faulty controls exercised.
+    profiles=(UserProfile(
+        "driller", mean_gap=1.5,
+        keys=("vol_up", "vol_down", "mute", "vol_up", "vol_down", "ch_up"),
+    ),),
     phases=(
-        FaultPhase("volume_overshoot", at=15.0, fraction=0.3, duration=10.0),
-        FaultPhase("mute_noop", at=35.0, fraction=0.5, duration=10.0),
-        FaultPhase("volume_overshoot", at=55.0, fraction=0.8, duration=10.0),
+        FaultPhase("volume_overshoot", at=10.0, fraction=0.3, recovery=True),
+        FaultPhase("mute_noop", at=36.0, fraction=0.5, recovery=True),
+        FaultPhase("volume_overshoot", at=62.0, fraction=0.8, recovery=True),
     ),
 ))

@@ -1,0 +1,214 @@
+"""Scenario-driven recovery: the Fig. 1 ladder wired to fleet members.
+
+A :class:`FaultPhase` with ``recovery=True`` schedules *no* repair.
+Instead every monitored target gets a :class:`MemberRecovery` harness —
+the paper's outer loop assembled from the real parts:
+
+* the member's :class:`~repro.awareness.controller.Controller` is the
+  error source (``IErrorNotify``);
+* a :class:`~repro.core.policy.RecoveryPolicy` holds the escalation
+  ladder — **local reset** (clear comparator state; invisible to the
+  user), **component restart** (bounce the awareness monitor, re-sync
+  via ``Machine.reseed``), **rebind** (replace the faulty component and
+  restart; the only rung that removes a permanent fault);
+* a :class:`~repro.recovery.RecoveryManager` executes the rungs;
+* an :class:`~repro.core.loop.AwarenessLoop` ties them together and
+  verifies each action by watching for recurrence.
+
+The first two rungs deliberately cannot remove an injected fault: a
+local reset only clears detection state, and a restarted monitor
+re-adopts the SUO's (still faulty) behaviour as baseline until the next
+interaction diverges again.  Repeated detection therefore walks the
+ladder to ``rebind``, which invokes the phase's repair action — so the
+drill exercises detection → escalation → repair → verification end to
+end, and the elapsed time from fault injection to the rebind completing
+is the episode's **time-to-recover**.
+
+Every executed rung publishes on ``suo.<suo_id>.recovery``; completed
+episodes carry their TTR and wave index, which
+:class:`~repro.runtime.telemetry.FleetTelemetry` folds into the
+shard-invariant recovery block (merged by ``merge_summaries``).
+
+Determinism: everything here is member-local — errors come from the
+member's own monitor, rungs are scheduled on the shared kernel, and no
+fleet-level randomness is consulted — so a member recovers identically
+whichever shard it lands on.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Tuple
+
+from ..core.contract import RecoveryAction
+from ..core.loop import AwarenessLoop
+from ..core.policy import LadderStep, RecoveryPolicy, perception_weighted_ladder
+from ..perception.severity import FunctionProfile, SeverityModel
+from ..recovery.recoverymgr import RecoveryManager
+from ..runtime.bus import EventBus
+from ..runtime.fleet import FleetMember
+from ..sim.kernel import Kernel
+
+#: The escalation ladder, least user impact first (Sect. 3: corrections
+#: are chosen by expected impact on the user).
+LADDER_KINDS = ("local_reset", "component_restart", "rebind")
+
+#: Downtime each rung inflicts on the member's observation pipeline.
+DOWNTIME = {"local_reset": 0.0, "component_restart": 0.5, "rebind": 2.0}
+
+#: Relative user impact per rung (scales the policy's ordering).
+USER_IMPACT = {"local_reset": 0.2, "component_restart": 1.0, "rebind": 2.5}
+
+#: How users perceive a failure of the function each SUO kind serves
+#: (Sect. 4.6 DTI factors).  :func:`perception_weighted_ladder` scales
+#: the rung impacts by the population-level severity weight, so a
+#: recovery that disrupts a function users notice and blame the product
+#: for (live TV viewing) is costed higher than one users often
+#: attribute externally (playback hiccups).
+KIND_FUNCTIONS = {
+    "tv": FunctionProfile(
+        "viewing", stated_importance=0.9, usage=1.0,
+        failure_visibility=0.9, external_attribution_prior=0.2,
+    ),
+    "player": FunctionProfile(
+        "playback", stated_importance=0.8, usage=0.8,
+        failure_visibility=0.8, external_attribution_prior=0.5,
+    ),
+    "printer": FunctionProfile(
+        "printing", stated_importance=0.7, usage=0.6,
+        failure_visibility=0.9, external_attribution_prior=0.3,
+    ),
+}
+
+
+class MemberRecovery:
+    """One member's recovery ladder: policy + manager + loop, armed per
+    fault episode by the scenario compiler."""
+
+    def __init__(
+        self,
+        member: FleetMember,
+        kernel: Kernel,
+        bus: EventBus,
+        settle_time: float = 15.0,
+        quiet_period: float = 30.0,
+    ) -> None:
+        if member.monitor is None:
+            raise ValueError(f"member {member.suo_id!r} has no monitor to recover")
+        self.member = member
+        self.kernel = kernel
+        self.monitor = member.monitor
+        self._publish = bus.publisher(f"suo.{member.suo_id}.recovery")
+        self.policy = RecoveryPolicy(quiet_period=quiet_period)
+        steps = [
+            LadderStep(kind, member.suo_id, USER_IMPACT[kind])
+            for kind in LADDER_KINDS
+        ]
+        function = KIND_FUNCTIONS.get(member.kind)
+        if function is not None:
+            steps = list(
+                perception_weighted_ladder(steps, function, SeverityModel())
+            )
+        self.policy.add_ladder("*", steps)
+        self.manager = RecoveryManager(kernel)
+        self.manager.register_handler("local_reset", self._local_reset)
+        self.manager.register_handler("component_restart", self._component_restart)
+        self.manager.register_handler("rebind", self._rebind)
+        self.loop = AwarenessLoop(
+            kernel,
+            self.policy,
+            self.manager,
+            settle_time=settle_time,
+            name=f"{member.suo_id}.recovery-loop",
+        )
+        self.loop.attach(self.monitor.controller)
+        #: Open fault episodes, oldest first: (wave, armed_at, repair).
+        #: A queue, not a slot — a member hit by a second wave before
+        #: finishing the first carries BOTH faults, and each rebind
+        #: repairs (and accounts) the oldest one.
+        self._episodes: List[Tuple[int, float, Callable[[], None]]] = []
+        #: Completed episodes: (wave index, time-to-recover).
+        self.completed: List[Tuple[int, float]] = []
+
+    # ------------------------------------------------------------------
+    def arm(self, wave: int, repair: Callable[[], None]) -> None:
+        """A fault phase just afflicted this member: open an episode.
+
+        ``repair`` is the fault's clear action — what the ``rebind``
+        rung executes when escalation reaches it.  A fresh (no episode
+        in flight) arm walks the ladder from the bottom; stacking onto
+        an in-flight episode keeps the current escalation, since the
+        member is already mid-recovery.
+        """
+        if not self._episodes:
+            self.policy.reset()
+        self._episodes.append((wave, self.kernel.now, repair))
+
+    @property
+    def armed(self) -> bool:
+        return bool(self._episodes)
+
+    @property
+    def _wave(self) -> Optional[int]:
+        """The oldest open episode's wave (rung events are labeled with
+        the episode currently being worked)."""
+        return self._episodes[0][0] if self._episodes else None
+
+    # ------------------------------------------------------------------
+    # ladder rungs (RecoveryManager handlers; each returns its downtime)
+    # ------------------------------------------------------------------
+    def _local_reset(self, action: RecoveryAction) -> float:
+        """Rung 1: clear comparator deviation state only.  Invisible to
+        the user; a persistent fault re-accumulates a streak and
+        escalates."""
+        self.monitor.comparator.reset()
+        self._publish({"action": "local_reset", "wave": self._wave})
+        return DOWNTIME["local_reset"]
+
+    def _component_restart(self, action: RecoveryAction) -> float:
+        """Rung 2: bounce the awareness monitor.  The restart handshake
+        re-seeds the model from the SUO's observable state, so a
+        *transient* wedge is cured; an injected fault diverges again on
+        the next faulty interaction and escalates further."""
+        downtime = DOWNTIME["component_restart"]
+        self.monitor.stop()
+        self.kernel.schedule(
+            downtime, self.monitor.start,
+            name=f"recovery:restart:{self.member.suo_id}",
+        )
+        self._publish({"action": "component_restart", "wave": self._wave})
+        return downtime
+
+    def _rebind(self, action: RecoveryAction) -> float:
+        """Rung 3: replace the faulty component (the oldest episode's
+        repair) and restart around the new binding — the rung that
+        actually removes an injected fault.  Completing it closes that
+        episode and records its time-to-recover; any stacked episode
+        stays open, and its fault drives the next detection, which walks
+        the ladder again from the bottom."""
+        downtime = DOWNTIME["rebind"]
+        episode = self._episodes.pop(0) if self._episodes else None
+        if episode is not None:
+            _wave, _armed_at, repair = episode
+            repair()
+        self.monitor.stop()
+
+        def back_up() -> None:
+            self.monitor.start()
+            if episode is not None:
+                wave, armed_at, _repair = episode
+                ttr = self.kernel.now - armed_at
+                self.completed.append((wave, ttr))
+                self._publish(
+                    {"action": "rebind", "wave": wave, "ttr": round(ttr, 9)}
+                )
+            else:
+                self._publish({"action": "rebind", "wave": None})
+            if self._episodes:
+                # another fault is still standing: restart the ladder
+                # for it (its TTR clock has been running since its arm)
+                self.policy.reset()
+
+        self.kernel.schedule(
+            downtime, back_up, name=f"recovery:rebind:{self.member.suo_id}"
+        )
+        return downtime

@@ -11,17 +11,15 @@ and new campaigns execute the exact same code path.
 from __future__ import annotations
 
 import json
-import warnings
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Union
 
-from ..runtime.fleet import FleetReport
+from ..runtime.fleet import FleetReport, warn_deprecated_once
 from .compile import CompiledScenario
 from .library import get_scenario
 from .spec import ScenarioSpec
 
 ScenarioLike = Union[str, ScenarioSpec]
-
 
 @dataclass
 class ScenarioReport:
@@ -126,11 +124,10 @@ class ScenarioRunner:
     """
 
     def __init__(self, scale: float = 1.0) -> None:
-        warnings.warn(
+        warn_deprecated_once(
+            "ScenarioRunner",
             "ScenarioRunner is deprecated: use repro.campaign.Campaign "
-            "(same scenario x seed grids, pluggable execution backends).",
-            DeprecationWarning,
-            stacklevel=2,
+            "(same scenario x seed grids, pluggable execution backends)."
         )
         #: Device-mix multiplier applied to every scenario (lets one
         #: sweep definition serve both smoke tests and load campaigns).

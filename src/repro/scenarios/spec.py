@@ -76,9 +76,13 @@ class FaultPhase:
 
     At simulated time ``at``, ``fault`` is applied to a seeded
     ``fraction`` of the members of ``kind``.  With ``duration`` the fault
-    is cleared again at ``at + duration`` (a repair / recovery drill);
-    with ``pulse_every`` the application repeats on that period until the
-    phase window closes (floods and bursts).
+    is cleared again at ``at + duration`` (a scheduled repair); with
+    ``pulse_every`` the application repeats on that period until the
+    phase window closes (floods and bursts).  With ``recovery`` nothing
+    is scheduled at all: the repair comes from the awareness controller
+    — each afflicted member's monitor detects the divergence and walks
+    the Fig. 1 recovery ladder (local reset → component restart →
+    rebind), with per-wave time-to-recover recorded in fleet telemetry.
     """
 
     fault: str
@@ -87,6 +91,7 @@ class FaultPhase:
     fraction: float = 0.25
     duration: Optional[float] = None
     pulse_every: Optional[float] = None
+    recovery: bool = False
 
     @property
     def marks_faulty(self) -> bool:
@@ -108,6 +113,18 @@ class FaultPhase:
             if self.duration is None:
                 raise ValueError(
                     f"fault {self.fault!r}: pulse_every needs a duration window"
+                )
+        if self.recovery:
+            if not self.marks_faulty:
+                raise ValueError(
+                    f"fault {self.fault!r}: load faults are never detected, "
+                    "so controller-driven recovery cannot repair them"
+                )
+            if self.duration is not None or self.pulse_every is not None:
+                raise ValueError(
+                    f"fault {self.fault!r}: a recovery phase repairs through "
+                    "the awareness controller, not the schedule — drop "
+                    "duration/pulse_every"
                 )
 
 

@@ -16,6 +16,9 @@ from .mediaplayer import (
     MediaSource,
     Packet,
     build_player_model,
+    expected_player_pace,
+    expected_player_position,
+    expected_player_progressing,
     expected_player_state,
 )
 from .osd import Osd
@@ -55,6 +58,9 @@ __all__ = [
     "VideoPipeline",
     "build_player_model",
     "build_tv_model",
+    "expected_player_pace",
+    "expected_player_position",
+    "expected_player_progressing",
     "expected_player_state",
     "expected_screen",
     "expected_sound",

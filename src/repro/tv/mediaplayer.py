@@ -52,7 +52,20 @@ class MediaSource:
 
 
 class MediaPlayer:
-    """The player: command API, pipeline processes, observables."""
+    """The player: command API, pipeline processes, observables.
+
+    Observables published on ``suo.<suo_id>.output`` (PR 4 deepened the
+    set — state alone was too coarse for the awareness monitor to see a
+    wedged pipeline):
+
+    * ``state``    — control state after every command;
+    * ``position`` — presented position: every rendered frame, plus
+      seek/stop jumps (so the observable never goes stale while the
+      renderer is legitimately quiet);
+    * ``frame``    — rendered frames only (progress evidence — a seek
+      echo moves ``position`` but is not proof the pipeline works);
+    * ``buffer``   — demuxed-packet buffer fill level on every change.
+    """
 
     DECODE_TIME = 0.25
     RENDER_TIME = 0.05
@@ -79,6 +92,12 @@ class MediaPlayer:
         self._packets: Optional[Store] = None
         self._frames: Optional[Store] = None
         self._processes: List[Process] = []
+        self._last_buffer_level = 0
+        #: Discontinuity sequence number: bumped on every seek so stages
+        #: can discard in-flight data from before the jump (a real
+        #: demuxer tags packets the same way; without it one stale frame
+        #: rendered after a seek publishes a pre-seek position).
+        self._generation = 0
 
     # ------------------------------------------------------------------
     # command API (the player's input events)
@@ -107,6 +126,10 @@ class MediaPlayer:
         self.state = "stopped"
         self.position = 0.0
         self._stop_pipeline()
+        # Position changes are observable whatever causes them: without
+        # this, a monitor's last-seen position goes stale exactly when
+        # no frames render, and a healthy stop reads as a divergence.
+        self._publish("position", 0.0)
 
     def _cmd_seek(self, position: float = 0.0) -> None:
         self.position = max(0.0, position)
@@ -116,6 +139,23 @@ class MediaPlayer:
         if self._frames is not None:
             self._frames.clear()
         self.stalled = False
+        self._generation += 1
+        # A demuxer that ran off the end of the source has exited; a
+        # seek back into the media must revive it or the pipeline
+        # starves forever (found by the position observable, PR 4).
+        if self._packets is not None and self._demux_index < self.source.packet_count:
+            demux = next(
+                (p for p in self._processes if p.name == "mp.demux"), None
+            )
+            if demux is None or not demux.alive:
+                self._processes = [p for p in self._processes if p.alive]
+                self._processes.append(
+                    Process(self.kernel, self._demux(), name="mp.demux")
+                )
+        self._publish_buffer()
+        # The seek target is the new presented position — report it even
+        # while paused/stopped, when no frame will render to carry it.
+        self._publish("position", round(self.position, 3))
 
     # ------------------------------------------------------------------
     # pipeline
@@ -137,6 +177,7 @@ class MediaPlayer:
         self._packets = None
         self._frames = None
         self.stalled = False
+        self._publish_buffer()
 
     def _demux(self) -> Generator[Any, Any, None]:
         try:
@@ -146,8 +187,9 @@ class MediaPlayer:
                     continue
                 packet = self.source.packet(self._demux_index)
                 assert self._packets is not None
-                if self._packets.put(packet):
+                if self._packets.put((self._generation, packet)):
                     self._demux_index += 1
+                    self._publish_buffer()
                     yield Delay(self.source.packet_interval * 0.5)
                 else:
                     yield Delay(0.05)  # buffer full, retry
@@ -158,7 +200,10 @@ class MediaPlayer:
         try:
             while True:
                 assert self._packets is not None
-                packet = yield self._packets.get()
+                generation, packet = yield self._packets.get()
+                self._publish_buffer()
+                if generation != self._generation:
+                    continue  # pre-seek packet: discard at the discontinuity
                 if packet.corrupt:
                     if self.stall_on_corrupt:
                         # The injected wedge: decoder spins forever.
@@ -169,7 +214,7 @@ class MediaPlayer:
                     continue
                 yield Delay(self.DECODE_TIME * self.decode_slowdown)
                 assert self._frames is not None
-                self._frames.put(packet)
+                self._frames.put((generation, packet))
         except Interrupted:
             return
 
@@ -177,14 +222,23 @@ class MediaPlayer:
         try:
             while True:
                 assert self._frames is not None
-                frame = yield self._frames.get()
+                generation, frame = yield self._frames.get()
+                if generation != self._generation:
+                    continue  # decoded before a seek: never present it
                 if self.state != "playing":
                     yield Delay(0.1)
                     continue
                 yield Delay(self.RENDER_TIME)
+                if generation != self._generation:
+                    continue  # the seek landed while this frame was on the glass
                 self.frames_rendered += 1
                 self.position = frame.pts
                 self._publish("position", round(self.position, 3))
+                # Rendered frames are *progress evidence*; position
+                # changes alone (a seek echo) are not — a monitor must
+                # be able to tell "the pipeline produced a frame" from
+                # "the target moved".
+                self._publish("frame", round(self.position, 3))
         except Interrupted:
             return
 
@@ -194,6 +248,17 @@ class MediaPlayer:
             hook(name, value)
         self._publish_output((name, value))
 
+    def buffer_level(self) -> int:
+        """Demuxed packets buffered and awaiting decode (0 when the
+        pipeline is down)."""
+        return len(self._packets) if self._packets is not None else 0
+
+    def _publish_buffer(self) -> None:
+        level = self.buffer_level()
+        if level != self._last_buffer_level:
+            self._last_buffer_level = level
+            self._publish("buffer", level)
+
     def throughput(self, window: float = 10.0) -> float:
         """Frames per time unit over the whole run (coarse)."""
         if self.kernel.now <= 0:
@@ -201,24 +266,131 @@ class MediaPlayer:
         return self.frames_rendered / self.kernel.now
 
 
-def build_player_model() -> Machine:
-    """Specification model of the player's control behaviour."""
+#: Spec constants for the depth observables (PR 4).  The model predicts
+#: *nominal pipeline pace*: while playing, a rendered frame lands at most
+#: every NOMINAL_FRAME_TIME (plus concealment), and playback position
+#: keeps advancing.  A wedged decoder (stall_on_corrupt) violates the
+#: progress expectation; a slowed decoder (decode_slowdown) violates the
+#: pace expectation — both invisible to the coarse ``state`` observable.
+NOMINAL_FRAME_TIME = MediaPlayer.DECODE_TIME
+#: Longest frame-to-frame gap the spec tolerates (concealment of a short
+#: corrupt run, seek pipeline restart) before pace counts as degraded.
+PACE_LIMIT = NOMINAL_FRAME_TIME * 2.4
+#: While playing, a frame must land within this window or progress has
+#: stalled (covers seek restarts and post-resume buffer refill).
+PROGRESS_SLACK = 4.0
+
+
+def _player_mark_progress(machine: Machine, event) -> None:
+    last = machine.get("last_progress")
+    if last is not None:
+        machine.set("last_gap", event.time - last)
+    machine.set("last_progress", event.time)
+    machine.set("pending_since", None)
+    machine.set("position", float(event.param("position", machine.get("position"))))
+
+
+def _player_reset_progress(machine: Machine, event) -> None:
+    """A (re)start of playback re-arms the pace expectation and arms the
+    progress deadline — but never *extends* an unmet one: a pipeline
+    that was already asked to produce a frame and hasn't must not have
+    its deadline pushed out by further seeks, or a wedged decoder under
+    seek-stress (one restart per seek, each inside the slack window)
+    would never be caught."""
+    machine.set("last_progress", event.time)
+    machine.set("last_gap", 0.0)
+    if machine.get("pending_since") is None:
+        machine.set("pending_since", event.time)
+
+
+def _player_on_seek(machine: Machine, event) -> None:
+    machine.set("position", max(0.0, float(event.param("position", 0.0))))
+    _player_reset_progress(machine, event)
+
+
+def _player_on_stop(machine: Machine, event) -> None:
+    machine.set("position", 0.0)
+    machine.set("last_progress", event.time)
+    machine.set("last_gap", 0.0)
+    machine.set("pending_since", None)
+
+
+def build_player_model(media_duration: Optional[float] = None) -> Machine:
+    """Specification model of the player's control behaviour *and* its
+    nominal pipeline performance (position / progress / pace vars).
+
+    ``media_duration`` bounds the progress expectation: once playback
+    reaches the end of the media, the pipeline legitimately goes quiet
+    even though the control state still reads ``playing``.
+    """
     b = MachineBuilder("player_spec")
+    b.var("position", 0.0)
+    b.var("last_progress", None)
+    b.var("last_gap", 0.0)
+    b.var("pending_since", None)
+    b.var("media_duration", media_duration)
     b.state("stopped")
     b.state("playing")
     b.state("paused")
     b.initial("stopped")
-    b.transition("stopped", "playing", event="play")
+    b.transition("stopped", "playing", event="play", action=_player_reset_progress)
     b.transition("playing", "paused", event="pause")
-    b.transition("paused", "playing", event="play")
-    b.transition("playing", "stopped", event="stop")
-    b.transition("paused", "stopped", event="stop")
-    b.transition("playing", None, event="seek", internal=True)
-    b.transition("paused", None, event="seek", internal=True)
-    b.transition("stopped", None, event="seek", internal=True)
+    b.transition("paused", "playing", event="play", action=_player_reset_progress)
+    b.transition("playing", "stopped", event="stop", action=_player_on_stop)
+    b.transition("paused", "stopped", event="stop", action=_player_on_stop)
+    b.transition("playing", None, event="seek", internal=True, action=_player_on_seek)
+    b.transition("paused", None, event="seek", internal=True, action=_player_on_seek)
+    b.transition("stopped", None, event="seek", internal=True, action=_player_on_seek)
+    b.transition(
+        "playing", None, event="progress", internal=True, action=_player_mark_progress
+    )
     return b.build()
 
 
 def expected_player_state(machine: Machine) -> str:
     """The control state the model predicts."""
     return machine.configuration().split(".")[-1]
+
+
+def expected_player_position(machine: Machine) -> float:
+    """The playback position the model last confirmed (a consistency
+    observable: the SUO's reported position must track it)."""
+    return machine.get("position")
+
+
+def expected_player_progressing(machine: Machine) -> bool:
+    """While playing, a frame must render within PROGRESS_SLACK.
+
+    The SUO-side belief is constantly ``True`` (the player *thinks* it is
+    playing); a wedged decoder stops satisfying the progress deadline so
+    this verdict flips to ``False`` and the divergence is the detected
+    error — the stall class of fault that the bare ``state`` observable
+    never sees.  The deadline is the *oldest unmet* restart
+    (``pending_since``), so seeks during a stall cannot keep pushing it
+    out; between frames in steady playback it falls back to the last
+    rendered frame.
+    """
+    if expected_player_state(machine) != "playing":
+        return True
+    duration = machine.get("media_duration")
+    if duration is not None and machine.get("position") >= duration - 1.0:
+        return True  # end of media: the quiet pipeline is nominal
+    pending = machine.get("pending_since")
+    if pending is not None:
+        return machine.time - pending <= PROGRESS_SLACK
+    last = machine.get("last_progress")
+    if last is None:
+        return True
+    return machine.time - last <= PROGRESS_SLACK
+
+
+def expected_player_pace(machine: Machine) -> bool:
+    """Frame-to-frame gaps must stay within the nominal pipeline pace.
+
+    A slowed decoder stretches every gap past PACE_LIMIT while progress
+    continues — degraded throughput that ``progressing`` alone cannot
+    distinguish from health.
+    """
+    if expected_player_state(machine) != "playing":
+        return True
+    return machine.get("last_gap") <= PACE_LIMIT

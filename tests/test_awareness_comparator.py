@@ -72,9 +72,13 @@ def make_stack(threshold=0.0, max_consecutive=2, trigger="event"):
     return kernel, machine, executor, outputs, comparator
 
 
-def observe(outputs, kernel, name, value):
+def observe(outputs, kernel, name, value, advance=0.0):
+    """Deliver one observation, optionally after advancing simulated time
+    (consecutive deviations only count at *distinct* instants — a burst
+    of same-timestamp comparisons is one deviation)."""
     from repro.awareness import Message
 
+    kernel._now += advance
     outputs._on_message(
         Message(kernel.now, "output", {"name": name, "value": value, "time": kernel.now})
     )
@@ -92,9 +96,9 @@ class TestComparatorEventBased:
         kernel, machine, executor, outputs, comparator = make_stack(max_consecutive=2)
         machine.set("value", 5)
         observe(outputs, kernel, "value", 9)  # deviation 1
-        observe(outputs, kernel, "value", 9)  # deviation 2 (= limit, tolerated)
+        observe(outputs, kernel, "value", 9, advance=1.0)  # deviation 2 (= limit)
         assert comparator.reports == []
-        observe(outputs, kernel, "value", 9)  # deviation 3 > limit
+        observe(outputs, kernel, "value", 9, advance=1.0)  # deviation 3 > limit
         assert len(comparator.reports) == 1
         report = comparator.reports[0]
         assert report.expected == 5 and report.actual == 9
@@ -116,27 +120,27 @@ class TestComparatorEventBased:
         )
         machine.set("value", 5)
         for _ in range(5):
-            observe(outputs, kernel, "value", 7)  # |7-5| = 2 <= threshold
+            observe(outputs, kernel, "value", 7, advance=1.0)  # |7-5| <= threshold
         assert comparator.reports == []
         for _ in range(3):
-            observe(outputs, kernel, "value", 8)  # 3 > threshold
+            observe(outputs, kernel, "value", 8, advance=1.0)  # 3 > threshold
         assert len(comparator.reports) == 1
 
     def test_report_only_once_per_streak(self):
         kernel, machine, executor, outputs, comparator = make_stack(max_consecutive=1)
         machine.set("value", 5)
         for _ in range(10):
-            observe(outputs, kernel, "value", 9)
+            observe(outputs, kernel, "value", 9, advance=1.0)
         assert len(comparator.reports) == 1
 
     def test_reset_allows_new_report(self):
         kernel, machine, executor, outputs, comparator = make_stack(max_consecutive=1)
         machine.set("value", 5)
         for _ in range(3):
-            observe(outputs, kernel, "value", 9)
+            observe(outputs, kernel, "value", 9, advance=1.0)
         comparator.reset("value")
         for _ in range(3):
-            observe(outputs, kernel, "value", 9)
+            observe(outputs, kernel, "value", 9, advance=1.0)
         assert len(comparator.reports) == 2
 
     def test_nothing_observed_yet_no_compare(self):

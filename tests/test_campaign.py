@@ -214,8 +214,10 @@ def test_single_shard_request_runs_in_process():
 # legacy shims
 # ----------------------------------------------------------------------
 def test_scenario_runner_shim_matches_campaign():
+    from repro.runtime import fleet as fleet_module
     from repro.scenarios import ScenarioRunner
 
+    fleet_module._DEPRECATION_WARNED.discard("ScenarioRunner")  # warns only once
     with pytest.warns(DeprecationWarning, match="Campaign"):
         runner = ScenarioRunner()
     legacy = runner.run(SMALL, seed=5)
@@ -228,10 +230,35 @@ def test_scenario_runner_shim_matches_campaign():
     assert data["trace_digest"] == legacy.fleet.trace_digest
 
 
-def test_experiment_runner_warns_deprecation():
-    from repro.runtime import ExperimentRunner, MonitorFleet
+def test_experiment_runner_warns_deprecation_exactly_once():
+    import warnings
 
+    from repro.runtime import ExperimentRunner, MonitorFleet
+    from repro.runtime import fleet as fleet_module
+
+    fleet_module._DEPRECATION_WARNED.discard("ExperimentRunner")
     fleet = MonitorFleet(seed=1)
     fleet.add_tvs(2)
-    with pytest.warns(DeprecationWarning, match="Campaign"):
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
         ExperimentRunner(fleet, duration=1.0)
+        ExperimentRunner(fleet, duration=1.0)
+        ExperimentRunner(fleet, duration=1.0)
+    deprecations = [w for w in caught if issubclass(w.category, DeprecationWarning)]
+    assert len(deprecations) == 1, "the shim must warn exactly once per process"
+    assert "Campaign" in str(deprecations[0].message)
+
+
+def test_scenario_runner_warns_deprecation_exactly_once():
+    import warnings
+
+    from repro.runtime import fleet as fleet_module
+    from repro.scenarios import ScenarioRunner
+
+    fleet_module._DEPRECATION_WARNED.discard("ScenarioRunner")
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        ScenarioRunner()
+        ScenarioRunner(scale=0.5)
+    deprecations = [w for w in caught if issubclass(w.category, DeprecationWarning)]
+    assert len(deprecations) == 1, "the shim must warn exactly once per process"

@@ -1,0 +1,146 @@
+"""Tests for the benchmark runner's CI gates and shard autotuning.
+
+``benchmarks/run_all.py`` computes its exit status from
+``evaluate_report`` over the JSON report; these tests pin the gate rules
+without executing any probe: any failed bench exits nonzero (not just
+the sharded probe), zeroed detection rates fail, serial-vs-shard
+divergence fails, and the drill must record finite per-wave TTR.
+"""
+
+import os
+import sys
+
+import pytest
+
+BENCHMARKS = os.path.join(os.path.dirname(__file__), os.pardir, "benchmarks")
+if BENCHMARKS not in sys.path:
+    sys.path.insert(0, BENCHMARKS)
+
+from run_all import evaluate_report  # noqa: E402
+
+from repro.campaign import ProcessShardBackend, resolve_shards  # noqa: E402
+from repro.scenarios import ScenarioSpec  # noqa: E402
+
+
+def passing_report():
+    return {
+        "kernel_events_per_sec": 1_000_000,
+        "seed_baseline": {"kernel_events_per_sec": 370_000},
+        "sharded": {"digests_match": True},
+        "detection": {
+            "player-seek-stress": {
+                "faulty": 4, "detected": 2, "detection_rate": 0.5,
+                "false_alarms": 0, "recovered": 0, "ttr_waves": {},
+                "digests_match": True, "detection_invariant": True,
+            },
+            "printer-burst": {
+                "faulty": 2, "detected": 2, "detection_rate": 1.0,
+                "false_alarms": 0, "recovered": 0, "ttr_waves": {},
+                "digests_match": True, "detection_invariant": True,
+            },
+            "recovery-ladder-drill": {
+                "faulty": 7, "detected": 7, "detection_rate": 1.0,
+                "false_alarms": 0, "recovered": 9,
+                "ttr_waves": {
+                    "0": {"count": 2, "min": 9.0, "max": 12.0, "mean": 10.5},
+                    "1": {"count": 3, "min": 8.0, "max": 20.0, "mean": 13.0},
+                },
+                "digests_match": True, "detection_invariant": True,
+            },
+        },
+        "benches": {
+            "bench_e14_fleet.py": {"ok": True, "seconds": 1.0},
+            "bench_e16_sharded.py": {"ok": True, "seconds": 2.0},
+        },
+    }
+
+
+def test_clean_report_passes():
+    assert evaluate_report(passing_report()) == []
+
+
+def test_any_failed_bench_fails_not_just_the_sharded_probe():
+    report = passing_report()
+    report["benches"]["bench_e14_fleet.py"]["ok"] = False
+    failures = evaluate_report(report)
+    assert any("bench_e14_fleet.py" in failure for failure in failures)
+
+
+def test_zero_detection_rate_fails():
+    report = passing_report()
+    report["detection"]["printer-burst"]["detected"] = 0
+    report["detection"]["printer-burst"]["detection_rate"] = 0.0
+    failures = evaluate_report(report)
+    assert any("printer-burst" in f and "zero" in f for f in failures)
+
+
+def test_serial_vs_sharded_divergence_fails():
+    report = passing_report()
+    report["detection"]["player-seek-stress"]["detection_invariant"] = False
+    assert any("diverged" in f for f in evaluate_report(report))
+    report = passing_report()
+    report["detection"]["player-seek-stress"]["digests_match"] = False
+    assert any("digests" in f for f in evaluate_report(report))
+    report = passing_report()
+    report["sharded"]["digests_match"] = False
+    assert any("shard determinism" in f for f in evaluate_report(report))
+
+
+def test_drill_must_record_finite_per_wave_ttr():
+    report = passing_report()
+    report["detection"]["recovery-ladder-drill"]["recovered"] = 0
+    report["detection"]["recovery-ladder-drill"]["ttr_waves"] = {}
+    failures = evaluate_report(report)
+    assert any("no completed recoveries" in f for f in failures)
+    assert any("no per-wave" in f for f in failures)
+
+    report = passing_report()
+    report["detection"]["recovery-ladder-drill"]["ttr_waves"]["1"]["mean"] = float("inf")
+    assert any("not finite" in f for f in evaluate_report(report))
+
+
+def test_false_alarms_fail_the_gate():
+    report = passing_report()
+    report["detection"]["player-seek-stress"]["false_alarms"] = 2
+    assert any("false alarms" in f for f in evaluate_report(report))
+
+
+def test_kernel_regression_fails():
+    report = passing_report()
+    report["kernel_events_per_sec"] = 100
+    assert any("regressed" in f for f in evaluate_report(report))
+
+
+# ----------------------------------------------------------------------
+# shard-count autotuning (ROADMAP follow-up)
+# ----------------------------------------------------------------------
+def test_resolve_shards_scales_with_members_and_caps_at_cpus():
+    assert resolve_shards(10, cpu_count=8) == 1    # too small to split
+    assert resolve_shards(100, cpu_count=8) == 4   # 25 members per shard
+    assert resolve_shards(1000, cpu_count=8) == 8  # capped by the host
+    assert resolve_shards(1000, cpu_count=1) == 1  # 1-CPU container
+    assert resolve_shards(0, cpu_count=4) == 1
+
+
+def test_backend_autotunes_when_shards_is_none():
+    backend = ProcessShardBackend(shards=None)
+    assert backend.name == "process-shard[auto]"
+    spec = ScenarioSpec("auto", "d", duration=10.0, tvs=120)
+    expected = resolve_shards(120)
+    assert backend.resolve(spec) == expected
+    with pytest.raises(ValueError, match="autotune"):
+        ProcessShardBackend(shards=0)
+
+
+def test_autotuned_run_matches_serial_digest():
+    from repro.campaign import SerialBackend
+    from repro.scenarios import UserProfile
+
+    spec = ScenarioSpec(
+        "auto-cell", "d", duration=20.0, tvs=6,
+        profiles=(UserProfile("p", mean_gap=3.0, keys=("power", "vol_up")),),
+    )
+    auto = ProcessShardBackend(shards=None, inline=True).run(spec, 5)
+    serial = SerialBackend().run(spec, 5)
+    assert auto.telemetry_digest == serial.telemetry_digest
+    assert auto.shards == resolve_shards(spec.members)

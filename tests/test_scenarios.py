@@ -222,17 +222,21 @@ def test_spec_rejects_phase_targeting_missing_kind():
         ).validate()
 
 
-def test_unmonitored_members_stay_out_of_detection_accounting():
-    """Printer faults are applied but printers carry no monitors, so
-    counting them as injected would pin detection_rate at a structural
-    zero; they must not enter the faulty set."""
+def test_monitored_printers_enter_detection_accounting():
+    """Printers carry awareness monitors since PR 4 (queue-depth and
+    page-rate observables), so injected printer faults count as faulty
+    and the silent jam is actually detected — the scenario is no longer
+    a structural-zero cell."""
     report = ScenarioRunner().run("printer-burst", seed=3)
-    assert report.fleet.faulty == []
-    assert report.detection_rate == 1.0  # vacuous, not falsely zero
+    assert report.fleet.faulty, "silent_jam targets must be marked faulty"
+    assert all(suo.startswith("printer") for suo in report.fleet.faulty)
+    assert report.detection_rate > 0.0
+    assert report.false_alarm_rate == 0.0
     compiled = ScenarioRunner().compile("printer-burst", seed=3)
-    fleet_report = compiled.run()
-    # the jam was still applied: at least one printer saw the fault
+    compiled.run()
     jammed = [m for m in compiled.fleet.members.values()
               if m.kind == "printer" and m.suo.feeder.silently_jammed]
     assert jammed, "silent_jam phase must still afflict printers"
-    assert fleet_report.faulty == []
+    for member in jammed:
+        assert member.monitor is not None
+        assert member.faulty
