@@ -4,41 +4,31 @@ Paper numbers: 60 000 instrumented blocks; a 27-key-press scenario
 executes 13 796 of them; the block containing the injected teletext fault
 ranks **first** by spectrum similarity.
 
-This bench reruns that experiment on the simulated TV and prints the same
-row the paper reports, plus the coefficient sweep the underlying SFL work
-([20]) tabulates.
+Since PR 5 the experiment runs through the unified campaign surface
+(``repro.diagnosis.experiment``): the 27-press script is a scripted
+user profile, the fault is a scheduled ``FaultPhase``, errors come from
+the member's awareness monitor, and the spectra are collected online —
+the same metrics as the old hand-rolled driver, now sweepable and
+shardable like every other scenario.
 """
 
 import pytest
 
-from repro.diagnosis import (
-    TELETEXT_SCENARIO_27,
-    ScenarioRunner,
-    SpectrumDiagnoser,
-    evaluate_ranking,
-)
-from repro.tv import FaultInjector, TVSet
+from repro.diagnosis.experiment import run_teletext_diagnosis_campaign
 
 from conftest import print_table, qscale, run_once
 
 
 def run_diagnosis_experiment(coefficient="ochiai", seed=11):
-    tv = TVSet(seed=seed)
-    FaultInjector(tv).inject("ttx_stale_render", activate_after_presses=10)
-    runner = ScenarioRunner(tv)
-    result = runner.run(TELETEXT_SCENARIO_27)
-    ranking = SpectrumDiagnoser(coefficient).ranking(result.collector)
-    quality = evaluate_ranking(
-        ranking, runner.build.fault_blocks("ttx_stale_render")
-    )
-    return result, quality
+    result = run_teletext_diagnosis_campaign(coefficient=coefficient, seed=seed)
+    return result, result.quality
 
 
 def test_e1_teletext_fault_ranked_first(benchmark):
     result, quality = run_once(benchmark, run_diagnosis_experiment)
     print_table(
         "E1: teletext fault diagnosis (paper: 60 000 blocks, 27 presses, "
-        "13 796 executed, faulty block rank 1)",
+        "13 796 executed, faulty block rank 1) — campaign-driven",
         ["metric", "paper", "measured"],
         [
             ["total blocks", 60000, result.total_blocks],
@@ -47,12 +37,17 @@ def test_e1_teletext_fault_ranked_first(benchmark):
             ["erroneous presses", "(some)", result.error_steps],
             ["faulty block rank", 1, quality.best_rank],
             ["wasted effort", "~0", f"{quality.wasted_effort:.4f}"],
+            ["monitor detection", 1.0, result.report.detection_rate],
         ],
     )
     assert result.total_blocks == 60000
     assert len(result.keys) == 27
     assert 10000 <= result.executed_blocks <= 20000
+    assert result.error_steps > 0
     assert quality.best_rank == 1
+    # The campaign path detects through the real awareness monitor, not
+    # a bespoke oracle — the one injected fault must be detected.
+    assert result.report.detection_rate == 1.0
 
 
 def test_e1_coefficient_sweep(benchmark):

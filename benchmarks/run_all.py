@@ -29,11 +29,17 @@ throughput probes measure the runtime itself:
   ``ProcessShardBackend``: records the wall-clock speedup and **fails
   the run if the serial and sharded telemetry digests diverge** (the CI
   shard-determinism gate; quick mode shrinks to 2 shards);
-* ``detection``  — the three detection/recovery library scenarios
-  (player-seek-stress, printer-burst, recovery-ladder-drill) serial and
-  2-shard: **fails the run if any detection rate is zero, a recovery
-  wave records no finite time-to-recover, or the serial and sharded
-  detection stats diverge** (the CI detection gate).
+* ``detection``  — the detection/recovery library scenarios
+  (player-seek-stress, printer-burst, recovery-ladder-drill,
+  overnight-soak) serial and 2-shard: **fails the run if any detection
+  rate is zero, a recovery wave records no finite time-to-recover, or
+  the serial and sharded detection stats diverge** (the CI detection
+  gate);
+* ``diagnosis``  — the diagnosis-guided recovery drills
+  (player-decoder-drill, printer-jam-drill, recovery-ladder-drill)
+  serial and 2-shard: **fails the run on zero localization accuracy,
+  a non-finite time-to-recover, or serial-vs-sharded divergence of the
+  diagnosis telemetry** (the CI diagnosis gate).
 
 Exit status is computed by :func:`evaluate_report` over the JSON report:
 any failed bench, a diverged digest, a zeroed detection rate, or a
@@ -213,13 +219,37 @@ def probe_sharded(quick: bool = False) -> dict:
 
 
 #: The library scenarios whose detection/recovery rates CI gates on.
+#: ``overnight-soak`` joined in PR 5: the TV's timed volume self-check
+#: must keep sparse sleeper sessions detecting injected volume faults.
 DETECTION_SCENARIOS = (
     "player-seek-stress", "printer-burst", "recovery-ladder-drill",
+    "overnight-soak",
 )
 
 
+#: Memo of probe campaign cells: (scenario, seed, shards-or-None) ->
+#: CampaignReport.  ``recovery-ladder-drill`` sits in both the detection
+#: and the diagnosis probe; the runs are deterministic, so recomputing
+#: the identical cell would only burn CI wall-clock.
+_PROBE_CELLS: dict = {}
+
+
+def _probe_cell(name: str, seed: int, shards=None):
+    from repro.campaign import ProcessShardBackend, SerialBackend
+    from repro.scenarios import get_scenario
+
+    key = (name, seed, shards)
+    if key not in _PROBE_CELLS:
+        backend = (
+            SerialBackend() if shards is None
+            else ProcessShardBackend(shards=shards)
+        )
+        _PROBE_CELLS[key] = backend.run(get_scenario(name), seed)
+    return _PROBE_CELLS[key]
+
+
 def probe_detection(seed: int = 7) -> dict:
-    """Detection-depth probe (the PR 4 gate): the three detection and
+    """Detection-depth probe (the PR 4 gate): the detection and
     recovery scenarios, each serial and 2-shard.
 
     Gated facts per scenario: faults were injected, the detection rate
@@ -228,15 +258,11 @@ def probe_detection(seed: int = 7) -> dict:
     with the serial run on the telemetry digest AND the detection
     accounting (faulty/detected/false-alarm sets).
     """
-    from repro.campaign import ProcessShardBackend, SerialBackend
-
     result = {}
     for name in DETECTION_SCENARIOS:
-        from repro.scenarios import get_scenario
-
-        spec = get_scenario(name)
-        sharded = ProcessShardBackend(shards=2).run(spec, seed)
-        serial = SerialBackend().run(spec, seed)
+        # Sharded first: fork from the leanest parent heap available.
+        sharded = _probe_cell(name, seed, shards=2)
+        serial = _probe_cell(name, seed)
         recovery = serial.telemetry_summary.get("recovery", {})
         result[name] = {
             "members": serial.members,
@@ -252,6 +278,63 @@ def probe_detection(seed: int = 7) -> dict:
                 sharded.faulty == serial.faulty
                 and sharded.detected == serial.detected
                 and sharded.false_alarms == serial.false_alarms
+            ),
+        }
+    return result
+
+
+#: The drills whose diagnosis-guided recovery CI gates on (PR 5).
+DIAGNOSIS_SCENARIOS = (
+    "player-decoder-drill", "printer-jam-drill", "recovery-ladder-drill",
+)
+
+
+def probe_diagnosis(seed: int = 7) -> dict:
+    """Diagnosis-guided recovery probe (the PR 5 gate).
+
+    Each drill runs serial and 2-shard.  Gated facts per drill:
+    episodes reached the rebind rung with an SFL ranking recorded, the
+    localization accuracy (true faulty component ranked first) is
+    nonzero, every recorded time-to-recover is finite and positive, and
+    the sharded run agrees with the serial run on the telemetry digest
+    AND the shard-invariant diagnosis block.
+    """
+    from repro.runtime.telemetry import mergeable_summary
+
+    result = {}
+    for name in DIAGNOSIS_SCENARIOS:
+        sharded = _probe_cell(name, seed, shards=2)
+        serial = _probe_cell(name, seed)
+        diagnosis = serial.telemetry_summary.get("diagnosis", {})
+        rebinds = diagnosis.get("rebinds", {})
+        ranks = diagnosis.get("rank_of_true", {})
+        ranked = sum(ranks.values())
+        ttr = diagnosis.get("ttr", {})
+        result[name] = {
+            "members": serial.members,
+            "seed": seed,
+            "episodes_ranked": ranked,
+            "rank_first": ranks.get("1", 0),
+            "localization_accuracy": (
+                round(ranks.get("1", 0) / ranked, 4) if ranked else 0.0
+            ),
+            "targeted_rebinds": rebinds.get("targeted", 0),
+            "full_rebinds": rebinds.get("full", 0),
+            "targeted_rebind_rate": diagnosis.get("targeted_rebind_rate", 0.0),
+            "recovered": serial.telemetry_summary.get("recovery", {}).get(
+                "recovered", 0
+            ),
+            "ttr": {
+                mode: {
+                    key: ttr.get(mode, {}).get(key, 0.0)
+                    for key in ("count", "min", "max")
+                }
+                for mode in ("targeted", "full")
+            },
+            "digests_match": sharded.telemetry_digest == serial.telemetry_digest,
+            "diagnosis_invariant": (
+                mergeable_summary(sharded.telemetry_summary).get("diagnosis")
+                == mergeable_summary(serial.telemetry_summary).get("diagnosis")
             ),
         }
     return result
@@ -310,6 +393,11 @@ def evaluate_report(report: dict) -> list:
             "(shard determinism gate)"
         )
     detection = report.get("detection", {})
+    for name in DETECTION_SCENARIOS:
+        # A drill silently dropped from the probe must not read as a
+        # pass: the loop below only sees cells that are present.
+        if name not in detection:
+            failures.append(f"{name} missing from the detection probe")
     for name, cell in sorted(detection.items()):
         if cell.get("faulty", 0) == 0:
             failures.append(f"{name}: no faults were injected")
@@ -345,6 +433,36 @@ def evaluate_report(report: dict) -> list:
                 failures.append(
                     f"recovery-ladder-drill wave {wave}: "
                     "time-to-recover not finite"
+                )
+    diagnosis = report.get("diagnosis", {})
+    for name in DIAGNOSIS_SCENARIOS:
+        if name not in diagnosis:
+            failures.append(f"{name} missing from the diagnosis probe")
+    for name, cell in sorted(diagnosis.items()):
+        if cell.get("episodes_ranked", 0) <= 0:
+            failures.append(f"{name}: no localization episodes recorded")
+        elif cell.get("localization_accuracy", 0.0) <= 0.0:
+            failures.append(f"{name}: localization accuracy is zero")
+        if cell.get("recovered", 0) <= 0:
+            failures.append(f"{name}: no completed recoveries")
+        if not cell.get("digests_match"):
+            failures.append(
+                f"{name}: serial vs sharded telemetry digests diverged"
+            )
+        if not cell.get("diagnosis_invariant"):
+            failures.append(
+                f"{name}: serial vs sharded diagnosis stats diverged"
+            )
+        for mode, stats in sorted(cell.get("ttr", {}).items()):
+            if stats.get("count", 0) <= 0:
+                continue
+            values = [stats.get("min", 0.0), stats.get("max", 0.0)]
+            if not all(
+                isinstance(v, (int, float)) and math.isfinite(v) and v > 0.0
+                for v in values
+            ):
+                failures.append(
+                    f"{name}: {mode} time-to-recover not finite"
                 )
     baseline = report.get("seed_baseline", SEED_BASELINE).get(
         "kernel_events_per_sec", 0
@@ -410,6 +528,16 @@ def main() -> int:
             f"digests_match={cell['digests_match']}, "
             f"detection_invariant={cell['detection_invariant']}"
         )
+    print("probing diagnosis-guided recovery drills (serial vs 2-shard) ...", flush=True)
+    diagnosis = probe_diagnosis()
+    for name, cell in diagnosis.items():
+        print(
+            f"  {name}: accuracy {cell['localization_accuracy']} "
+            f"({cell['rank_first']}/{cell['episodes_ranked']} ranked first), "
+            f"targeted={cell['targeted_rebinds']}, full={cell['full_rebinds']}, "
+            f"digests_match={cell['digests_match']}, "
+            f"diagnosis_invariant={cell['diagnosis_invariant']}"
+        )
     print("probing 1000-SUO streaming scenario ...", flush=True)
     scenarios = probe_scenarios()
     print(
@@ -431,6 +559,7 @@ def main() -> int:
         "scenarios": scenarios,
         "sharded": sharded,
         "detection": detection,
+        "diagnosis": diagnosis,
         "seed_baseline": SEED_BASELINE,
         "benches": benches,
     }

@@ -141,6 +141,8 @@ def merge_shard_results(
     )
     summary.get("latency", {}).pop("samples", None)
     summary.get("recovery", {}).get("ttr", {}).pop("samples", None)
+    for block in summary.get("diagnosis", {}).get("ttr", {}).values():
+        block.pop("samples", None)
     errors: Dict[str, int] = {}
     for result in results:
         errors.update(result["errors_by_suo"])

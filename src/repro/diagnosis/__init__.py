@@ -32,3 +32,17 @@ __all__ = [
 from .online import OnlineDiagnoser
 
 __all__ += ["OnlineDiagnoser"]
+
+from .components import (
+    COMPONENTS,
+    FAULT_COMPONENTS,
+    ComponentSpectra,
+    RankedComponent,
+)
+
+__all__ += [
+    "COMPONENTS",
+    "ComponentSpectra",
+    "FAULT_COMPONENTS",
+    "RankedComponent",
+]

@@ -140,7 +140,13 @@ def expected_page_rate(machine: Machine) -> float:
 
 def default_printer_config() -> AwarenessConfig:
     config = AwarenessConfig()
-    config.observable("status", max_consecutive=2, trigger="both", period=0.5)
+    # Job completion is a multi-event burst (job_done, queue, status out;
+    # all_jobs_done in) whose parts cross the two channels with
+    # independent jitter — up to ~4 comparisons at distinct instants can
+    # see the SUO's new status against the model's pre-completion state,
+    # so the streak must outlast the skew window (printer-jam-drill
+    # surfaced a drain-to-idle false alarm at max_consecutive=2).
+    config.observable("status", max_consecutive=4, trigger="both", period=0.5)
     config.observable(
         "progressing", max_consecutive=2, trigger="time", period=1.0, severity=2.0
     )

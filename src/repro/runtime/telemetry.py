@@ -263,6 +263,99 @@ class RecoveryStats:
         }
 
 
+class DiagnosisStats:
+    """Bounded aggregate of diagnosis-guided rebind outcomes (PR 5).
+
+    Fed from the same ``suo.<id>.recovery`` events as
+    :class:`RecoveryStats`: every rebind published by the scenario
+    recovery harness carries its localization outcome — targeted or
+    full, which component the SFL ranking suspected, the rank the true
+    faulty component achieved, and (for targeted rebinds) whether the
+    suspect was a hit.  Everything except the TTR quantiles is exact
+    integer counting over per-member timelines, hence shard-invariant.
+    """
+
+    __slots__ = ("rebinds", "suspects", "ranks", "hits", "misses", "ttr")
+
+    def __init__(self, capacity: int = 512, rng: Optional[random.Random] = None) -> None:
+        #: mode ("targeted" / "full") -> rebind count.
+        self.rebinds = CounterSet()
+        #: suspect component -> times the ranking nominated it.
+        self.suspects = CounterSet()
+        #: str(rank of the true faulty component) -> completed-episode
+        #: count (folded at the closing rebind, once per episode).
+        self.ranks = CounterSet()
+        #: Targeted rebinds whose suspect was / was not the true fault.
+        self.hits = 0
+        self.misses = 0
+        #: Time-to-recover of episodes *closed* by each rebind mode —
+        #: the targeted-vs-full TTR delta the ROADMAP asks to measure.
+        self.ttr: Dict[str, ReservoirHistogram] = {
+            "targeted": ReservoirHistogram(capacity=capacity, rng=rng),
+            "full": ReservoirHistogram(capacity=capacity, rng=rng),
+        }
+
+    def observe(self, event: Any) -> None:
+        """Fold one recovery event; ignores rungs without diagnosis."""
+        if not isinstance(event, dict) or event.get("action") != "rebind":
+            return
+        mode = event.get("mode")
+        if mode is None:
+            return
+        mode = str(mode)
+        self.rebinds.inc(mode)
+        suspect = event.get("suspect")
+        if suspect:
+            self.suspects.inc(str(suspect))
+        # Count the rank once per EPISODE, on the rebind that closes it
+        # (carries the TTR) — a targeted miss followed by the closing
+        # full rebind must not count the episode twice, or the gated
+        # accuracy would under-report whenever any miss occurs.  An
+        # episode whose true component never entered the ranking counts
+        # as "unranked": dropping it would shrink the accuracy
+        # denominator exactly when localization fails worst.
+        if event.get("ttr") is not None:
+            rank = event.get("true_rank")
+            if isinstance(rank, int) and not isinstance(rank, bool) and rank > 0:
+                self.ranks.inc(str(rank))
+            else:
+                self.ranks.inc("unranked")
+        hit = event.get("hit")
+        if hit is True:
+            self.hits += 1
+        elif hit is False:
+            self.misses += 1
+        ttr = event.get("ttr")
+        if ttr is not None and mode in self.ttr:
+            self.ttr[mode].add(float(ttr))
+
+    def summary(self, samples: bool = False, digits: int = 9) -> Dict[str, Any]:
+        """Canonical JSON-friendly view (see :meth:`FleetTelemetry.summary`)."""
+        ranked = self.ranks.total()
+        rank_first = self.ranks.get("1")
+        total = self.rebinds.total()
+        ttr: Dict[str, Any] = {}
+        for mode in sorted(self.ttr):
+            block = self.ttr[mode].stats(digits)
+            if samples:
+                block["samples"] = self.ttr[mode].samples(digits)
+            ttr[mode] = block
+        return {
+            "rebinds": self.rebinds.as_dict(),
+            "suspects": self.suspects.as_dict(),
+            "rank_of_true": self.ranks.as_dict(),
+            "hits": self.hits,
+            "misses": self.misses,
+            "localization_accuracy": (
+                round(rank_first / ranked, digits) if ranked else 0.0
+            ),
+            "targeted_rebind_rate": (
+                round(self.rebinds.get("targeted") / total, digits) if total else 0.0
+            ),
+            "ttr": ttr,
+        }
+
+
 class SuoTally:
     """Fixed-size per-SUO ledger: one int per event kind."""
 
@@ -325,6 +418,7 @@ class FleetTelemetry:
         self.event_rate = WindowedRate(clock, window=window, buckets=buckets)
         self.latency = ReservoirHistogram(capacity=reservoir, rng=rng)
         self.recovery = RecoveryStats(capacity=reservoir, rng=rng)
+        self.diagnosis = DiagnosisStats(capacity=reservoir, rng=rng)
         self._clock = clock
         self._subscription: Optional[Subscription] = bus.subscribe(
             f"{namespace}.*", self._on_event
@@ -356,6 +450,7 @@ class FleetTelemetry:
         self.tally(suo_id).bump(kind)
         if kind == "recovery":
             self.recovery.observe(event)
+            self.diagnosis.observe(event)
 
     def observe_latency(self, seconds: float) -> None:
         """Sample one delivery latency (simulated seconds)."""
@@ -402,6 +497,7 @@ class FleetTelemetry:
             "errors_total": self.kinds.get("error"),
             "errors_by_suo": self.errors_by_suo(),
             "recovery": self.recovery.summary(samples=samples),
+            "diagnosis": self.diagnosis.summary(samples=samples),
         }
         if per_suo:
             result["per_suo"] = {
@@ -446,6 +542,8 @@ def mergeable_summary(summary: Dict[str, Any]) -> Dict[str, Any]:
     latency = summary.get("latency", {})
     recovery = summary.get("recovery", {})
     ttr = recovery.get("ttr", {})
+    diagnosis = summary.get("diagnosis", {})
+    diagnosis_ttr = diagnosis.get("ttr", {})
     core: Dict[str, Any] = {
         "time": summary["time"],
         "suos": summary["suos"],
@@ -476,6 +574,25 @@ def mergeable_summary(summary: Dict[str, Any]) -> Dict[str, Any]:
                     "max": entry.get("max", 0.0),
                 }
                 for wave, entry in sorted(recovery.get("waves", {}).items())
+            },
+        },
+        # Diagnosis outcomes are exact integer counts over per-member
+        # timelines (each episode rebinds on exactly one shard); the
+        # per-mode TTR count/min/max are extrema like the latency ones,
+        # while accuracy/rate ratios and quantiles stay excluded.
+        "diagnosis": {
+            "rebinds": diagnosis.get("rebinds", {}),
+            "suspects": diagnosis.get("suspects", {}),
+            "rank_of_true": diagnosis.get("rank_of_true", {}),
+            "hits": diagnosis.get("hits", 0),
+            "misses": diagnosis.get("misses", 0),
+            "ttr": {
+                mode: {
+                    "count": block.get("count", 0),
+                    "min": block.get("min", 0.0),
+                    "max": block.get("max", 0.0),
+                }
+                for mode, block in sorted(diagnosis_ttr.items())
             },
         },
     }
@@ -580,6 +697,40 @@ def _merge_recovery(
     }
 
 
+def _merge_diagnosis(
+    parts: List[Dict[str, Any]], reservoir: int, digits: int
+) -> Dict[str, Any]:
+    """Fold N per-shard diagnosis blocks into one (exact counters, exact
+    per-mode TTR extrema, deterministically re-sampled quantiles, and
+    accuracy/rate ratios re-derived from the merged counts)."""
+    rebinds = _merge_dicts([part.get("rebinds", {}) for part in parts])
+    ranks = _merge_dicts([part.get("rank_of_true", {}) for part in parts])
+    ranked = sum(ranks.values())
+    total = sum(rebinds.values())
+    modes = sorted({mode for part in parts for mode in part.get("ttr", {})})
+    return {
+        "rebinds": rebinds,
+        "suspects": _merge_dicts([part.get("suspects", {}) for part in parts]),
+        "rank_of_true": ranks,
+        "hits": sum(part.get("hits", 0) for part in parts),
+        "misses": sum(part.get("misses", 0) for part in parts),
+        "localization_accuracy": (
+            round(ranks.get("1", 0) / ranked, digits) if ranked else 0.0
+        ),
+        "targeted_rebind_rate": (
+            round(rebinds.get("targeted", 0) / total, digits) if total else 0.0
+        ),
+        "ttr": {
+            mode: _merge_stat_blocks(
+                [part.get("ttr", {}).get(mode, {}) for part in parts],
+                reservoir,
+                digits,
+            )
+            for mode in modes
+        },
+    }
+
+
 def merge_summaries(
     summaries: List[Dict[str, Any]],
     reservoir: int = 512,
@@ -608,7 +759,11 @@ def merge_summaries(
       approximate);
     * ``recovery`` counts/actions and per-wave TTR count/min/max sum or
       take extrema exactly (each member recovers on exactly one shard);
-      per-wave means are count-weighted.
+      per-wave means are count-weighted;
+    * ``diagnosis`` counters (rebind modes, suspects, rank-of-true,
+      hits/misses) sum exactly; the accuracy and targeted-rate ratios
+      are re-derived from the merged counts; per-mode TTR blocks merge
+      like the latency block.
 
     Merging a single summary is the identity on counters, tallies, and
     quantiles, so serial campaigns route through the same code path.
@@ -628,6 +783,9 @@ def merge_summaries(
         "errors_by_suo": _merge_dicts([s["errors_by_suo"] for s in summaries]),
         "recovery": _merge_recovery(
             [s.get("recovery", {}) for s in summaries], reservoir, digits
+        ),
+        "diagnosis": _merge_diagnosis(
+            [s.get("diagnosis", {}) for s in summaries], reservoir, digits
         ),
     }
     if any("per_suo" in s for s in summaries):

@@ -24,8 +24,10 @@ from __future__ import annotations
 import time as wallclock
 from typing import Callable, Dict, List, Optional, Tuple
 
+from ..diagnosis.components import FAULT_COMPONENTS
 from ..runtime.fleet import FleetMember, FleetReport, MonitorFleet, build_fleet_report
 from ..sim.random import RandomStreams
+from ..tv.remote import KeySequence
 from .plan import PlannedMember, ScenarioPlan, build_plan, derive_shard_seed
 from .recovery import MemberRecovery
 from .spec import FaultPhase, ScenarioSpec, TV_FLAG_FAULTS
@@ -70,6 +72,10 @@ FAULT_ACTIONS: Dict[Tuple[str, str], Tuple[Action, Optional[Action]]] = {
         lambda m: m.suo.teletext.inject_sync_loss(),
         lambda m: m.suo.teletext.repair_sync(),
     ),
+    ("tv", "ttx_stale_render"): (
+        lambda m: m.suo.teletext.inject_stale_render(),
+        lambda m: m.suo.teletext.repair_stale_render(),
+    ),
     ("tv", "alert_broadcast"): (lambda m: m.suo.broadcast_alert(), None),
     ("tv", "monitor_churn"): (_monitor_stop, _monitor_start),
     ("player", "stall_on_corrupt"): _set_attr("stall_on_corrupt", True, False),
@@ -95,6 +101,23 @@ FAULT_ACTIONS: Dict[Tuple[str, str], Tuple[Action, Optional[Action]]] = {
 }
 for _flag in TV_FLAG_FAULTS:
     FAULT_ACTIONS[("tv", _flag)] = _tv_flag(_flag)
+
+
+def _player_pipeline_restart(member: FleetMember) -> None:
+    """The wedged-decoder repair: a stalled decode process cannot be
+    revived in place (the stall loop never exits), so the rebind rung
+    clears the fault AND rebuilds the pipeline at the current position."""
+    member.suo.stall_on_corrupt = False
+    member.suo.restart_pipeline()
+
+
+#: Repairs a *recovery ladder* executes at the rebind rung when the
+#: phase's scheduled ``clear`` action alone would not undo the failure
+#: mode (clearing ``stall_on_corrupt`` does not un-wedge an already
+#: stalled decoder).  Faults not listed here repair with their ``clear``.
+RECOVERY_REPAIRS: Dict[Tuple[str, str], Action] = {
+    ("player", "stall_on_corrupt"): _player_pipeline_restart,
+}
 
 
 class CompiledScenario:
@@ -203,12 +226,28 @@ class CompiledScenario:
     # ------------------------------------------------------------------
     # drivers
     # ------------------------------------------------------------------
+    def _scripted_suo_ids(self) -> set:
+        """Members driven by a scripted profile (the script owns their
+        whole session, including the power key)."""
+        scripted = set()
+        for profile in self.spec.profiles:
+            if profile.script is not None:
+                scripted.update(
+                    member.suo_id
+                    for member in self.profile_groups[profile.name]
+                )
+        return scripted
+
     def _power_on_tvs(self) -> None:
         """Stagger power-on by the *campaign-global* kind index, so a
         shard's TVs power up at the same simulated instants as in the
         serial run (matches ``MonitorFleet.power_on_tvs`` for full
-        plans, where slot order equals admission order)."""
+        plans, where slot order equals admission order).  Scripted
+        members are skipped: their key script controls power itself."""
+        scripted = self._scripted_suo_ids()
         for member in self._members_of("tv"):
+            if member.suo_id in scripted:
+                continue
             member.suo.remote.schedule_press(
                 self._kind_index(member) * self.spec.stagger, "power"
             )
@@ -216,12 +255,25 @@ class CompiledScenario:
     def _start_users(self) -> None:
         for profile in self.spec.profiles:
             group = self.profile_groups[profile.name]
-            if group:
-                self.fleet.start_random_users(
-                    mean_gap=profile.mean_gap,
-                    keys=list(profile.keys) if profile.keys else None,
-                    members=group,
-                )
+            if not group:
+                continue
+            if profile.script is not None:
+                # Deterministic scripted sessions: one press every
+                # mean_gap, offset by the campaign-global stagger slot —
+                # placement-invariant, so shards replay them exactly.
+                for member in group:
+                    KeySequence(
+                        member.suo.remote,
+                        profile.script,
+                        interval=profile.mean_gap,
+                        start=1.0 + self._kind_index(member) * self.spec.stagger,
+                    ).schedule()
+                continue
+            self.fleet.start_random_users(
+                mean_gap=profile.mean_gap,
+                keys=list(profile.keys) if profile.keys else None,
+                members=group,
+            )
 
     def _start_players(self) -> None:
         # Each loop closure is built by a factory so its recursive
@@ -308,14 +360,17 @@ class CompiledScenario:
                 continue
 
             if phase.recovery:
-                if clear is None:
+                repair = RECOVERY_REPAIRS.get((phase.kind, phase.fault), clear)
+                if repair is None:
                     raise ValueError(
                         f"fault {phase.fault!r} has no repair action, so a "
                         "recovery ladder could never clear it"
                     )
+                component = FAULT_COMPONENTS.get((phase.kind, phase.fault))
 
                 def fire_recovery(
-                    targets=targets, apply=apply, clear=clear, index=index
+                    targets=targets, apply=apply, repair=repair,
+                    index=index, component=component,
                 ) -> None:
                     for member in targets:
                         apply(member)
@@ -323,7 +378,8 @@ class CompiledScenario:
                         if harness is not None:
                             harness.arm(
                                 index,
-                                lambda member=member, clear=clear: clear(member),
+                                lambda member=member, repair=repair: repair(member),
+                                component=component,
                             )
 
                 kernel.schedule_at(

@@ -170,6 +170,74 @@ register_scenario(ScenarioSpec(
 ))
 
 register_scenario(ScenarioSpec(
+    name="player-decoder-drill",
+    description="Players seeking across corrupt streams wedge their "
+                "decoder with NO scheduled repair: the monitor detects "
+                "the stall, walks the ladder, and the SFL ranking lets "
+                "rebind restart just the pipeline (decoder) instead of "
+                "replacing the whole player — localization outcomes land "
+                "in the diagnosis telemetry block.",
+    duration=110.0,
+    players=8,
+    player_seek_every=4.0,
+    # Corrupt clusters spread across the whole seekable range, so every
+    # seed's seek pattern crosses one within the drill window (clusters
+    # confined to one region let unlucky seeds play clean forever).
+    corrupt_player_packets=(
+        25, 26, 27, 75, 76, 77, 125, 126, 127, 175, 176, 177,
+        225, 226, 227, 275, 276, 277, 325, 326, 327, 375, 376, 377,
+        425, 426, 427,
+    ),
+    phases=(
+        FaultPhase("stall_on_corrupt", at=12.0, kind="player", fraction=0.5,
+                   recovery=True),
+    ),
+))
+
+register_scenario(ScenarioSpec(
+    name="printer-jam-drill",
+    description="Office printers under steady jobs; half the feeders "
+                "jam silently with NO scheduled repair — the throughput "
+                "floor detects the stall and the ladder's targeted "
+                "rebind clears the jam at the feeder the spectra "
+                "implicate.",
+    duration=90.0,
+    printers=6,
+    printer_job_gap=10.0,
+    printer_pages=(2, 6),
+    phases=(
+        FaultPhase("silent_jam", at=25.0, kind="printer", fraction=0.5,
+                   recovery=True),
+    ),
+))
+
+register_scenario(ScenarioSpec(
+    name="targeted-rebind-storm",
+    description="Mixed fleet with recovery waves landing on every device "
+                "kind ten seconds apart: TVs slam volume, players wedge "
+                "decoders, printers jam — every repair routed through "
+                "the diagnosis-guided ladder on one shared kernel.",
+    duration=100.0,
+    tvs=8,
+    players=6,
+    printers=4,
+    profiles=(UserProfile(
+        "storm", mean_gap=1.5,
+        keys=("vol_up", "vol_down", "mute", "vol_up", "vol_down", "ch_up"),
+    ),),
+    player_seek_every=4.0,
+    corrupt_player_packets=(25, 26, 27, 55, 56, 57, 85, 86, 87),
+    printer_job_gap=10.0,
+    phases=(
+        FaultPhase("volume_overshoot", at=12.0, fraction=0.5, recovery=True),
+        FaultPhase("stall_on_corrupt", at=22.0, kind="player", fraction=0.5,
+                   recovery=True),
+        FaultPhase("silent_jam", at=32.0, kind="printer", fraction=0.5,
+                   recovery=True),
+    ),
+))
+
+register_scenario(ScenarioSpec(
     name="recovery-ladder-drill",
     description="Escalating fault waves with NO scheduled repair: each "
                 "afflicted member's awareness controller must detect the "

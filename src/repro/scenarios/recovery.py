@@ -24,6 +24,21 @@ drill exercises detection → escalation → repair → verification end to
 end, and the elapsed time from fault injection to the rebind completing
 is the episode's **time-to-recover**.
 
+**Diagnosis in the loop (PR 5).**  From the moment a member comes under
+suspicion (its harness is created), a
+:class:`~repro.diagnosis.components.ComponentSpectra` collector folds
+the member's bus traffic into per-component activity/error spectra.
+When the ladder reaches ``rebind``, the harness consults the SFL
+ranking: with a confident top suspect it performs a **targeted rebind**
+of just that component (smaller downtime; the repair only clears the
+fault when the suspect actually is the faulty component — a
+mislocalized rebind leaves the fault standing, the next detection
+re-escalates, and the harness falls back to a full rebind).  With a
+weak or tied ranking it goes straight to the full rebind.  Every rebind
+publishes its localization outcome (mode, suspect, confidence, the
+rank the *true* faulty component achieved) into the ``diagnosis``
+telemetry block.
+
 Every executed rung publishes on ``suo.<suo_id>.recovery``; completed
 episodes carry their TTR and wave index, which
 :class:`~repro.runtime.telemetry.FleetTelemetry` folds into the
@@ -37,11 +52,13 @@ whichever shard it lands on.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Callable, List, Optional, Tuple
 
 from ..core.contract import RecoveryAction
 from ..core.loop import AwarenessLoop
 from ..core.policy import LadderStep, RecoveryPolicy, perception_weighted_ladder
+from ..diagnosis.components import COMPONENTS, ComponentSpectra
 from ..perception.severity import FunctionProfile, SeverityModel
 from ..recovery.recoverymgr import RecoveryManager
 from ..runtime.bus import EventBus
@@ -53,7 +70,15 @@ from ..sim.kernel import Kernel
 LADDER_KINDS = ("local_reset", "component_restart", "rebind")
 
 #: Downtime each rung inflicts on the member's observation pipeline.
-DOWNTIME = {"local_reset": 0.0, "component_restart": 0.5, "rebind": 2.0}
+#: ``targeted_rebind`` is the diagnosis dividend: swapping one suspect
+#: component rebinds less of the SUO than replacing it wholesale, so a
+#: correct localization shows up as a measurably smaller TTR.
+DOWNTIME = {
+    "local_reset": 0.0,
+    "component_restart": 0.5,
+    "targeted_rebind": 0.8,
+    "rebind": 2.0,
+}
 
 #: Relative user impact per rung (scales the policy's ordering).
 USER_IMPACT = {"local_reset": 0.2, "component_restart": 1.0, "rebind": 2.5}
@@ -80,6 +105,20 @@ KIND_FUNCTIONS = {
 }
 
 
+@dataclass
+class FaultEpisode:
+    """One open fault on a member: when it was armed, how to repair it,
+    and which component actually carries it (diagnosis ground truth)."""
+
+    wave: int
+    armed_at: float
+    repair: Callable[[], None]
+    component: Optional[str] = None
+    #: Targeted rebinds already spent on this episode: after one miss
+    #: the harness stops trusting the ranking and rebinds fully.
+    targeted_attempts: int = 0
+
+
 class MemberRecovery:
     """One member's recovery ladder: policy + manager + loop, armed per
     fault episode by the scenario compiler."""
@@ -91,6 +130,8 @@ class MemberRecovery:
         bus: EventBus,
         settle_time: float = 15.0,
         quiet_period: float = 30.0,
+        confidence_threshold: float = 0.05,
+        spectra_window: float = 1.0,
     ) -> None:
         if member.monitor is None:
             raise ValueError(f"member {member.suo_id!r} has no monitor to recover")
@@ -98,6 +139,22 @@ class MemberRecovery:
         self.kernel = kernel
         self.monitor = member.monitor
         self._publish = bus.publisher(f"suo.{member.suo_id}.recovery")
+        #: Online SFL evidence, collected from harness creation onward
+        #: ("while the member is under suspicion").  Kinds without a
+        #: component vocabulary would get no ranking; every fleet kind
+        #: has one, but stay defensive for hand-built members.
+        self.spectra: Optional[ComponentSpectra] = (
+            ComponentSpectra(
+                member.kind,
+                member.suo_id,
+                bus,
+                clock=lambda: kernel.now,
+                window=spectra_window,
+            )
+            if member.kind in COMPONENTS
+            else None
+        )
+        self.confidence_threshold = confidence_threshold
         self.policy = RecoveryPolicy(quiet_period=quiet_period)
         steps = [
             LadderStep(kind, member.suo_id, USER_IMPACT[kind])
@@ -121,27 +178,37 @@ class MemberRecovery:
             name=f"{member.suo_id}.recovery-loop",
         )
         self.loop.attach(self.monitor.controller)
-        #: Open fault episodes, oldest first: (wave, armed_at, repair).
-        #: A queue, not a slot — a member hit by a second wave before
-        #: finishing the first carries BOTH faults, and each rebind
-        #: repairs (and accounts) the oldest one.
-        self._episodes: List[Tuple[int, float, Callable[[], None]]] = []
+        #: Open fault episodes, oldest first.  A queue, not a slot — a
+        #: member hit by a second wave before finishing the first
+        #: carries BOTH faults, and each rebind repairs (and accounts)
+        #: the oldest one.
+        self._episodes: List[FaultEpisode] = []
         #: Completed episodes: (wave index, time-to-recover).
         self.completed: List[Tuple[int, float]] = []
 
     # ------------------------------------------------------------------
-    def arm(self, wave: int, repair: Callable[[], None]) -> None:
+    def arm(
+        self,
+        wave: int,
+        repair: Callable[[], None],
+        component: Optional[str] = None,
+    ) -> None:
         """A fault phase just afflicted this member: open an episode.
 
         ``repair`` is the fault's clear action — what the ``rebind``
-        rung executes when escalation reaches it.  A fresh (no episode
-        in flight) arm walks the ladder from the bottom; stacking onto
-        an in-flight episode keeps the current escalation, since the
+        rung executes when escalation reaches it; ``component`` is the
+        fault's true location (ground truth for localization
+        telemetry, and what decides whether a targeted rebind of the
+        SFL suspect actually repairs).  A fresh (no episode in flight)
+        arm walks the ladder from the bottom; stacking onto an
+        in-flight episode keeps the current escalation, since the
         member is already mid-recovery.
         """
         if not self._episodes:
             self.policy.reset()
-        self._episodes.append((wave, self.kernel.now, repair))
+        self._episodes.append(
+            FaultEpisode(wave, self.kernel.now, repair, component)
+        )
 
     @property
     def armed(self) -> bool:
@@ -151,7 +218,7 @@ class MemberRecovery:
     def _wave(self) -> Optional[int]:
         """The oldest open episode's wave (rung events are labeled with
         the episode currently being worked)."""
-        return self._episodes[0][0] if self._episodes else None
+        return self._episodes[0].wave if self._episodes else None
 
     # ------------------------------------------------------------------
     # ladder rungs (RecoveryManager handlers; each returns its downtime)
@@ -179,31 +246,88 @@ class MemberRecovery:
         return downtime
 
     def _rebind(self, action: RecoveryAction) -> float:
-        """Rung 3: replace the faulty component (the oldest episode's
-        repair) and restart around the new binding — the rung that
-        actually removes an injected fault.  Completing it closes that
-        episode and records its time-to-recover; any stacked episode
-        stays open, and its fault drives the next detection, which walks
-        the ladder again from the bottom."""
-        downtime = DOWNTIME["rebind"]
-        episode = self._episodes.pop(0) if self._episodes else None
-        if episode is not None:
-            _wave, _armed_at, repair = episode
-            repair()
+        """Rung 3: replace the faulty component and restart around the
+        new binding — the rung that actually removes an injected fault.
+
+        The SFL ranking decides *which* component to replace.  With a
+        confident top suspect the rebind is **targeted**: only that
+        component is swapped (smaller downtime), which repairs the fault
+        exactly when the suspect is the truly faulty component.  A miss
+        leaves the fault standing — the episode stays open, the next
+        detection returns here, and the harness rebinds fully.  A weak
+        or tied ranking skips straight to the full rebind.  Completing a
+        repair closes the oldest episode and records its time-to-recover;
+        any stacked episode stays open, and its fault drives the next
+        detection, which walks the ladder again from the bottom."""
+        episode = self._episodes[0] if self._episodes else None
+        suspect: Optional[str] = None
+        confidence = 0.0
+        true_rank: Optional[int] = None
+        if self.spectra is not None:
+            ranking = self.spectra.ranking()
+            if ranking:
+                suspect = ranking[0].component
+                confidence = self.spectra.confidence(ranking)
+            if episode is not None and episode.component is not None:
+                true_rank = next(
+                    (
+                        entry.rank
+                        for entry in ranking
+                        if entry.component == episode.component
+                    ),
+                    None,
+                )
+        targeted = (
+            episode is not None
+            # No ground-truth component (a fault outside
+            # FAULT_COMPONENTS) means the simulation cannot decide
+            # whether a component swap would land — a targeted attempt
+            # could never hit, so it would only burn downtime and log a
+            # bogus miss.  Go straight to the full rebind instead.
+            and episode.component is not None
+            and suspect is not None
+            and confidence >= self.confidence_threshold
+            and episode.targeted_attempts == 0
+        )
+        closed: Optional[FaultEpisode] = None
+        hit: Optional[bool] = None
+        if targeted:
+            mode = "targeted"
+            downtime = DOWNTIME["targeted_rebind"]
+            hit = episode.component is not None and suspect == episode.component
+            if hit:
+                closed = self._episodes.pop(0)
+                closed.repair()
+            else:
+                episode.targeted_attempts += 1
+        else:
+            mode = "full"
+            downtime = DOWNTIME["rebind"]
+            if episode is not None:
+                closed = self._episodes.pop(0)
+                closed.repair()
         self.monitor.stop()
 
         def back_up() -> None:
             self.monitor.start()
-            if episode is not None:
-                wave, armed_at, _repair = episode
-                ttr = self.kernel.now - armed_at
-                self.completed.append((wave, ttr))
-                self._publish(
-                    {"action": "rebind", "wave": wave, "ttr": round(ttr, 9)}
-                )
+            event = {
+                "action": "rebind",
+                "mode": mode,
+                "suspect": suspect,
+                "confidence": round(confidence, 6),
+                "true_component": episode.component if episode else None,
+                "true_rank": true_rank,
+                "hit": hit,
+            }
+            if closed is not None:
+                ttr = self.kernel.now - closed.armed_at
+                self.completed.append((closed.wave, ttr))
+                event["wave"] = closed.wave
+                event["ttr"] = round(ttr, 9)
             else:
-                self._publish({"action": "rebind", "wave": None})
-            if self._episodes:
+                event["wave"] = self._wave
+            self._publish(event)
+            if closed is not None and self._episodes:
                 # another fault is still standing: restart the ladder
                 # for it (its TTR clock has been running since its arm)
                 self.policy.reset()

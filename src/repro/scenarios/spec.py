@@ -31,6 +31,7 @@ KNOWN_FAULTS = frozenset(
     [("tv", name) for name in TV_FLAG_FAULTS]
     + [
         ("tv", "drop_ttx_notify"),
+        ("tv", "ttx_stale_render"),
         ("tv", "alert_broadcast"),
         ("tv", "monitor_churn"),
         ("player", "stall_on_corrupt"),
@@ -54,12 +55,20 @@ class UserProfile:
     ``weight`` sets the share of the TV population assigned to this
     profile (normalized across the spec's profiles, drawn from a seeded
     stream so assignment is deterministic per seed).
+
+    With ``script`` the profile is **deterministic** instead of random:
+    every assigned member presses exactly these keys, one every
+    ``mean_gap`` simulated seconds (offset by its stagger slot), and is
+    exempted from the automatic power-on — the script owns the whole
+    session.  This is how hand-rolled scripted drivers (the Sect. 4.4
+    27-press diagnosis scenario) run through the campaign surface.
     """
 
     name: str
     mean_gap: float = 4.0
     keys: Optional[Tuple[str, ...]] = None
     weight: float = 1.0
+    script: Optional[Tuple[str, ...]] = None
 
     def validate(self) -> None:
         if self.mean_gap <= 0:
@@ -68,6 +77,30 @@ class UserProfile:
             raise ValueError(f"profile {self.name!r}: weight must be > 0")
         if self.keys is not None and not self.keys:
             raise ValueError(f"profile {self.name!r}: keys may not be empty")
+        if self.script is not None:
+            if not self.script:
+                raise ValueError(f"profile {self.name!r}: script may not be empty")
+            if self.keys is not None:
+                raise ValueError(
+                    f"profile {self.name!r}: script and keys are exclusive — "
+                    "a scripted profile presses exactly its script"
+                )
+            from ..tv.remote import KEYS  # deferred: keep spec import-light
+
+            unknown = [key for key in self.script if key not in KEYS]
+            if unknown:
+                raise ValueError(
+                    f"profile {self.name!r}: unknown script keys {unknown!r}"
+                )
+            if "power" not in self.script:
+                # Scripted members skip the automatic power-on (the
+                # script owns the session), so a script that never
+                # powers the set would run entirely in standby — every
+                # press swallowed, every fault unexercised, no error.
+                raise ValueError(
+                    f"profile {self.name!r}: a script owns its whole "
+                    "session and must press 'power' to leave standby"
+                )
 
 
 @dataclass(frozen=True)

@@ -105,22 +105,10 @@ class FaultInjector:
 
     def _apply_ttx_stale_render(self) -> None:
         """Teletext renderer pins a stale cache generation."""
-        renderer = self.tv.teletext.renderer
-        original = renderer.rendered
-
-        def stale_rendered():
-            result = original()
-            if result.get("visible"):
-                result = dict(result)
-                result["status"] = "searching"  # stale entry never resolves
-                result["stale"] = True
-            return result
-
-        self._original_rendered = original
-        renderer.rendered = stale_rendered
+        self.tv.teletext.inject_stale_render()
 
     def _remove_ttx_stale_render(self) -> None:
-        self.tv.teletext.renderer.rendered = self._original_rendered
+        self.tv.teletext.repair_stale_render()
 
     def _apply_volume_overshoot(self) -> None:
         """Volume handler writes an unscaled hardware register value."""

@@ -243,6 +243,28 @@ class MediaPlayer:
             return
 
     # ------------------------------------------------------------------
+    # recovery surface
+    # ------------------------------------------------------------------
+    def restart_pipeline(self) -> None:
+        """Targeted recovery: tear down and rebuild the demux → decode →
+        render pipeline at the current position.
+
+        A decoder wedged by ``stall_on_corrupt`` cannot be revived in
+        place (the stall loop never exits), so the rebind rung replaces
+        the pipeline processes outright; the control state and presented
+        position survive the swap.  A no-op while stopped — there is no
+        pipeline to rebuild."""
+        if self.state == "stopped":
+            return
+        self._stop_pipeline()
+        self._demux_index = min(
+            int(self.position / self.source.packet_interval),
+            self.source.packet_count,
+        )
+        self._generation += 1
+        self._start_pipeline()
+
+    # ------------------------------------------------------------------
     def _publish(self, name: str, value: Any) -> None:
         for hook in self.output_hooks:
             hook(name, value)

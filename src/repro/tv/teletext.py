@@ -201,3 +201,30 @@ class Teletext(Component):
         """Recovery action: re-sync the acquirer to the true channel."""
         self.acquirer.drop_channel_updates = False
         self.acquirer.notify_channel(self._channel)
+
+    def inject_stale_render(self) -> None:
+        """Pin the renderer to a stale cache generation (the Sect. 4.4
+        injected teletext error): visible pages report ``searching``
+        forever instead of resolving."""
+        renderer = self.renderer
+        if getattr(renderer, "_nominal_rendered", None) is not None:
+            return  # already injected
+        original = renderer.rendered
+
+        def stale_rendered():
+            result = original()
+            if result.get("visible"):
+                result = dict(result)
+                result["status"] = "searching"  # stale entry never resolves
+                result["stale"] = True
+            return result
+
+        renderer._nominal_rendered = original
+        renderer.rendered = stale_rendered
+
+    def repair_stale_render(self) -> None:
+        """Recovery action: restore the nominal renderer lookup."""
+        original = getattr(self.renderer, "_nominal_rendered", None)
+        if original is not None:
+            self.renderer.rendered = original
+            self.renderer._nominal_rendered = None

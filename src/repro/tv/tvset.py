@@ -198,6 +198,30 @@ class ControlLogic(Component):
             tags.append("volume_bar")
         self._report("volume", tags)
 
+    def volume_self_check(self) -> None:
+        """Periodic volume register refresh (the PR 5 timed self-check).
+
+        Re-writes the cached volume level through the same register path
+        a key press uses — a silent no-op on a healthy set (same level,
+        no overlay, no output event), but under ``volume_overshoot`` the
+        unscaled write slams the register to the extreme *farther* from
+        the cached level.  Sparse sessions (overnight sleepers with 90s
+        press gaps) therefore still exercise a latent volume fault
+        between presses, and the monitor's timed sound sampling catches
+        the divergence without a single user interaction."""
+        tv = self.tv
+        if not tv.powered:
+            return
+        current = self.call("audio", "get_volume")
+        if self._fault("volume_overshoot"):
+            new_level = 100 if current < 50 else 0
+            tags = ["FAULT_volume_overshoot"]
+        else:
+            new_level = current
+            tags = ["refresh"]
+        self.call("audio", "set_volume", level=new_level)
+        self._report("volume_check", tags)
+
     def _key_vol_up(self) -> None:
         self._adjust_volume(Audio.VOLUME_STEP, ["vol_up"])
 
@@ -436,6 +460,12 @@ class TVSet:
         self.refresh_interval = 0.5
         self._schedule_refresh()
 
+        # Timed volume self-check: the register refresh that keeps a
+        # latent volume fault detectable on sets whose users rarely
+        # press anything (see ControlLogic.volume_self_check).
+        self.volume_check_interval = 45.0
+        self._schedule_volume_check()
+
     # ------------------------------------------------------------------
     # wiring helpers
     # ------------------------------------------------------------------
@@ -482,6 +512,17 @@ class TVSet:
         if self.powered:
             self.publish_outputs()
         self._schedule_refresh()
+
+    def _schedule_volume_check(self) -> None:
+        self.kernel.schedule(
+            self.volume_check_interval, self._volume_check, name="selfcheck:volume"
+        )
+
+    def _volume_check(self) -> None:
+        if self.powered:
+            self.control.volume_self_check()
+            self.publish_outputs()
+        self._schedule_volume_check()
 
     def broadcast_alert(self) -> None:
         """An emergency alert arrives from the broadcaster."""

@@ -47,6 +47,46 @@ def passing_report():
                 },
                 "digests_match": True, "detection_invariant": True,
             },
+            "overnight-soak": {
+                "faulty": 3, "detected": 2, "detection_rate": 0.6667,
+                "false_alarms": 0, "recovered": 0, "ttr_waves": {},
+                "digests_match": True, "detection_invariant": True,
+            },
+        },
+        "diagnosis": {
+            "printer-jam-drill": {
+                "episodes_ranked": 3, "rank_first": 3,
+                "localization_accuracy": 1.0,
+                "targeted_rebinds": 3, "full_rebinds": 0,
+                "recovered": 3,
+                "ttr": {
+                    "targeted": {"count": 3, "min": 24.0, "max": 31.0},
+                    "full": {"count": 0, "min": 0.0, "max": 0.0},
+                },
+                "digests_match": True, "diagnosis_invariant": True,
+            },
+            "player-decoder-drill": {
+                "episodes_ranked": 3, "rank_first": 3,
+                "localization_accuracy": 1.0,
+                "targeted_rebinds": 3, "full_rebinds": 0,
+                "recovered": 3,
+                "ttr": {
+                    "targeted": {"count": 3, "min": 20.0, "max": 31.0},
+                    "full": {"count": 0, "min": 0.0, "max": 0.0},
+                },
+                "digests_match": True, "diagnosis_invariant": True,
+            },
+            "recovery-ladder-drill": {
+                "episodes_ranked": 10, "rank_first": 9,
+                "localization_accuracy": 0.9,
+                "targeted_rebinds": 9, "full_rebinds": 1,
+                "recovered": 10,
+                "ttr": {
+                    "targeted": {"count": 9, "min": 9.0, "max": 40.0},
+                    "full": {"count": 1, "min": 14.0, "max": 14.0},
+                },
+                "digests_match": True, "diagnosis_invariant": True,
+            },
         },
         "benches": {
             "bench_e14_fleet.py": {"ok": True, "seconds": 1.0},
@@ -109,6 +149,84 @@ def test_kernel_regression_fails():
     report = passing_report()
     report["kernel_events_per_sec"] = 100
     assert any("regressed" in f for f in evaluate_report(report))
+
+
+# ----------------------------------------------------------------------
+# the diagnosis gate (PR 5)
+# ----------------------------------------------------------------------
+def test_zero_localization_accuracy_fails():
+    report = passing_report()
+    cell = report["diagnosis"]["player-decoder-drill"]
+    cell["rank_first"] = 0
+    cell["localization_accuracy"] = 0.0
+    failures = evaluate_report(report)
+    assert any("player-decoder-drill" in f and "accuracy" in f for f in failures)
+
+
+def test_missing_localization_episodes_fail():
+    report = passing_report()
+    cell = report["diagnosis"]["recovery-ladder-drill"]
+    cell["episodes_ranked"] = 0
+    failures = evaluate_report(report)
+    assert any("no localization episodes" in f for f in failures)
+
+
+def test_diagnosis_divergence_fails():
+    report = passing_report()
+    report["diagnosis"]["player-decoder-drill"]["diagnosis_invariant"] = False
+    assert any(
+        "diagnosis stats diverged" in f for f in evaluate_report(report)
+    )
+    report = passing_report()
+    report["diagnosis"]["player-decoder-drill"]["digests_match"] = False
+    assert any("digests diverged" in f for f in evaluate_report(report))
+
+
+def test_diagnosis_ttr_must_be_finite_and_positive():
+    report = passing_report()
+    cell = report["diagnosis"]["recovery-ladder-drill"]
+    cell["ttr"]["targeted"]["max"] = float("inf")
+    assert any("not finite" in f for f in evaluate_report(report))
+
+    report = passing_report()
+    cell = report["diagnosis"]["recovery-ladder-drill"]
+    cell["ttr"]["full"]["min"] = 0.0  # count > 0 but zero TTR: bogus
+    assert any("not finite" in f for f in evaluate_report(report))
+
+
+def test_diagnosis_requires_completed_recoveries():
+    report = passing_report()
+    report["diagnosis"]["player-decoder-drill"]["recovered"] = 0
+    assert any(
+        "player-decoder-drill" in f and "no completed recoveries" in f
+        for f in evaluate_report(report)
+    )
+
+
+def test_overnight_soak_zero_detection_fails():
+    report = passing_report()
+    report["detection"]["overnight-soak"]["detected"] = 0
+    report["detection"]["overnight-soak"]["detection_rate"] = 0.0
+    failures = evaluate_report(report)
+    assert any("overnight-soak" in f and "zero" in f for f in failures)
+
+
+def test_dropped_probe_scenarios_fail_not_pass():
+    """A drill silently missing from a probe must read as a failure —
+    an empty loop over absent cells must not look like a clean gate."""
+    report = passing_report()
+    del report["diagnosis"]["printer-jam-drill"]
+    failures = evaluate_report(report)
+    assert any("printer-jam-drill" in f and "missing" in f for f in failures)
+
+    report = passing_report()
+    report["diagnosis"] = {}
+    assert len([f for f in evaluate_report(report) if "missing" in f]) == 3
+
+    report = passing_report()
+    del report["detection"]["overnight-soak"]
+    failures = evaluate_report(report)
+    assert any("overnight-soak" in f and "missing" in f for f in failures)
 
 
 # ----------------------------------------------------------------------
