@@ -42,8 +42,11 @@ throughput probes measure the runtime itself:
   diagnosis telemetry** (the CI diagnosis gate).
 
 Exit status is computed by :func:`evaluate_report` over the JSON report:
-any failed bench, a diverged digest, a zeroed detection rate, or a
-kernel-throughput regression below the seed baseline exits nonzero.
+any failed bench, a diverged digest, a zeroed detection rate, a
+kernel-throughput regression below the seed baseline, or a fleet/
+scenario probe more than 30% below the recorded ``PERF_FLOOR`` exits
+nonzero (the floor is skipped in ``--quick`` mode on 1-CPU hosts, where
+wall-clock throughput measures the container rather than the runtime).
 
 ``BENCH_runtime.json`` carries the numbers plus the seed-kernel baseline
 measured before the runtime refactor, so future PRs can see the
@@ -72,6 +75,20 @@ SEED_BASELINE = {
     "kernel_events_per_sec": 370_000,
     "single_suo_events_per_sec": 115_000,
     "note": "seed kernel (pre-EventBus), same host, best of 3",
+}
+
+#: Throughput floor for the fleet and scenario probes, recorded after the
+#: dispatch hot-path overhaul (compiled bus tables, event freelists,
+#: telemetry burst folding).  ``evaluate_report`` fails the run when a
+#: probe drops more than ``max_regression`` below these full-mode
+#: numbers.  Quick-mode runs on 1-CPU hosts skip the floor, same as the
+#: bench_e16 speedup guard: there the wall-clock numbers measure the
+#: container, not the runtime.
+PERF_FLOOR = {
+    "fleet_events_per_sec": 122_000,
+    "scenarios_events_per_sec": 137_000,
+    "max_regression": 0.30,
+    "note": "full-mode probes after the dispatch overhaul, same host, best of 3",
 }
 
 TV_WORKLOAD = [
@@ -469,6 +486,24 @@ def evaluate_report(report: dict) -> list:
     )
     if round(report.get("kernel_events_per_sec", 0)) < baseline:
         failures.append("kernel throughput regressed below the seed baseline")
+    floor = report.get("perf_floor", {})
+    cpu_count = report.get("sharded", {}).get("cpu_count") or 0
+    skip_floor = report.get("mode") == "quick" and cpu_count <= 1
+    if floor and not skip_floor:
+        max_regression = floor.get("max_regression", 0.30)
+        allowed = 1.0 - max_regression
+        for probe, key in (
+            ("fleet", "fleet_events_per_sec"),
+            ("scenarios", "scenarios_events_per_sec"),
+        ):
+            recorded = floor.get(key, 0)
+            measured = report.get(probe, {}).get("events_per_sec", 0)
+            if recorded and measured < recorded * allowed:
+                failures.append(
+                    f"{probe} throughput {measured:,} events/sec is more "
+                    f"than {max_regression:.0%} below the recorded floor "
+                    f"of {recorded:,} (perf floor gate)"
+                )
     return failures
 
 
@@ -561,6 +596,7 @@ def main() -> int:
         "detection": detection,
         "diagnosis": diagnosis,
         "seed_baseline": SEED_BASELINE,
+        "perf_floor": PERF_FLOOR,
         "benches": benches,
     }
     with open(args.out, "w", encoding="utf-8") as handle:

@@ -18,7 +18,7 @@ from ..sim.kernel import Kernel
 from ..sim.random import RandomStreams
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Message:
     """One datagram crossing the process boundary."""
 
@@ -51,22 +51,29 @@ class MessageChannel:
         self.flushed = 0
         self._last_delivery_time = 0.0
         #: Delivery events still scheduled on the kernel (socket buffer).
+        #: Only *undelivered* events live here (the front entry is popped
+        #: at delivery before any receiver runs), so the retained handles
+        #: are always still-pending and safe to cancel — which is what
+        #: makes ``transient=True`` delivery events sound.
         self._in_flight: List[Any] = []
+        self._event_name = f"chan:{name}"
 
     def connect(self, receiver: Callable[[Message], None]) -> None:
         self.receivers.append(receiver)
 
     def send(self, kind: str, payload: Any) -> Message:
         """Queue a message; it arrives after delay + jitter, in order."""
-        message = Message(self.kernel.now, kind, payload)
+        now = self.kernel.now
+        message = Message(now, kind, payload)
         self.sent += 1
         latency = self.delay + (self._rng.random() * self.jitter)
         # Preserve FIFO even under jitter: never deliver before the
         # previously queued message (sockets are ordered streams).
-        deliver_at = max(self.kernel.now + latency, self._last_delivery_time)
+        deliver_at = max(now + latency, self._last_delivery_time)
         self._last_delivery_time = deliver_at
         event = self.kernel.schedule_at(
-            deliver_at, lambda: self._deliver(message), name=f"chan:{self.name}"
+            deliver_at, lambda: self._deliver(message),
+            name=self._event_name, transient=True,
         )
         self._in_flight.append(event)
         return message

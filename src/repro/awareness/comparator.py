@@ -28,6 +28,10 @@ from .output_observer import OutputObserver
 
 def deviation_magnitude(expected: Any, actual: Any) -> float:
     """Type-directed distance between expected and observed values."""
+    if expected == actual:
+        # Every branch below maps equality to 0.0; the common in-tolerance
+        # case (dict == dict, int == int) resolves in one C-level compare.
+        return 0.0
     if expected is None and actual is None:
         return 0.0
     if isinstance(expected, bool) or isinstance(actual, bool):
@@ -42,9 +46,14 @@ def deviation_magnitude(expected: Any, actual: Any) -> float:
     return 0.0 if expected == actual else 1.0
 
 
-@dataclass
+@dataclass(slots=True)
 class _Streak:
-    """Consecutive-deviation bookkeeping for one observable."""
+    """Consecutive-deviation bookkeeping for one observable.
+
+    One record lives per observable and is reset *in place* when the
+    observable returns to tolerance — the in-tolerance comparison is the
+    overwhelmingly common case at fleet scale and must not allocate.
+    """
 
     count: int = 0
     started_at: Optional[float] = None
@@ -56,8 +65,14 @@ class _Streak:
     last_at: Optional[float] = None
     reported: bool = False
 
+    def clear(self) -> None:
+        self.count = 0
+        self.started_at = None
+        self.last_at = None
+        self.reported = False
 
-@dataclass
+
+@dataclass(slots=True)
 class ComparatorStats:
     """Counters the tuning experiments (E2) read."""
 
@@ -133,39 +148,54 @@ class Comparator:
 
     # -- time-based sampling ---------------------------------------------------
     def _schedule_timed(self, spec: ObservableSpec, epoch: int) -> None:
+        # One closure per chain per epoch (it reschedules *itself*), not
+        # one per tick; the tick events are transient so the kernel can
+        # recycle them — nothing retains the handles, the epoch guard is
+        # what kills a stale chain.
+        kernel = self.kernel
+        schedule = kernel.schedule
+        period = spec.period
+        name = f"compare:{spec.name}"
+
         def sample() -> None:
             if not self.running or epoch != self._epoch:
                 return
-            self.executor.sync_time(self.kernel.now)
+            self.executor.sync_time(kernel.now)
             self._compare_one(spec)
-            self._schedule_timed(spec, epoch)
+            schedule(period, sample, name=name, transient=True)
 
-        self.kernel.schedule(spec.period, sample, name=f"compare:{spec.name}")
+        schedule(period, sample, name=name, transient=True)
 
     # -- core comparison ------------------------------------------------------
     def _compare_one(self, spec: ObservableSpec) -> None:
-        if not self.config.compare_enabled(spec.name):
+        name = spec.name
+        if not self.config.compare_enabled(name):
             return
-        if spec.name not in self.executor.providers:
+        if name not in self.executor.providers:
             return
-        actual = self.outputs.value(spec.name)
-        if actual is None and self.outputs.observed_at(spec.name) is None:
+        observation = self.outputs.latest.get(name)
+        if observation is None:
             return  # nothing observed yet
-        expected = self.executor.expected(spec.name)
+        actual = observation.value
+        expected = self.executor.expected(name)
         magnitude = deviation_magnitude(expected, actual)
         self.stats.comparisons += 1
-        streak = self._streaks.setdefault(spec.name, _Streak())
+        streak = self._streaks.get(name)
+        if streak is None:
+            streak = self._streaks[name] = _Streak()
         if magnitude <= spec.threshold:
-            if streak.count > 0 and not streak.reported:
-                self.stats.suppressed_transients += 1
-            self._streaks[spec.name] = _Streak()
+            if streak.count:
+                if not streak.reported:
+                    self.stats.suppressed_transients += 1
+                streak.clear()
             return
+        now = self.kernel.now
         self.stats.deviations += 1
-        if streak.last_at != self.kernel.now or streak.count == 0:
+        if streak.last_at != now or streak.count == 0:
             streak.count += 1
-        streak.last_at = self.kernel.now
+        streak.last_at = now
         if streak.started_at is None:
-            streak.started_at = self.kernel.now
+            streak.started_at = now
         if streak.count > spec.max_consecutive and not streak.reported:
             streak.reported = True
             self._report(spec, expected, actual, streak)

@@ -117,7 +117,9 @@ class ModeConsistencyChecker:
 
     # ------------------------------------------------------------------
     def _schedule(self) -> None:
-        self.kernel.schedule(self.interval, self._sample, name=self.name)
+        self.kernel.schedule(
+            self.interval, self._sample, name=self.name, transient=True
+        )
 
     def _sample(self) -> None:
         if not self.running:

@@ -81,7 +81,9 @@ class RangeCheckerSource(_ErrorSource):
         self.running = False
 
     def _schedule(self) -> None:
-        self.kernel.schedule(self.interval, self._poll, name="range-source")
+        self.kernel.schedule(
+            self.interval, self._poll, name="range-source", transient=True
+        )
 
     def _poll(self) -> None:
         if not self.running:

@@ -67,7 +67,9 @@ class DeadlockDetector:
         self._running = False
 
     def _schedule(self) -> None:
-        self.kernel.schedule(self.interval, self._sample, name="deadlock-watch")
+        self.kernel.schedule(
+            self.interval, self._sample, name="deadlock-watch", transient=True
+        )
 
     def _progress_counter(self) -> int:
         total = 0

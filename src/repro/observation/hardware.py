@@ -155,7 +155,9 @@ class MemoryArbiterWatch:
         self._running = False
 
     def _schedule(self) -> None:
-        self.kernel.schedule(self.interval, self._sample, name="mem-watch")
+        self.kernel.schedule(
+            self.interval, self._sample, name="mem-watch", transient=True
+        )
 
     def _sample(self) -> None:
         if not self._running:

@@ -131,7 +131,9 @@ class LoadProbe:
         self._running = False
 
     def _schedule(self) -> None:
-        self.kernel.schedule(self.interval, self._sample, name="load-probe")
+        self.kernel.schedule(
+            self.interval, self._sample, name="load-probe", transient=True
+        )
 
     def _sample(self) -> None:
         if not self._running:
@@ -175,7 +177,9 @@ class BufferProbe:
         self._running = False
 
     def _schedule(self) -> None:
-        self.kernel.schedule(self.interval, self._sample, name="buffer-probe")
+        self.kernel.schedule(
+            self.interval, self._sample, name="buffer-probe", transient=True
+        )
 
     def _sample(self) -> None:
         if not self._running:

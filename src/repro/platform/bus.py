@@ -18,7 +18,7 @@ from ..sim.process import Delay
 from ..sim.resources import Resource
 
 
-@dataclass
+@dataclass(slots=True)
 class MasterStats:
     """Per-master transfer accounting."""
 
@@ -83,7 +83,9 @@ class Bus:
         finally:
             self.slots.release()
         latency = self.kernel.now - start
-        stats = self.stats.setdefault(master, MasterStats())
+        stats = self.stats.get(master)
+        if stats is None:
+            stats = self.stats[master] = MasterStats()
         stats.transfers += 1
         stats.bytes_moved += size
         stats.total_latency += latency

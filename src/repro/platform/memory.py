@@ -27,7 +27,7 @@ from ..sim.process import Signal, WaitSignal
 VALID_POLICIES = ("round_robin", "priority", "weighted")
 
 
-@dataclass
+@dataclass(slots=True)
 class MemoryRequest:
     """One outstanding access: ``words`` words for ``client``."""
 
@@ -38,7 +38,7 @@ class MemoryRequest:
     grant_time: Optional[float] = None
 
 
-@dataclass
+@dataclass(slots=True)
 class ClientStats:
     """Per-client latency/throughput accounting the observers read."""
 
@@ -166,13 +166,16 @@ class MemoryArbiter:
         request.grant_time = self.kernel.now
         service = request.words / self.words_per_time
         self.kernel.schedule(
-            service, lambda: self._complete(request), name=f"mem:{client}"
+            service, lambda: self._complete(request), name=f"mem:{client}",
+            transient=True,
         )
 
     def _complete(self, request: MemoryRequest) -> None:
         self._busy = False
         latency = self.kernel.now - request.issue_time
-        stats = self.stats.setdefault(request.client, ClientStats())
+        stats = self.stats.get(request.client)
+        if stats is None:
+            stats = self.stats[request.client] = ClientStats()
         stats.requests += 1
         stats.words += request.words
         stats.total_latency += latency

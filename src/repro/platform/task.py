@@ -23,7 +23,7 @@ from ..sim.process import Delay, Interrupted, Process
 from .cpu import Processor
 
 
-@dataclass
+@dataclass(slots=True)
 class JobRecord:
     """Timing of one job (one period's execution)."""
 
@@ -35,7 +35,7 @@ class JobRecord:
     missed: bool
 
 
-@dataclass
+@dataclass(slots=True)
 class TaskStats:
     """Aggregates over completed jobs."""
 

@@ -133,7 +133,9 @@ class Heartbeat:
         self.running = False
 
     def _schedule(self) -> None:
-        self.kernel.schedule(self.period, self._beat, name=f"hb:{self.name}")
+        self.kernel.schedule(
+            self.period, self._beat, name=f"hb:{self.name}", transient=True
+        )
 
     def _beat(self) -> None:
         if not self.running:

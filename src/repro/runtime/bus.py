@@ -24,8 +24,16 @@ Design constraints, in order:
 
 Topics are dot-separated strings (``"suo.tv-7.output"``).  A trailing
 ``".*"`` subscribes to a whole namespace: ``"suo.tv-7.*"`` receives every
-topic that starts with ``"suo.tv-7."``.  Wildcards cost one extra check
-per publish *only while at least one wildcard subscription exists*.
+topic that starts with ``"suo.tv-7."``.
+
+Dispatch is driven by a **compiled dispatch table**: the first publish on
+a concrete topic resolves it once — exact subscribers plus every matching
+wildcard, pre-folded into one flat handler tuple — and caches the result
+in a topic→tuple table.  Subsequent publishes are a single dict lookup
+regardless of how many wildcard namespaces exist; the table is
+invalidated wholesale whenever a (un)subscribe bumps :attr:`version`.
+Before this table, every publish under N ``suo.<id>.*`` subscribers paid
+an O(N) prefix scan — the dominant dispatch cost at fleet scale.
 """
 
 from __future__ import annotations
@@ -61,7 +69,7 @@ class Subscription:
 class EventBus:
     """Topic-based publish/subscribe with copy-on-write subscriber lists."""
 
-    __slots__ = ("_exact", "_wild", "_wild_order", "version")
+    __slots__ = ("_exact", "_wild", "_wild_order", "_compiled", "version")
 
     def __init__(self) -> None:
         #: topic -> tuple of handlers (replaced wholesale on change)
@@ -71,6 +79,10 @@ class EventBus:
         #: sorted wildcard prefixes, rebuilt on (un)subscribe so publish
         #: never sorts
         self._wild_order: Tuple[str, ...] = ()
+        #: compiled dispatch table: concrete topic -> flat handler tuple
+        #: (exact + matching wildcards, dispatch order), built lazily on
+        #: first publish and cleared wholesale on every (un)subscribe
+        self._compiled: Dict[str, Tuple[Handler, ...]] = {}
         #: bumped on every (un)subscribe; lets emitters cache snapshots
         self.version = 0
 
@@ -88,6 +100,7 @@ class EventBus:
         table[key] = table.get(key, _EMPTY) + (handler,)
         if table is self._wild:
             self._wild_order = tuple(sorted(self._wild))
+        self._compiled.clear()
         self.version += 1
         return Subscription(self, topic, handler)
 
@@ -105,6 +118,7 @@ class EventBus:
             del table[key]
         if table is self._wild:
             self._wild_order = tuple(sorted(self._wild))
+        self._compiled.clear()
         self.version += 1
         return True
 
@@ -116,23 +130,38 @@ class EventBus:
         return self._exact, topic
 
     # ------------------------------------------------------------------
+    # compiled dispatch table
+    # ------------------------------------------------------------------
+    def _compile(self, topic: str) -> Tuple[Handler, ...]:
+        """Resolve ``topic`` once into its flat dispatch tuple and cache it.
+
+        Exact subscribers first (subscription order), then every matching
+        wildcard namespace, shortest prefix first — exactly the order the
+        per-publish walk used to produce.
+        """
+        handlers = self._exact.get(topic, _EMPTY)
+        for prefix in self._wild_order:
+            if topic.startswith(prefix):
+                handlers += self._wild[prefix]
+        self._compiled[topic] = handlers
+        return handlers
+
+    # ------------------------------------------------------------------
     # publication
     # ------------------------------------------------------------------
     def publish(self, topic: str, event: Any = None) -> int:
         """Deliver ``event`` to every subscriber of ``topic``.
 
-        Returns the number of handlers invoked.  The no-subscriber fast
-        path is a single dict lookup.  When wildcards exist the complete
-        handler snapshot (exact + wildcard, shortest prefix first) is
-        taken *before* any handler runs, so callbacks may unsubscribe
-        anything — including other namespaces — mid-publish.
+        Returns the number of handlers invoked.  The steady-state cost is
+        one dict lookup into the compiled table (empty or not); a topic
+        publishes through the slow resolve path only on its first publish
+        after a subscription change.  The handler snapshot is immutable
+        and taken *before* any handler runs, so callbacks may
+        (un)subscribe anything — including other namespaces — mid-publish.
         """
-        if self._wild_order:
-            handlers = self.snapshot(topic)
-        else:
-            handlers = self._exact.get(topic)
-            if not handlers:
-                return 0
+        handlers = self._compiled.get(topic)
+        if handlers is None:
+            handlers = self._compile(topic)
         for handler in handlers:
             handler(topic, event)
         return len(handlers)
@@ -150,28 +179,31 @@ class EventBus:
 
         Hot-path emitters (the kernel's dispatch loop) cache this tuple
         and refresh it when :attr:`version` changes; the tuple is
-        immutable, so holding it across callbacks is safe.
+        immutable, so holding it across callbacks is safe.  Served from
+        the compiled dispatch table (one dict lookup when warm).
         """
-        handlers = self._exact.get(topic, _EMPTY)
-        if self._wild_order:
-            for prefix in self._wild_order:
-                if topic.startswith(prefix):
-                    handlers += self._wild[prefix]
+        handlers = self._compiled.get(topic)
+        if handlers is None:
+            handlers = self._compile(topic)
         return handlers
 
     def publisher(self, topic: str) -> Callable[[Any], int]:
         """A bound fast emitter for one topic.
 
-        The handle re-snapshots subscribers only when the bus version
-        changes, so a silent topic costs one int compare per emit.
-        Wildcard subscribers are folded into the snapshot.
+        The handle re-resolves its compiled handler tuple only when the
+        bus version changes, so a silent topic costs one int compare per
+        emit.  Wildcard subscribers are folded into the tuple.
         """
         state: List[Any] = [-1, _EMPTY]
+        compiled = self._compiled
 
         def emit(event: Any = None) -> int:
             if state[0] != self.version:
                 state[0] = self.version
-                state[1] = self.snapshot(topic)
+                handlers = compiled.get(topic)
+                if handlers is None:
+                    handlers = self._compile(topic)
+                state[1] = handlers
             handlers = state[1]
             for handler in handlers:
                 handler(topic, event)
@@ -183,21 +215,24 @@ class EventBus:
     # introspection
     # ------------------------------------------------------------------
     def has_subscribers(self, topic: str) -> bool:
-        if self._exact.get(topic):
-            return True
-        if self._wild:
-            return any(topic.startswith(prefix) for prefix in self._wild)
-        return False
+        """True if a publish on ``topic`` would reach anyone.
+
+        O(1) when warm: served from the same compiled table publishes
+        use, instead of the linear scan over every wildcard namespace
+        this used to cost per call.
+        """
+        handlers = self._compiled.get(topic)
+        if handlers is None:
+            handlers = self._compile(topic)
+        return bool(handlers)
 
     def subscriber_count(self, topic: Optional[str] = None) -> int:
         """Subscribers of one topic, or of the whole bus when None."""
         if topic is not None:
-            count = len(self._exact.get(topic, _EMPTY))
-            return count + sum(
-                len(handlers)
-                for prefix, handlers in self._wild.items()
-                if topic.startswith(prefix)
-            )
+            handlers = self._compiled.get(topic)
+            if handlers is None:
+                handlers = self._compile(topic)
+            return len(handlers)
         return sum(len(h) for h in self._exact.values()) + sum(
             len(h) for h in self._wild.values()
         )

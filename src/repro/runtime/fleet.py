@@ -125,6 +125,8 @@ class MonitorFleet:
         #: streaming mode produce the identical digest.
         self._digest = hashlib.sha256()
         self._record_count = 0
+        #: topic -> (suo_id, kind, digest-line middle), see :meth:`_record`.
+        self._topic_parts: Dict[str, Any] = {}
         self.bus.subscribe("suo.*", self._record)
         #: Bounded-memory streaming aggregators over the same namespace.
         self.telemetry = FleetTelemetry(
@@ -242,8 +244,15 @@ class MonitorFleet:
     def _record(self, topic: str, event: Any) -> None:
         # topic == "suo.<suo_id>.<kind>"; per-member counting lives in
         # the telemetry hub's own suo.* subscription (member.tally).
-        _, suo_id, kind = topic.split(".", 2)
-        line = f"{self.kernel.now:.9f}\t{suo_id}\t{kind}\t{event!r}\n"
+        # Topics recur for the life of the fleet, so the split (and the
+        # "<suo_id>\t<kind>\t" digest-line fragment it feeds) is cached
+        # per topic rather than recomputed per event.
+        cached = self._topic_parts.get(topic)
+        if cached is None:
+            _, suo_id, kind = topic.split(".", 2)
+            cached = self._topic_parts[topic] = (suo_id, kind, f"\t{suo_id}\t{kind}\t")
+        suo_id, kind, middle = cached
+        line = f"{self.kernel.now:.9f}{middle}{event!r}\n"
         self._digest.update(line.encode("utf-8"))
         self._record_count += 1
         if self.retain_trace:
@@ -330,7 +339,11 @@ class MonitorFleet:
     # ------------------------------------------------------------------
     def run(self, duration: float) -> int:
         """Advance the shared kernel; returns events dispatched."""
-        return self.kernel.run(until=self.kernel.now + duration)
+        dispatched = self.kernel.run(until=self.kernel.now + duration)
+        # Telemetry defers same-(topic, timestamp) bursts; settle them so
+        # member tallies and summaries read exact immediately after a run.
+        self.telemetry.flush()
+        return dispatched
 
     def __len__(self) -> int:
         return len(self.members)

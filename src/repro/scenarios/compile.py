@@ -289,7 +289,9 @@ class CompiledScenario:
                     player.command(
                         "seek", position=rng.uniform(0.0, horizon * 0.9)
                     )
-                kernel.schedule(seek_every, seek_loop, name="scenario:seek")
+                kernel.schedule(
+                    seek_every, seek_loop, name="scenario:seek", transient=True
+                )
 
             return seek_loop
 
@@ -323,7 +325,8 @@ class CompiledScenario:
                     pages=rng.randint(low, high), staple=rng.random() < 0.3
                 )
                 kernel.schedule(
-                    rng.expovariate(1.0 / gap), submit_loop, name="scenario:job"
+                    rng.expovariate(1.0 / gap), submit_loop,
+                    name="scenario:job", transient=True,
                 )
 
             return submit_loop

@@ -32,7 +32,7 @@ class Interrupted(Exception):
         self.reason = reason
 
 
-@dataclass
+@dataclass(slots=True)
 class Delay:
     """Wait request: resume after ``duration`` simulated time units."""
 
@@ -46,6 +46,8 @@ class Signal:
     their ``yield``.  Signals are the kernel-level primitive under message
     channels and interrupt lines.
     """
+
+    __slots__ = ("name", "_waiters", "fire_count")
 
     def __init__(self, name: str = "") -> None:
         self.name = name
@@ -68,7 +70,7 @@ class Signal:
             self._waiters.remove(process)
 
 
-@dataclass
+@dataclass(slots=True)
 class WaitSignal:
     """Wait request: resume when ``signal`` fires."""
 
@@ -81,7 +83,20 @@ class Process:
     The process starts automatically on construction (scheduled at the
     current time).  ``alive`` is False once the generator returns, raises,
     or is killed.  ``result`` holds the generator's return value.
+
+    Delay wake-ups are the single most common event in a fleet campaign
+    (every periodic task body sleeps between jobs), so the process keeps
+    one reusable wake callback and its timer events are *transient*
+    (kernel freelist reuse): :meth:`_resume` drops ``_pending_event``
+    before touching the generator, and :meth:`interrupt` only cancels
+    still-pending timers, so no reference outlives the dispatch.
     """
+
+    __slots__ = (
+        "kernel", "name", "generator", "alive", "result", "exception",
+        "_on_exit", "_exit_watchers", "_pending_event", "_waiting_signal",
+        "_wake", "_wake_name",
+    )
 
     def __init__(
         self,
@@ -100,7 +115,9 @@ class Process:
         self._exit_watchers: List[Process] = []
         self._pending_event = None
         self._waiting_signal: Optional[Signal] = None
-        kernel.schedule(0.0, lambda: self._resume(None), name=f"start:{name}")
+        self._wake: Callable[[], None] = lambda: self._resume(None)
+        self._wake_name = f"wake:{name}"
+        kernel.schedule(0.0, self._wake, name=f"start:{name}", transient=True)
 
     # ------------------------------------------------------------------
     def _resume(self, value: Any) -> None:
@@ -124,7 +141,8 @@ class Process:
     def _handle_request(self, request: Any) -> None:
         if isinstance(request, Delay):
             self._pending_event = self.kernel.schedule(
-                request.duration, lambda: self._resume(None), name=f"wake:{self.name}"
+                request.duration, self._wake, name=self._wake_name,
+                transient=True,
             )
             return
         if isinstance(request, WaitSignal):

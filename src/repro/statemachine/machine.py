@@ -31,7 +31,7 @@ class MachineError(Exception):
     """Raised on malformed machines or semantic violations."""
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Output:
     """One emitted observable: at ``time``, ``name`` took ``value``."""
 
@@ -40,7 +40,7 @@ class Output:
     value: Any
 
 
-@dataclass
+@dataclass(slots=True)
 class _Timer:
     deadline: float
     transition: Transition
@@ -284,11 +284,17 @@ class Machine:
         if to_time < self.time:
             raise MachineError("cannot advance backwards")
         fired = 0
+        # Fast path: timed comparator sampling calls this every tick and
+        # almost never finds a due timer — don't build a list to learn that.
         while True:
-            due = [t for t in self._timers if t.deadline <= to_time]
-            if not due:
+            timer = None
+            for candidate in self._timers:  # re-read: _fire may disarm/re-arm
+                if candidate.deadline <= to_time and (
+                    timer is None or candidate.deadline < timer.deadline
+                ):
+                    timer = candidate
+            if timer is None:
                 break
-            timer = min(due, key=lambda t: t.deadline)
             self.time = timer.deadline
             self._timers.remove(timer)
             event = Event(

@@ -11,13 +11,19 @@ Sect. 4.3).
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, List, Optional
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 ActionFn = Callable[..., None]
 
 
 class State:
-    """One node in the state tree."""
+    """One node in the state tree.
+
+    The tree is append-only (states attach to their parent at
+    construction and never re-parent), so ``path()``/``full_name()`` are
+    cached lazily — ``full_name()`` sits on the expected-value hot path
+    of every comparator tick via ``Machine.configuration()``.
+    """
 
     def __init__(
         self,
@@ -32,6 +38,8 @@ class State:
         self.initial: Optional["State"] = None
         self.on_entry = on_entry
         self.on_exit = on_exit
+        self._path: Optional[Tuple["State", ...]] = None
+        self._full_name: Optional[str] = None
         if parent is not None:
             if name in parent.children:
                 raise ValueError(f"duplicate child state {name!r} under {parent.name}")
@@ -48,17 +56,23 @@ class State:
         self.initial = child
 
     def path(self) -> List["State"]:
-        """Root-to-this list of states."""
-        chain: List[State] = []
-        node: Optional[State] = self
-        while node is not None:
-            chain.append(node)
-            node = node.parent
-        chain.reverse()
-        return chain
+        """Root-to-this list of states (fresh list; spine is cached)."""
+        cached = self._path
+        if cached is None:
+            chain: List[State] = []
+            node: Optional[State] = self
+            while node is not None:
+                chain.append(node)
+                node = node.parent
+            chain.reverse()
+            cached = self._path = tuple(chain)
+        return list(cached)
 
     def full_name(self) -> str:
-        return ".".join(s.name for s in self.path())
+        cached = self._full_name
+        if cached is None:
+            cached = self._full_name = ".".join(s.name for s in self.path())
+        return cached
 
     def descend_to_leaf(self) -> "State":
         """Follow initial children down to a leaf."""

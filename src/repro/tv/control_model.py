@@ -282,8 +282,8 @@ _OVERLAY_BY_STATE = {
 
 def expected_screen(machine: Machine) -> Dict[str, Any]:
     """The screen descriptor the model predicts right now."""
-    config = machine.configuration()
-    leaf = config.split(".")[-1]
+    active = machine.active
+    leaf = active.name if active is not None else "(uninitialized)"
     if leaf == "standby":
         return {"power": False, "content": "dark", "overlay": "none"}
     overlay = _OVERLAY_BY_STATE.get(leaf, "none")
@@ -305,7 +305,8 @@ def expected_screen(machine: Machine) -> Dict[str, Any]:
 
 def expected_sound(machine: Machine) -> int:
     """The sound level the model predicts right now."""
-    leaf = machine.configuration().split(".")[-1]
+    active = machine.active
+    leaf = active.name if active is not None else "(uninitialized)"
     if leaf == "standby" or machine.get("mute"):
         return 0
     return machine.get("volume")

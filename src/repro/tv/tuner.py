@@ -33,6 +33,10 @@ class Tuner(Component):
         self.degraded_channels: Dict[int, float] = {}
         self._channel = 1
         self._locked = True
+        #: channel -> its named quality stream (same Random objects the
+        #: per-call ``streams.stream(f"tuner:{ch}")`` lookup yields, so
+        #: the draw sequence — and every digest over it — is unchanged).
+        self._quality_streams: Dict[int, object] = {}
         super().__init__(name)
 
     def configure(self) -> None:
@@ -63,10 +67,19 @@ class Tuner(Component):
         """Instantaneous quality in [0, 1] for the current channel."""
         if not self._locked:
             return 0.0
-        base = self.degraded_channels.get(self._channel, 0.92)
-        noise = self._streams.stream(f"tuner:{self._channel}").gauss(0.0, 0.03)
-        quality = base + noise
-        return max(0.0, min(1.0, quality))
+        channel = self._channel
+        base = self.degraded_channels.get(channel, 0.92)
+        stream = self._quality_streams.get(channel)
+        if stream is None:
+            stream = self._quality_streams[channel] = self._streams.stream(
+                f"tuner:{channel}"
+            )
+        quality = base + stream.gauss(0.0, 0.03)
+        if quality < 0.0:
+            return 0.0
+        if quality > 1.0:
+            return 1.0
+        return quality
 
     # ------------------------------------------------------------------
     # experiment hooks

@@ -506,7 +506,11 @@ class TVSet:
     # alerts (broadcast-side input)
     # ------------------------------------------------------------------
     def _schedule_refresh(self) -> None:
-        self.kernel.schedule(self.refresh_interval, self._refresh, name="render")
+        # Render ticks dominate a fleet campaign's non-wake events; they
+        # are fire-and-forget, so let the kernel recycle them.
+        self.kernel.schedule(
+            self.refresh_interval, self._refresh, name="render", transient=True
+        )
 
     def _refresh(self) -> None:
         if self.powered:
@@ -515,7 +519,8 @@ class TVSet:
 
     def _schedule_volume_check(self) -> None:
         self.kernel.schedule(
-            self.volume_check_interval, self._volume_check, name="selfcheck:volume"
+            self.volume_check_interval, self._volume_check,
+            name="selfcheck:volume", transient=True,
         )
 
     def _volume_check(self) -> None:

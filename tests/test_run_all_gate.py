@@ -152,6 +152,60 @@ def test_kernel_regression_fails():
 
 
 # ----------------------------------------------------------------------
+# the perf floor gate (PR 6)
+# ----------------------------------------------------------------------
+def floored_report(mode="full", cpu_count=4):
+    report = passing_report()
+    report["mode"] = mode
+    report["sharded"]["cpu_count"] = cpu_count
+    report["perf_floor"] = {
+        "fleet_events_per_sec": 120_000,
+        "scenarios_events_per_sec": 130_000,
+        "max_regression": 0.30,
+    }
+    report["fleet"] = {"events_per_sec": 120_000}
+    report["scenarios"] = {"events_per_sec": 130_000}
+    return report
+
+
+def test_perf_floor_passes_at_and_above_the_recorded_numbers():
+    assert evaluate_report(floored_report()) == []
+    report = floored_report()
+    report["fleet"]["events_per_sec"] = 95_000  # -21%: inside the margin
+    assert evaluate_report(report) == []
+
+
+def test_perf_floor_fails_on_injected_2x_slowdown():
+    report = floored_report()
+    report["fleet"]["events_per_sec"] = 60_000  # half the recorded floor
+    failures = evaluate_report(report)
+    assert any("fleet" in f and "perf floor" in f for f in failures)
+
+    report = floored_report()
+    report["scenarios"]["events_per_sec"] = 65_000
+    failures = evaluate_report(report)
+    assert any("scenarios" in f and "perf floor" in f for f in failures)
+
+
+def test_perf_floor_skipped_in_quick_mode_on_one_cpu_host():
+    report = floored_report(mode="quick", cpu_count=1)
+    report["fleet"]["events_per_sec"] = 60_000
+    assert evaluate_report(report) == []
+    # ... but quick mode on a multi-core host still enforces it,
+    report = floored_report(mode="quick", cpu_count=4)
+    report["fleet"]["events_per_sec"] = 60_000
+    assert evaluate_report(report) != []
+    # ... and a full-mode run enforces it even on one CPU.
+    report = floored_report(mode="full", cpu_count=1)
+    report["fleet"]["events_per_sec"] = 60_000
+    assert evaluate_report(report) != []
+
+
+def test_reports_without_a_recorded_floor_are_not_gated():
+    assert evaluate_report(passing_report()) == []
+
+
+# ----------------------------------------------------------------------
 # the diagnosis gate (PR 5)
 # ----------------------------------------------------------------------
 def test_zero_localization_accuracy_fails():

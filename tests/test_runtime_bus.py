@@ -310,3 +310,101 @@ def test_trace_double_subscribe_of_same_callback_fully_detaches():
     trace.emit("s", "k")
     assert seen == ["k", "k", "k"]
     trace.unsubscribe(cb)  # extra unsubscribe is a no-op
+
+
+# ----------------------------------------------------------------------
+# compiled dispatch tables under mutation (the hot-path overhaul)
+# ----------------------------------------------------------------------
+def test_wildcard_added_after_publisher_handle_is_cached():
+    """A publisher() handle caches the compiled tuple against the bus
+    version; a wildcard subscribed afterwards must still reach it."""
+    bus = EventBus()
+    seen = []
+    emit = bus.publisher("suo.7.fault")
+    bus.subscribe("suo.7.fault", lambda t, e: seen.append(("exact", e)))
+    assert emit(1) == 1  # handle now holds a compiled table
+    bus.subscribe("suo.*", lambda t, e: seen.append(("wild", e)))
+    assert emit(2) == 2
+    assert seen == [("exact", 1), ("exact", 2), ("wild", 2)]
+
+
+def test_publisher_handle_sees_cancel_between_emits():
+    bus = EventBus()
+    seen = []
+    sub = bus.subscribe("a", lambda t, e: seen.append(e))
+    emit = bus.publisher("a")
+    assert emit(1) == 1
+    sub.cancel()
+    assert emit(2) == 0
+    assert seen == [1]
+    assert not bus.has_subscribers("a")
+
+
+def test_cancel_other_subscription_mid_publish_recompiles_table():
+    bus = EventBus()
+    seen = []
+    holder = {}
+
+    def first(topic, event):
+        seen.append(("first", event))
+        holder["sub"].cancel()
+
+    holder["sub"] = bus.subscribe("a", lambda t, e: seen.append(("second", e)))
+    bus.subscribe("a", first)
+    # In-flight publish still delivers to the snapshot taken at entry...
+    assert bus.publish("a", 1) == 2
+    # ...but the recompiled table drops the cancelled handler after.
+    assert bus.publish("a", 2) == 1
+    assert seen == [("second", 1), ("first", 1), ("first", 2)]
+    assert bus.subscriber_count("a") == 1
+
+
+def test_subscribe_mid_publish_keeps_counts_consistent():
+    bus = EventBus()
+    seen = []
+
+    def grower(topic, event):
+        seen.append(event)
+        if event == 1:
+            bus.subscribe("g", lambda t, e: seen.append(("late", e)))
+
+    bus.subscribe("g", grower)
+    assert bus.publish("g", 1) == 1       # late subscriber not in-flight
+    assert bus.subscriber_count("g") == 2
+    assert bus.publish("g", 2) == 2
+    assert seen == [1, ("late", 2), 2] or seen == [1, 2, ("late", 2)]
+
+
+def test_resubscribe_same_handler_after_cancel_delivers_again():
+    bus = EventBus()
+    seen = []
+
+    def handler(topic, event):
+        seen.append(event)
+
+    sub = bus.subscribe("r", handler)
+    bus.publish("r", 1)
+    sub.cancel()
+    bus.publish("r", 2)  # silent: compiled table is empty
+    assert not bus.has_subscribers("r")
+    bus.subscribe("r", handler)  # same function object again
+    assert bus.has_subscribers("r")
+    assert bus.publish("r", 3) == 1
+    assert seen == [1, 3]
+
+
+def test_unsubscribe_mid_publish_via_wildcard_keeps_o1_views_exact():
+    bus = EventBus()
+    seen = []
+    wild = bus.subscribe("ns.*", lambda t, e: seen.append(("wild", t)))
+
+    def exact(topic, event):
+        seen.append(("exact", topic))
+        wild.cancel()
+
+    bus.subscribe("ns.x", exact)
+    assert bus.publish("ns.x", None) == 2  # snapshot at entry
+    assert bus.subscriber_count("ns.x") == 1
+    assert bus.has_subscribers("ns.x")
+    assert bus.publish("ns.x", None) == 1
+    assert seen == [("exact", "ns.x"), ("wild", "ns.x"), ("exact", "ns.x")]
