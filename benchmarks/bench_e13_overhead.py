@@ -13,11 +13,14 @@ multiple of the bare system.
 """
 
 import time as wallclock
+from dataclasses import replace
 
 import pytest
 
 from repro.awareness import make_tv_monitor
+from repro.campaign import SerialBackend
 from repro.core import TraderTV
+from repro.scenarios import get_scenario
 from repro.tv import TVSet
 
 from conftest import print_table, qscale, run_once
@@ -102,6 +105,63 @@ def test_e13_monitoring_overhead(benchmark):
     assert monitored_events < 10 * bare_events
     assert monitored_time < 10 * bare_time
     assert full_time < 25 * bare_time
+
+
+def test_e13_span_recorder_overhead(benchmark):
+    """Causal-span recording must honor the same Sect. 2 constraint.
+
+    The recovery-ladder drill runs with and without ``record_spans``,
+    repetitions interleaved, best-of compared: the recorder may cost at
+    most 5% wall clock — it stays off the ``suo.*`` firehose (exact
+    error topics + the ``obs.*`` marker lane), so its handlers fire a
+    handful of times per episode, not per event.  The run with the
+    recorder enabled must also leave every existing determinism witness
+    byte-identical: span markers live on their own namespace precisely
+    so the fleet trace digest and the telemetry digest cannot see them.
+    """
+    spec = get_scenario("recovery-ladder-drill")
+    spans_spec = replace(spec, record_spans=True)
+
+    def experiment():
+        samples = {"disabled": [], "enabled": []}
+        reports = {}
+        for _ in range(qscale(5, 3)):
+            for name, cell in (("disabled", spec), ("enabled", spans_spec)):
+                start = wallclock.perf_counter()
+                reports[name] = SerialBackend().run(cell, seed=7)
+                samples[name].append(wallclock.perf_counter() - start)
+        return {name: min(times) for name, times in samples.items()}, reports
+
+    best, reports = run_once(benchmark, experiment)
+    spans = reports["enabled"].spans
+    print_table(
+        "E13c: cost of causal-span recording (recovery-ladder-drill)",
+        ["configuration", "wall time (best of reps)", "episodes", "overhead"],
+        [
+            ["record_spans=False", f"{best['disabled'] * 1000:.1f} ms", "-",
+             "1.00x"],
+            ["record_spans=True", f"{best['enabled'] * 1000:.1f} ms",
+             spans.get("completed", 0),
+             f"{best['enabled'] / best['disabled']:.3f}x"],
+        ],
+    )
+    # the <5% overhead gate (ROADMAP: observability without cost)
+    assert best["enabled"] <= best["disabled"] * 1.05, (
+        f"span recording cost {best['enabled'] / best['disabled']:.3f}x, "
+        "budget is 1.05x"
+    )
+    # recording must not perturb any existing determinism witness
+    assert (
+        reports["enabled"].telemetry_digest
+        == reports["disabled"].telemetry_digest
+    )
+    assert (
+        reports["enabled"].shard_trace_digests
+        == reports["disabled"].shard_trace_digests
+    )
+    # and it must have actually stitched the drill's episodes
+    assert spans.get("completed", 0) > 0
+    assert spans.get("forest_digest")
 
 
 def test_e13_comparison_rate(benchmark):

@@ -47,10 +47,20 @@ kernel-throughput regression below the seed baseline, or a fleet/
 scenario probe more than 30% below the recorded ``PERF_FLOOR`` exits
 nonzero (the floor is skipped in ``--quick`` mode on 1-CPU hosts, where
 wall-clock throughput measures the container rather than the runtime).
+Every gate a run skips is listed explicitly — ``skipped: <reason>``
+lines on stdout and a ``skipped_gates`` block in the report — so a CI
+log never reads as a pass for a check that did not run.
 
 ``BENCH_runtime.json`` carries the numbers plus the seed-kernel baseline
 measured before the runtime refactor, so future PRs can see the
-trajectory at a glance.
+trajectory at a glance.  Independently, every run is appended to the
+run-history store (``BENCH_history.sqlite`` by default, ``--history`` to
+point elsewhere, ``--no-history`` to opt out): :mod:`repro.obs.history`
+keeps the full report per run, and :func:`evaluate_report` then also
+applies the :mod:`repro.obs.trend` rules against the prior window — a
+rolling perf floor over the last runs' median and a detection-rate
+drift bound — catching slow slides no single-snapshot gate can see.
+Inspect or trend the store with ``python -m repro.obs``.
 """
 
 from __future__ import annotations
@@ -68,6 +78,14 @@ REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 SRC = os.path.join(REPO_ROOT, "src")
 if SRC not in sys.path:
     sys.path.insert(0, SRC)
+
+from repro.obs.trend import evaluate_trends, perf_skip_reason  # noqa: E402
+
+#: Default run-history store (append-only SQLite; see repro.obs.history).
+DEFAULT_HISTORY = os.path.join(REPO_ROOT, "BENCH_history.sqlite")
+
+#: Prior runs consulted by the trend rules.
+TREND_WINDOW = 5
 
 #: Seed-kernel numbers measured on the same container immediately before
 #: the runtime refactor (PR 1), for trajectory comparison.
@@ -392,12 +410,48 @@ def run_benches(quick: bool = False) -> dict:
     return results
 
 
-def evaluate_report(report: dict) -> list:
+def skipped_gates(report: dict) -> list:
+    """Every gate this report did NOT apply, with its reason.
+
+    Pure over the JSON report (same discipline as
+    :func:`evaluate_report`).  A skipped gate is not a failure, but it
+    must never be silent: the runner prints one ``skipped: <reason>``
+    line per entry and embeds the list in the report, so a green CI log
+    on a small host is readable as "passed N gates, skipped these two"
+    rather than as a full pass.
+    """
+    skipped = []
+    reason = perf_skip_reason(report)
+    if report.get("perf_floor") and reason is not None:
+        skipped.append({
+            "gate": "perf-floor",
+            "reason": f"fleet/scenarios throughput floor not applied: {reason}",
+        })
+    sharded = report.get("sharded", {})
+    cpus = sharded.get("cpu_count") or 0
+    shards = sharded.get("shards") or 0
+    if shards and cpus < shards:
+        skipped.append({
+            "gate": "bench_e16-speedup",
+            "reason": (
+                f"sharded wall-clock speedup >= 2x not asserted: "
+                f"{cpus} CPUs cannot physically deliver it at "
+                f"{shards} shards (bench_e16 applies the same guard)"
+            ),
+        })
+    return skipped
+
+
+def evaluate_report(report: dict, priors: list = None) -> list:
     """Every gate the given run_all report violates (empty = pass).
 
     Pure over the JSON report, so CI steps and unit tests apply exactly
     the rules the smoke run enforces — and so ANY failed bench (not just
     the sharded probe) makes the run exit nonzero.
+
+    ``priors`` (newest-first run_all reports from the history store)
+    additionally arms the :mod:`repro.obs.trend` rules: the rolling
+    perf floor and the detection-rate drift bound.
     """
     failures = []
     for name, bench in sorted(report.get("benches", {}).items()):
@@ -487,9 +541,7 @@ def evaluate_report(report: dict) -> list:
     if round(report.get("kernel_events_per_sec", 0)) < baseline:
         failures.append("kernel throughput regressed below the seed baseline")
     floor = report.get("perf_floor", {})
-    cpu_count = report.get("sharded", {}).get("cpu_count") or 0
-    skip_floor = report.get("mode") == "quick" and cpu_count <= 1
-    if floor and not skip_floor:
+    if floor and perf_skip_reason(report) is None:
         max_regression = floor.get("max_regression", 0.30)
         allowed = 1.0 - max_regression
         for probe, key in (
@@ -504,6 +556,10 @@ def evaluate_report(report: dict) -> list:
                     f"than {max_regression:.0%} below the recorded floor "
                     f"of {recorded:,} (perf floor gate)"
                 )
+    if priors:
+        failures.extend(
+            evaluate_trends(report, priors, window=TREND_WINDOW)
+        )
     return failures
 
 
@@ -520,6 +576,20 @@ def main() -> int:
     parser.add_argument(
         "--out", default=os.path.join(REPO_ROOT, "BENCH_runtime.json"),
         help="where to write the JSON report",
+    )
+    parser.add_argument(
+        "--history", default=DEFAULT_HISTORY,
+        help="append the run to this SQLite run-history store "
+             "(see repro.obs.history)",
+    )
+    parser.add_argument(
+        "--no-history", action="store_true",
+        help="do not record the run (also disables the trend rules, "
+             "which need the prior-run window)",
+    )
+    parser.add_argument(
+        "--label", default=None,
+        help="free-form label stored with the run (e.g. the CI run id)",
     )
     args = parser.parse_args()
     default_out = parser.get_default("out")
@@ -599,12 +669,31 @@ def main() -> int:
         "perf_floor": PERF_FLOOR,
         "benches": benches,
     }
+    report["skipped_gates"] = skipped_gates(report)
     with open(args.out, "w", encoding="utf-8") as handle:
         json.dump(report, handle, indent=2, sort_keys=True)
         handle.write("\n")
     print(f"wrote {args.out}")
 
-    failures = evaluate_report(report)
+    # The trend window is the history as it stood BEFORE this run; the
+    # run itself is recorded unconditionally (failed runs are history
+    # too — a later fix should show up as recovery, not as a gap).
+    priors = []
+    if not args.no_history:
+        from repro.obs.history import RunHistory
+
+        with RunHistory(args.history) as history:
+            priors = history.run_reports(limit=TREND_WINDOW)
+            run_id = history.record_run(report, label=args.label)
+        print(
+            f"recorded run {run_id} in {args.history} "
+            f"({len(priors)} prior run{'s' if len(priors) != 1 else ''} "
+            "in the trend window)"
+        )
+
+    for entry in report["skipped_gates"]:
+        print(f"skipped: {entry['gate']}: {entry['reason']}")
+    failures = evaluate_report(report, priors=priors)
     for failure in failures:
         print(f"FAILED: {failure}")
     return 1 if failures else 0

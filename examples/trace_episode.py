@@ -1,0 +1,65 @@
+"""One fault episode, end to end, as a causal span tree.
+
+The aggregate telemetry says *how many* episodes recovered and *how
+fast* on average; this example shows the other view (PR 7): the
+player-decoder drill runs with ``record_spans=True``, and every fault
+episode comes back as a complete causal tree —
+
+    inject ─ latent ─ detect ─ sfl-rank ─ rung* ─ repair (TTR)
+
+keyed to simulated time.  The script prints the plain-text timeline for
+every episode, checks the trees against the drill's recovery telemetry,
+and writes a Chrome ``trace_event`` file you can open at
+``chrome://tracing`` (or https://ui.perfetto.dev) to scrub through the
+fleet's episodes on a per-SUO lane.
+
+Run:  python examples/trace_episode.py [trace.json]
+"""
+
+import json
+import sys
+from dataclasses import replace
+
+from repro.campaign import SerialBackend
+from repro.obs.spans import chrome_trace, text_timeline
+from repro.scenarios import get_scenario
+
+SCENARIO = "player-decoder-drill"
+SEED = 7
+
+
+def main() -> None:
+    out = sys.argv[1] if len(sys.argv) > 1 else "episode_trace.json"
+
+    # 1. run the drill with span recording on ---------------------------
+    spec = replace(get_scenario(SCENARIO), record_spans=True)
+    report, _fleet_report, compiled = SerialBackend().run_detailed(spec, SEED)
+    recorder = compiled.span_recorder
+    episodes = list(recorder.episodes)
+    print(f"{SCENARIO} seed {SEED}: {recorder.completed} fault episodes "
+          f"stitched, forest digest {report.span_digest[:16]}…\n")
+
+    # 2. the causal timeline, episode by episode ------------------------
+    print(text_timeline(episodes))
+
+    # 3. the trees agree with the aggregate telemetry -------------------
+    waves = report.telemetry_summary["recovery"]["waves"]
+    ttrs = sorted(record["ttr"] for record in episodes)
+    print(f"\nspan TTRs:      {[f'{ttr:.1f}s' for ttr in ttrs]}")
+    print(f"telemetry says: count={waves['0']['count']} "
+          f"min={waves['0']['min']:.1f}s max={waves['0']['max']:.1f}s")
+    assert waves["0"]["count"] == len(ttrs)
+    assert abs(waves["0"]["min"] - ttrs[0]) < 1e-9
+    assert abs(waves["0"]["max"] - ttrs[-1]) < 1e-9
+
+    # 4. export for chrome://tracing ------------------------------------
+    trace = chrome_trace(episodes)
+    with open(out, "w", encoding="utf-8") as handle:
+        json.dump(trace, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"\nwrote {len(trace['traceEvents'])} trace events to {out} — "
+          "load it at chrome://tracing or ui.perfetto.dev")
+
+
+if __name__ == "__main__":
+    main()

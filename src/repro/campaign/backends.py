@@ -98,6 +98,12 @@ def _shard_result(
             name: len(group)
             for name, group in compiled.profile_groups.items()
         },
+        # Causal-span block (None unless the spec set record_spans):
+        # counters + digest triples merge exactly; see merge_span_blocks.
+        "spans": (
+            compiled.span_recorder.mergeable()
+            if compiled.span_recorder is not None else None
+        ),
     }
 
 

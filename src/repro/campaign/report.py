@@ -17,8 +17,9 @@ from __future__ import annotations
 
 import json
 from dataclasses import asdict, dataclass, field
-from typing import Any, Dict, List, Sequence
+from typing import Any, Dict, List, Optional, Sequence
 
+from ..obs.spans import merge_span_blocks
 from ..runtime.telemetry import merge_digest, merge_summaries
 
 
@@ -48,6 +49,11 @@ class CampaignReport:
     telemetry_summary: Dict[str, Any] = field(default_factory=dict)
     telemetry_digest: str = ""
     profile_mix: Dict[str, int] = field(default_factory=dict)
+    #: Merged causal-span block (:meth:`repro.obs.spans.SpanRecorder.
+    #: mergeable`) — empty unless the spec set ``record_spans``.  Its
+    #: ``forest_digest`` is the span-tree analogue of
+    #: :attr:`telemetry_digest`: serial and sharded runs agree on it.
+    spans: Dict[str, Any] = field(default_factory=dict)
 
     # ------------------------------------------------------------------
     @property
@@ -77,7 +83,12 @@ class CampaignReport:
         data["events_per_sec"] = self.events_per_sec
         return data
 
-    def to_json(self, indent: int = None) -> str:
+    @property
+    def span_digest(self) -> str:
+        """The shard-invariant span-forest digest ("" without spans)."""
+        return self.spans.get("forest_digest", "")
+
+    def to_json(self, indent: Optional[int] = None) -> str:
         return json.dumps(self.as_dict(), indent=indent, sort_keys=True)
 
     def row(self) -> List[Any]:
@@ -143,6 +154,9 @@ def merge_shard_results(
     summary.get("recovery", {}).get("ttr", {}).pop("samples", None)
     for block in summary.get("diagnosis", {}).get("ttr", {}).values():
         block.pop("samples", None)
+    span_blocks = [
+        result["spans"] for result in results if result.get("spans")
+    ]
     errors: Dict[str, int] = {}
     for result in results:
         errors.update(result["errors_by_suo"])
@@ -172,4 +186,5 @@ def merge_shard_results(
         telemetry_summary=summary,
         telemetry_digest=merge_digest(summary),
         profile_mix={key: profile_mix[key] for key in sorted(profile_mix)},
+        spans=merge_span_blocks(span_blocks) if span_blocks else {},
     )

@@ -46,6 +46,10 @@ class OnlineDiagnoser:
             monitor.controller.subscribe_errors(self.on_error)
         self._errors_in_step = 0
         self._step_open = False
+        #: Span marker for repro.obs: each on-demand ranking announces
+        #: itself on the silent ``obs.*`` namespace (free with no
+        #: SpanRecorder subscribed; never visible to ``suo.*`` digests).
+        self._span = tv.kernel.bus.publisher(f"obs.{tv.suo_id}.span")
         tv.remote.input_hooks.append(self._on_press)
 
     # ------------------------------------------------------------------
@@ -87,9 +91,16 @@ class OnlineDiagnoser:
         self._close_step()
         if not self.collector.error_steps:
             return None
-        return self.diagnoser.diagnose(
+        diagnosis = self.diagnoser.diagnose(
             self.collector, time=self.tv.kernel.now, top_n=self.top_n
         )
+        if diagnosis is not None:
+            self._span(
+                {"ev": "sfl-rank", "source": "online",
+                 "suspect": self.suspect_module(diagnosis),
+                 "best": diagnosis.best()}
+            )
+        return diagnosis
 
     # ------------------------------------------------------------------
     def suspect_module(self, diagnosis: Diagnosis) -> Optional[str]:

@@ -1,0 +1,14 @@
+"""Entry point: ``python -m repro.obs`` (see :mod:`repro.obs.cli`)."""
+
+import sys
+
+from .cli import main
+
+if __name__ == "__main__":
+    try:
+        sys.exit(main())
+    except BrokenPipeError:
+        # downstream pager/head closed the pipe — exit quietly like
+        # any well-behaved unix filter
+        sys.stderr.close()
+        sys.exit(0)

@@ -1,0 +1,292 @@
+"""Append-only run history: every campaign and bench run, queryable.
+
+``BENCH_runtime.json`` is a snapshot — each run overwrites the last, so
+"did detection drift over the last five PRs?" was unanswerable from the
+repo.  :class:`RunHistory` is the durable complement: an append-only
+SQLite store recording
+
+* ``runs``      — one row per ``benchmarks/run_all.py`` report (full
+  JSON, plus git rev / bench mode / recorded-at for provenance);
+* ``campaigns`` — one row per :class:`~repro.campaign.CampaignReport`
+  (headline rates and both determinism digests indexed as columns, full
+  JSON alongside);
+* ``episodes``  — span-derived per-episode rows (one per completed
+  fault episode the campaign's :class:`~repro.obs.spans.SpanRecorder`
+  sampled): injection/detection/repair times, TTR, rung count,
+  rebind mode, suspect, hit, and the episode digest.
+
+Writes only ever INSERT; trend analysis (:mod:`repro.obs.trend`) and
+the ``python -m repro.obs`` CLI read newest-first.  SQLite is stdlib,
+single-file, and concurrent-reader-safe — exactly enough for a
+per-checkout history that CI persists as a cached artifact.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sqlite3
+import subprocess
+from datetime import datetime, timezone
+from typing import Any, Dict, List, Optional
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS runs (
+    id          INTEGER PRIMARY KEY AUTOINCREMENT,
+    recorded_at TEXT NOT NULL,
+    git_rev     TEXT,
+    label       TEXT,
+    mode        TEXT,
+    report      TEXT NOT NULL
+);
+CREATE TABLE IF NOT EXISTS campaigns (
+    id               INTEGER PRIMARY KEY AUTOINCREMENT,
+    run_id           INTEGER REFERENCES runs(id),
+    recorded_at      TEXT NOT NULL,
+    git_rev          TEXT,
+    scenario         TEXT NOT NULL,
+    seed             INTEGER,
+    backend          TEXT,
+    members          INTEGER,
+    detection_rate   REAL,
+    false_alarms     INTEGER,
+    recovered        INTEGER,
+    events_per_sec   REAL,
+    telemetry_digest TEXT,
+    span_digest      TEXT,
+    report           TEXT NOT NULL
+);
+CREATE TABLE IF NOT EXISTS episodes (
+    id          INTEGER PRIMARY KEY AUTOINCREMENT,
+    campaign_id INTEGER NOT NULL REFERENCES campaigns(id),
+    suo_id      TEXT,
+    wave        TEXT,
+    fault       TEXT,
+    component   TEXT,
+    injected_at REAL,
+    detected_at REAL,
+    repaired_at REAL,
+    ttr         REAL,
+    rungs       INTEGER,
+    mode        TEXT,
+    suspect     TEXT,
+    hit         INTEGER,
+    digest      TEXT
+);
+CREATE INDEX IF NOT EXISTS idx_campaigns_scenario
+    ON campaigns (scenario, id);
+CREATE INDEX IF NOT EXISTS idx_episodes_campaign
+    ON episodes (campaign_id);
+"""
+
+
+def current_git_rev(cwd: Optional[str] = None) -> Optional[str]:
+    """The checkout's HEAD commit, or None outside a repo / without git."""
+    try:
+        proc = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            capture_output=True, text=True, cwd=cwd, timeout=10,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return None
+    rev = proc.stdout.strip()
+    return rev if proc.returncode == 0 and rev else None
+
+
+def _utcnow() -> str:
+    return datetime.now(timezone.utc).isoformat(timespec="seconds")
+
+
+class RunHistory:
+    """One append-only SQLite history file (created on first use)."""
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        directory = os.path.dirname(os.path.abspath(path))
+        if directory and not os.path.isdir(directory):
+            os.makedirs(directory, exist_ok=True)
+        self._conn = sqlite3.connect(path)
+        self._conn.row_factory = sqlite3.Row
+        self._conn.executescript(_SCHEMA)
+        self._conn.commit()
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        self._conn.close()
+
+    def __enter__(self) -> "RunHistory":
+        return self
+
+    def __exit__(self, *_exc: Any) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # writes (INSERT only)
+    # ------------------------------------------------------------------
+    def record_run(
+        self,
+        report: Dict[str, Any],
+        label: Optional[str] = None,
+        git_rev: Optional[str] = None,
+    ) -> int:
+        """Append one run_all report; returns its run id."""
+        cursor = self._conn.execute(
+            "INSERT INTO runs (recorded_at, git_rev, label, mode, report)"
+            " VALUES (?, ?, ?, ?, ?)",
+            (
+                _utcnow(),
+                git_rev if git_rev is not None else current_git_rev(),
+                label,
+                report.get("mode"),
+                json.dumps(report, sort_keys=True),
+            ),
+        )
+        self._conn.commit()
+        return int(cursor.lastrowid)
+
+    def record_campaign(
+        self,
+        report: Any,
+        run_id: Optional[int] = None,
+        git_rev: Optional[str] = None,
+    ) -> int:
+        """Append one campaign report (a
+        :class:`~repro.campaign.CampaignReport` or its ``as_dict()``),
+        plus one episode row per span sample it carries; returns the
+        campaign id."""
+        data = report.as_dict() if hasattr(report, "as_dict") else dict(report)
+        spans = data.get("spans") or {}
+        recovery = data.get("telemetry_summary", {}).get("recovery", {})
+        cursor = self._conn.execute(
+            "INSERT INTO campaigns (run_id, recorded_at, git_rev, scenario,"
+            " seed, backend, members, detection_rate, false_alarms,"
+            " recovered, events_per_sec, telemetry_digest, span_digest,"
+            " report) VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
+            (
+                run_id,
+                _utcnow(),
+                git_rev if git_rev is not None else current_git_rev(),
+                data.get("scenario"),
+                data.get("seed"),
+                data.get("backend"),
+                data.get("members"),
+                data.get("detection_rate"),
+                len(data.get("false_alarms", [])),
+                recovery.get("recovered", 0),
+                data.get("events_per_sec"),
+                data.get("telemetry_digest"),
+                spans.get("forest_digest"),
+                json.dumps(data, sort_keys=True),
+            ),
+        )
+        campaign_id = int(cursor.lastrowid)
+        digest_by_key = {
+            (str(suo), str(wave)): digest
+            for suo, wave, digest in spans.get("digests", [])
+        }
+        for episode in spans.get("samples", []):
+            closing = episode.get("rungs", [])[-1:] or [{}]
+            self._conn.execute(
+                "INSERT INTO episodes (campaign_id, suo_id, wave, fault,"
+                " component, injected_at, detected_at, repaired_at, ttr,"
+                " rungs, mode, suspect, hit, digest)"
+                " VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
+                (
+                    campaign_id,
+                    episode.get("suo"),
+                    str(episode.get("wave")),
+                    episode.get("fault"),
+                    episode.get("component"),
+                    episode.get("injected_at"),
+                    episode.get("detected_at"),
+                    episode.get("repaired_at"),
+                    episode.get("ttr"),
+                    len(episode.get("rungs", [])),
+                    episode.get("repair_mode"),
+                    (episode.get("ranks", [{}]) or [{}])[-1].get("suspect"),
+                    closing[0].get("hit"),
+                    digest_by_key.get(
+                        (str(episode.get("suo")), str(episode.get("wave")))
+                    ),
+                ),
+            )
+        self._conn.commit()
+        return campaign_id
+
+    # ------------------------------------------------------------------
+    # reads (newest first)
+    # ------------------------------------------------------------------
+    def runs(self, limit: int = 20) -> List[Dict[str, Any]]:
+        """Recent runs, newest first, without the report payload."""
+        rows = self._conn.execute(
+            "SELECT id, recorded_at, git_rev, label, mode FROM runs"
+            " ORDER BY id DESC LIMIT ?",
+            (limit,),
+        ).fetchall()
+        return [dict(row) for row in rows]
+
+    def run_report(self, run_id: int) -> Optional[Dict[str, Any]]:
+        row = self._conn.execute(
+            "SELECT report FROM runs WHERE id = ?", (run_id,)
+        ).fetchone()
+        return json.loads(row["report"]) if row else None
+
+    def run_reports(
+        self, limit: int = 5, before_id: Optional[int] = None
+    ) -> List[Dict[str, Any]]:
+        """Recent run reports, newest first — the trend window.
+
+        ``before_id`` excludes the given run and everything after it
+        (pass the just-recorded run's id to trend against its priors).
+        """
+        if before_id is None:
+            rows = self._conn.execute(
+                "SELECT report FROM runs ORDER BY id DESC LIMIT ?",
+                (limit,),
+            ).fetchall()
+        else:
+            rows = self._conn.execute(
+                "SELECT report FROM runs WHERE id < ?"
+                " ORDER BY id DESC LIMIT ?",
+                (before_id, limit),
+            ).fetchall()
+        return [json.loads(row["report"]) for row in rows]
+
+    def campaigns(
+        self, scenario: Optional[str] = None, limit: int = 20
+    ) -> List[Dict[str, Any]]:
+        """Recent campaign rows, newest first (headline columns only)."""
+        query = (
+            "SELECT id, run_id, recorded_at, git_rev, scenario, seed,"
+            " backend, members, detection_rate, false_alarms, recovered,"
+            " events_per_sec, telemetry_digest, span_digest FROM campaigns"
+        )
+        params: tuple = ()
+        if scenario is not None:
+            query += " WHERE scenario = ?"
+            params = (scenario,)
+        query += " ORDER BY id DESC LIMIT ?"
+        rows = self._conn.execute(query, params + (limit,)).fetchall()
+        return [dict(row) for row in rows]
+
+    def campaign_report(self, campaign_id: int) -> Optional[Dict[str, Any]]:
+        row = self._conn.execute(
+            "SELECT report FROM campaigns WHERE id = ?", (campaign_id,)
+        ).fetchone()
+        return json.loads(row["report"]) if row else None
+
+    def episodes(self, campaign_id: int) -> List[Dict[str, Any]]:
+        rows = self._conn.execute(
+            "SELECT * FROM episodes WHERE campaign_id = ? ORDER BY id",
+            (campaign_id,),
+        ).fetchall()
+        return [dict(row) for row in rows]
+
+    def counts(self) -> Dict[str, int]:
+        """Row counts per table (used by the CLI's query summary)."""
+        return {
+            table: self._conn.execute(
+                f"SELECT COUNT(*) AS n FROM {table}"
+            ).fetchone()["n"]
+            for table in ("runs", "campaigns", "episodes")
+        }

@@ -128,6 +128,11 @@ class MonitorFleet:
         #: topic -> (suo_id, kind, digest-line middle), see :meth:`_record`.
         self._topic_parts: Dict[str, Any] = {}
         self.bus.subscribe("suo.*", self._record)
+        #: Optional :class:`~repro.obs.spans.SpanRecorder` — attached
+        #: via :meth:`attach_span_recorder`, never constructed here:
+        #: span recording is opt-in (the paper's overhead budget) and
+        #: the fleet must not depend on the obs layer above it.
+        self.span_recorder: Optional[Any] = None
         #: Bounded-memory streaming aggregators over the same namespace.
         self.telemetry = FleetTelemetry(
             self.bus,
@@ -236,7 +241,18 @@ class MonitorFleet:
                         self.kernel.now - message.sent_at
                     )
                 )
+        if self.span_recorder is not None:
+            self.span_recorder.attach_member(member.suo_id)
         return member
+
+    def attach_span_recorder(self, recorder: Any) -> None:
+        """Wire a :class:`~repro.obs.spans.SpanRecorder` into the fleet:
+        every current member's exact error topic is subscribed now, and
+        future admissions attach themselves.  The recorder must have
+        been built on this fleet's bus."""
+        self.span_recorder = recorder
+        for suo_id in self.members:
+            recorder.attach_member(suo_id)
 
     # ------------------------------------------------------------------
     # fleet trace

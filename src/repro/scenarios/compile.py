@@ -172,6 +172,19 @@ class CompiledScenario:
             else:
                 self.fleet.add_printer(suo_id=planned.suo_id)
             self._planned[planned.suo_id] = planned
+        #: Causal span recorder (opt-in via ``spec.record_spans``).
+        #: Seeded to the campaign seed so its reservoir sample is as
+        #: reproducible as everything else; attaching after admission
+        #: subscribes every member's exact error topic in one pass.
+        self.span_recorder = None
+        if spec.record_spans:
+            from ..obs.spans import SpanRecorder  # deferred: opt-in layer
+
+            kernel = self.fleet.kernel
+            self.span_recorder = SpanRecorder(
+                self.fleet.bus, clock=lambda: kernel.now, seed=plan.seed
+            )
+            self.fleet.attach_span_recorder(self.span_recorder)
         #: Members fault-injected by a marking phase (unique, in order).
         self.faulty: List[FleetMember] = []
         #: Recovery harnesses by suo_id (created lazily when a
@@ -373,7 +386,7 @@ class CompiledScenario:
 
                 def fire_recovery(
                     targets=targets, apply=apply, repair=repair,
-                    index=index, component=component,
+                    index=index, component=component, fault=phase.fault,
                 ) -> None:
                     for member in targets:
                         apply(member)
@@ -383,6 +396,7 @@ class CompiledScenario:
                                 index,
                                 lambda member=member, repair=repair: repair(member),
                                 component=component,
+                                fault=fault,
                             )
 
                 kernel.schedule_at(

@@ -139,6 +139,12 @@ class MemberRecovery:
         self.kernel = kernel
         self.monitor = member.monitor
         self._publish = bus.publisher(f"suo.{member.suo_id}.recovery")
+        #: Span markers for repro.obs.  Deliberately a *separate*
+        #: namespace: nothing on ``suo.*`` may change shape (the fleet
+        #: trace digest hashes event reprs), and with no SpanRecorder
+        #: subscribed these publishes hit an empty compiled table —
+        #: effectively free, honoring the overhead budget.
+        self._span = bus.publisher(f"obs.{member.suo_id}.span")
         #: Online SFL evidence, collected from harness creation onward
         #: ("while the member is under suspicion").  Kinds without a
         #: component vocabulary would get no ranking; every fleet kind
@@ -192,6 +198,7 @@ class MemberRecovery:
         wave: int,
         repair: Callable[[], None],
         component: Optional[str] = None,
+        fault: Optional[str] = None,
     ) -> None:
         """A fault phase just afflicted this member: open an episode.
 
@@ -199,8 +206,9 @@ class MemberRecovery:
         rung executes when escalation reaches it; ``component`` is the
         fault's true location (ground truth for localization
         telemetry, and what decides whether a targeted rebind of the
-        SFL suspect actually repairs).  A fresh (no episode in flight)
-        arm walks the ladder from the bottom; stacking onto an
+        SFL suspect actually repairs); ``fault`` is the injected
+        fault's name (span labeling only).  A fresh (no episode in
+        flight) arm walks the ladder from the bottom; stacking onto an
         in-flight episode keeps the current escalation, since the
         member is already mid-recovery.
         """
@@ -208,6 +216,10 @@ class MemberRecovery:
             self.policy.reset()
         self._episodes.append(
             FaultEpisode(wave, self.kernel.now, repair, component)
+        )
+        self._span(
+            {"ev": "inject", "wave": wave, "fault": fault,
+             "component": component}
         )
 
     @property
@@ -229,6 +241,10 @@ class MemberRecovery:
         escalates."""
         self.monitor.comparator.reset()
         self._publish({"action": "local_reset", "wave": self._wave})
+        self._span(
+            {"ev": "rung", "action": "local_reset", "wave": self._wave,
+             "downtime": DOWNTIME["local_reset"]}
+        )
         return DOWNTIME["local_reset"]
 
     def _component_restart(self, action: RecoveryAction) -> float:
@@ -243,6 +259,10 @@ class MemberRecovery:
             name=f"recovery:restart:{self.member.suo_id}",
         )
         self._publish({"action": "component_restart", "wave": self._wave})
+        self._span(
+            {"ev": "rung", "action": "component_restart",
+             "wave": self._wave, "downtime": downtime}
+        )
         return downtime
 
     def _rebind(self, action: RecoveryAction) -> float:
@@ -306,6 +326,16 @@ class MemberRecovery:
             if episode is not None:
                 closed = self._episodes.pop(0)
                 closed.repair()
+        episode_wave = episode.wave if episode is not None else None
+        if self.spectra is not None:
+            self._span(
+                {"ev": "sfl-rank", "wave": episode_wave, "suspect": suspect,
+                 "confidence": round(confidence, 6), "true_rank": true_rank}
+            )
+        self._span(
+            {"ev": "rung", "action": "rebind", "mode": mode,
+             "wave": episode_wave, "downtime": downtime, "hit": hit}
+        )
         self.monitor.stop()
 
         def back_up() -> None:
@@ -327,6 +357,11 @@ class MemberRecovery:
             else:
                 event["wave"] = self._wave
             self._publish(event)
+            if closed is not None:
+                self._span(
+                    {"ev": "repair", "wave": closed.wave,
+                     "ttr": event["ttr"], "mode": mode}
+                )
             if closed is not None and self._episodes:
                 # another fault is still standing: restart the ladder
                 # for it (its TTR clock has been running since its arm)

@@ -190,6 +190,12 @@ class ScenarioSpec:
     retain_trace: Optional[bool] = None
     telemetry_window: float = 10.0
     telemetry_reservoir: int = 512
+    #: Attach a :class:`~repro.obs.spans.SpanRecorder` so every fault
+    #: episode is stitched into a causal span tree (injection →
+    #: detection → ranking → rungs → repair).  Off by default — the
+    #: paper's overhead budget; when off the harness's ``obs.*`` markers
+    #: publish into silence and no digest changes.
+    record_spans: bool = False
 
     AUTO_STREAM_THRESHOLD = 200
 

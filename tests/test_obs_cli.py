@@ -1,0 +1,145 @@
+"""The ``python -m repro.obs`` CLI, driven in-process through main().
+
+Each subcommand runs against a tmp-path history file; stdout is the
+contract a CI step greps, so the tests pin the load-bearing phrases
+(exit codes, "FAILED:", "insufficient history").
+"""
+
+import json
+
+import pytest
+
+from repro.obs.cli import main
+
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    return code, capsys.readouterr().out
+
+
+def seed_two_runs(tmp_path, second=None):
+    """Record two synthetic bench reports; returns the db path."""
+    db = str(tmp_path / "history.sqlite")
+    first = {
+        "mode": "full",
+        "kernel_events_per_sec": 1_000_000,
+        "fleet": {"events_per_sec": 150_000},
+        "scenarios": {"events_per_sec": 140_000},
+        "sharded": {"cpu_count": 4, "shards": 2},
+        "detection": {"printer-burst": {"detection_rate": 1.0}},
+        "diagnosis": {},
+    }
+    for report in (first, second if second is not None else first):
+        path = tmp_path / "report.json"
+        path.write_text(json.dumps(report))
+        assert main(["record", "--db", db, "--bench-report", str(path),
+                     "--git-rev", "cafe1234"]) == 0
+    return db
+
+
+def test_record_and_query_campaign(tmp_path, capsys):
+    db = str(tmp_path / "history.sqlite")
+    code, out = run_cli(
+        capsys, "record", "--db", db,
+        "--scenario", "player-decoder-drill", "--seed", "7",
+    )
+    assert code == 0
+    assert "recorded campaign 1: player-decoder-drill" in out
+    assert "3 episodes" in out
+    code, out = run_cli(capsys, "query", "--db", db)
+    assert code == 0
+    assert "0 runs, 1 campaigns, 3 episodes" in out
+    assert "player-decoder-drill" in out
+    # scenario filter that matches nothing prints only the counts
+    code, out = run_cli(
+        capsys, "query", "--db", db, "--scenario", "no-such-drill"
+    )
+    assert code == 0
+    assert "campaigns (newest first)" not in out
+
+
+def test_trend_passes_on_steady_history(tmp_path, capsys):
+    db = seed_two_runs(tmp_path)
+    code, out = run_cli(capsys, "trend", "--db", db)
+    assert code == 0
+    assert "ok — no perf or detection drift" in out
+
+
+def test_trend_flags_injected_slowdown_and_exits_nonzero(tmp_path, capsys):
+    slow = {
+        "mode": "full",
+        "kernel_events_per_sec": 1_000_000,
+        "fleet": {"events_per_sec": 60_000},  # 2.5x below the prior
+        "scenarios": {"events_per_sec": 140_000},
+        "sharded": {"cpu_count": 4, "shards": 2},
+        "detection": {"printer-burst": {"detection_rate": 0.5}},
+        "diagnosis": {},
+    }
+    db = seed_two_runs(tmp_path, second=slow)
+    code, out = run_cli(capsys, "trend", "--db", db)
+    assert code == 1
+    assert "FAILED:" in out
+    assert "trend perf floor" in out
+    assert "detection drift" in out
+
+
+def test_trend_with_insufficient_history_is_a_notice_not_a_failure(
+    tmp_path, capsys
+):
+    db = str(tmp_path / "empty.sqlite")
+    code, out = run_cli(capsys, "trend", "--db", db)
+    assert code == 0
+    assert "insufficient history" in out
+
+
+def test_compare_latest_two_runs(tmp_path, capsys):
+    db = seed_two_runs(tmp_path)
+    code, out = run_cli(capsys, "compare", "--db", db)
+    assert code == 0
+    assert "comparing run #1 -> run #2" in out
+    assert "throughput (events/sec):" in out
+    # explicit run ids and missing ids
+    code, out = run_cli(capsys, "compare", "--db", db, "--runs", "1", "2")
+    assert code == 0
+    with pytest.raises(SystemExit, match="run #9 not found"):
+        run_cli(capsys, "compare", "--db", db, "--runs", "1", "9")
+
+
+def test_compare_report_files_bypass_the_store(tmp_path, capsys):
+    old = tmp_path / "old.json"
+    new = tmp_path / "new.json"
+    old.write_text(json.dumps({"kernel_events_per_sec": 100}))
+    new.write_text(json.dumps({"kernel_events_per_sec": 200}))
+    code, out = run_cli(
+        capsys, "compare", "--reports", str(old), str(new),
+    )
+    assert code == 0
+    assert "+100.0%" in out
+
+
+def test_compare_insufficient_history(tmp_path, capsys):
+    db = str(tmp_path / "empty.sqlite")
+    code, out = run_cli(capsys, "compare", "--db", db)
+    assert code == 0
+    assert "insufficient history" in out
+
+
+def test_export_trace_writes_chrome_json_and_timeline(tmp_path, capsys):
+    out_path = tmp_path / "trace.json"
+    code, out = run_cli(
+        capsys, "export-trace", "--scenario", "player-decoder-drill",
+        "--seed", "7", "--out", str(out_path),
+    )
+    assert code == 0
+    assert "3 episodes" in out
+    assert "TTR=" in out  # the timeline printed by default
+    trace = json.loads(out_path.read_text())
+    assert trace["traceEvents"]
+    assert any(e.get("cat") == "episode" for e in trace["traceEvents"])
+
+    code, out = run_cli(
+        capsys, "export-trace", "--scenario", "player-decoder-drill",
+        "--out", str(out_path), "--no-timeline",
+    )
+    assert code == 0
+    assert "TTR=" not in out

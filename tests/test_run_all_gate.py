@@ -16,7 +16,7 @@ BENCHMARKS = os.path.join(os.path.dirname(__file__), os.pardir, "benchmarks")
 if BENCHMARKS not in sys.path:
     sys.path.insert(0, BENCHMARKS)
 
-from run_all import evaluate_report  # noqa: E402
+from run_all import evaluate_report, skipped_gates  # noqa: E402
 
 from repro.campaign import ProcessShardBackend, resolve_shards  # noqa: E402
 from repro.scenarios import ScenarioSpec  # noqa: E402
@@ -281,6 +281,90 @@ def test_dropped_probe_scenarios_fail_not_pass():
     del report["detection"]["overnight-soak"]
     failures = evaluate_report(report)
     assert any("overnight-soak" in f and "missing" in f for f in failures)
+
+
+# ----------------------------------------------------------------------
+# skipped gates are visible, not silent (PR 7)
+# ----------------------------------------------------------------------
+def test_no_gates_skipped_on_a_capable_host():
+    assert skipped_gates(floored_report(mode="full", cpu_count=4)) == []
+    assert skipped_gates(floored_report(mode="quick", cpu_count=4)) == []
+
+
+def test_perf_floor_skip_is_reported_with_its_reason():
+    report = floored_report(mode="quick", cpu_count=1)
+    skipped = skipped_gates(report)
+    gates = [entry["gate"] for entry in skipped]
+    assert "perf-floor" in gates
+    entry = next(e for e in skipped if e["gate"] == "perf-floor")
+    assert "quick mode" in entry["reason"]
+    # the skip list and the gate rules agree: the floor is not applied
+    report["fleet"]["events_per_sec"] = 1
+    assert not any("perf floor" in f for f in evaluate_report(report))
+
+
+def test_bench_e16_speedup_skip_tracks_cpu_vs_shards():
+    report = floored_report(cpu_count=1)
+    report["sharded"]["shards"] = 2
+    skipped = skipped_gates(report)
+    entry = next(e for e in skipped if e["gate"] == "bench_e16-speedup")
+    assert "1 CPUs" in entry["reason"]
+    # enough cores: the speedup gate applies, nothing skipped
+    report = floored_report(cpu_count=8)
+    report["sharded"]["shards"] = 4
+    assert skipped_gates(report) == []
+
+
+# ----------------------------------------------------------------------
+# trend rules ride through evaluate_report (PR 7)
+# ----------------------------------------------------------------------
+def trended_report(fleet_eps=150_000):
+    report = floored_report()
+    report["fleet"]["events_per_sec"] = fleet_eps
+    return report
+
+
+def test_trend_rules_engage_only_with_priors():
+    current = trended_report(fleet_eps=95_000)  # above the absolute floor
+    assert evaluate_report(current) == []
+    assert evaluate_report(current, priors=[]) == []
+    priors = [trended_report(fleet_eps=200_000) for _ in range(3)]
+    failures = evaluate_report(current, priors=priors)
+    assert any("trend perf floor" in f for f in failures)
+
+
+def test_detection_drift_fails_through_evaluate_report():
+    current = trended_report()
+    current["detection"]["recovery-ladder-drill"]["detection_rate"] = 0.5
+    priors = [trended_report() for _ in range(3)]
+    failures = evaluate_report(current, priors=priors)
+    assert any("detection drift" in f for f in failures)
+
+
+# ----------------------------------------------------------------------
+# span forests survive sharding (PR 7: the causal-trace invariant)
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize(
+    "name", ["recovery-ladder-drill", "targeted-rebind-storm"]
+)
+def test_span_forest_digest_is_shard_invariant(name):
+    from dataclasses import replace
+
+    from repro.campaign import SerialBackend
+    from repro.scenarios import get_scenario
+
+    spec = replace(get_scenario(name), record_spans=True)
+    serial = SerialBackend().run(spec, 7)
+    sharded = ProcessShardBackend(shards=2, inline=True).run(spec, 7)
+    assert serial.spans["completed"] > 0
+    assert sharded.span_digest == serial.span_digest
+    assert sharded.spans["completed"] == serial.spans["completed"]
+    assert sharded.spans["digests"] == serial.spans["digests"]
+    # the drills fit the reservoir, so even the sample lists agree
+    assert sharded.spans["samples"] == serial.spans["samples"]
+    # and the spans block is as reproducible as the telemetry digest
+    again = SerialBackend().run(spec, 7)
+    assert again.spans == serial.spans
 
 
 # ----------------------------------------------------------------------
