@@ -39,7 +39,11 @@ throughput probes measure the runtime itself:
   (player-decoder-drill, printer-jam-drill, recovery-ladder-drill)
   serial and 2-shard: **fails the run on zero localization accuracy,
   a non-finite time-to-recover, or serial-vs-sharded divergence of the
-  diagnosis telemetry** (the CI diagnosis gate).
+  diagnosis telemetry** (the CI diagnosis gate);
+* ``fuzz``       — a bounded :mod:`repro.fuzz` campaign run twice
+  (candidates/sec): **fails the run if the two runs' determinism
+  witnesses differ or a grammar-sampled candidate crashes the campaign
+  surface** (the CI fuzz gate; candidates/sec joins the perf floor).
 
 Exit status is computed by :func:`evaluate_report` over the JSON report:
 any failed bench, a diverged digest, a zeroed detection rate, a
@@ -105,8 +109,10 @@ SEED_BASELINE = {
 PERF_FLOOR = {
     "fleet_events_per_sec": 122_000,
     "scenarios_events_per_sec": 137_000,
+    "fuzz_candidates_per_sec": 2.0,
     "max_regression": 0.30,
-    "note": "full-mode probes after the dispatch overhaul, same host, best of 3",
+    "note": "full-mode probes after the dispatch overhaul, same host, best of 3; "
+            "fuzz floor recorded with the PR 8 probe config (8 candidates)",
 }
 
 TV_WORKLOAD = [
@@ -375,6 +381,50 @@ def probe_diagnosis(seed: int = 7) -> dict:
     return result
 
 
+def probe_fuzz(quick: bool = False) -> dict:
+    """Bounded fuzz campaign probe (the PR 8 gate).
+
+    Runs the same small grammar-sampled candidate budget twice with a
+    fresh in-memory corpus each time and compares the determinism
+    witnesses: byte-identical candidates, admissions, findings, and
+    coverage, or the gate fails.  Also records candidates/sec for the
+    perf-floor trajectory.  Divergence checking stays off here — the
+    sharded probes own that gate, and the fuzz probe's job is the fuzz
+    loop itself.
+    """
+    from repro.fuzz import Corpus, FuzzConfig, Fuzzer
+
+    config = FuzzConfig(
+        seed=7,
+        candidates=4 if quick else 8,
+        campaign_seed=0,
+        check_divergence=False,
+        shrink_attempts=60,
+    )
+    first = Fuzzer(config, corpus=Corpus()).run()
+    second = Fuzzer(config, corpus=Corpus()).run()
+    crashes = [
+        finding.as_dict() for finding in first.findings
+        if finding.original.verdict.kind == "crash"
+    ]
+    return {
+        "seed": config.seed,
+        "candidates": config.candidates,
+        "evaluated": first.evaluated,
+        "stopped_by": first.stopped_by,
+        "admitted": len(first.admitted),
+        "findings": len(first.findings),
+        "crash_findings": crashes,
+        "coverage_keys": first.coverage_keys,
+        "coverage_by_layer": first.coverage_by_layer,
+        "wall_seconds": round(first.wall_seconds, 3),
+        "candidates_per_sec": round(first.candidates_per_sec, 3),
+        "deterministic": (
+            first.determinism_witness() == second.determinism_witness()
+        ),
+    }
+
+
 def run_benches(quick: bool = False) -> dict:
     """Each bench_e*.py once; returns per-file status."""
     results = {}
@@ -535,6 +585,22 @@ def evaluate_report(report: dict, priors: list = None) -> list:
                 failures.append(
                     f"{name}: {mode} time-to-recover not finite"
                 )
+    fuzz = report.get("fuzz")
+    if fuzz is None:
+        failures.append("fuzz probe missing from the report")
+    else:
+        if fuzz.get("evaluated", 0) <= 0:
+            failures.append("fuzz probe evaluated no candidates")
+        if not fuzz.get("deterministic"):
+            failures.append(
+                "two identical fuzz runs produced different witnesses "
+                "(fuzz determinism gate)"
+            )
+        for crash in fuzz.get("crash_findings", []):
+            failures.append(
+                "fuzz probe hit a crash verdict on a grammar-sampled "
+                f"candidate: {crash.get('detail', '?')}"
+            )
     baseline = report.get("seed_baseline", SEED_BASELINE).get(
         "kernel_events_per_sec", 0
     )
@@ -544,15 +610,22 @@ def evaluate_report(report: dict, priors: list = None) -> list:
     if floor and perf_skip_reason(report) is None:
         max_regression = floor.get("max_regression", 0.30)
         allowed = 1.0 - max_regression
-        for probe, key in (
-            ("fleet", "fleet_events_per_sec"),
-            ("scenarios", "scenarios_events_per_sec"),
+        for probe, key, metric, unit in (
+            ("fleet", "fleet_events_per_sec", "events_per_sec", "events/sec"),
+            ("scenarios", "scenarios_events_per_sec", "events_per_sec",
+             "events/sec"),
+            ("fuzz", "fuzz_candidates_per_sec", "candidates_per_sec",
+             "candidates/sec"),
         ):
+            if probe == "fuzz" and report.get("mode") == "quick":
+                # The fuzz floor was recorded at the full-mode candidate
+                # budget; quick mode runs a different (smaller) workload.
+                continue
             recorded = floor.get(key, 0)
-            measured = report.get(probe, {}).get("events_per_sec", 0)
+            measured = report.get(probe, {}).get(metric, 0)
             if recorded and measured < recorded * allowed:
                 failures.append(
-                    f"{probe} throughput {measured:,} events/sec is more "
+                    f"{probe} throughput {measured:,} {unit} is more "
                     f"than {max_regression:.0%} below the recorded floor "
                     f"of {recorded:,} (perf floor gate)"
                 )
@@ -643,6 +716,14 @@ def main() -> int:
             f"digests_match={cell['digests_match']}, "
             f"diagnosis_invariant={cell['diagnosis_invariant']}"
         )
+    print("probing bounded fuzz campaign (twice, for determinism) ...", flush=True)
+    fuzz = probe_fuzz(quick=args.quick)
+    print(
+        f"  fuzz: {fuzz['evaluated']} candidates at "
+        f"{fuzz['candidates_per_sec']} candidates/sec, "
+        f"{fuzz['findings']} findings, {fuzz['coverage_keys']} coverage keys, "
+        f"deterministic={fuzz['deterministic']}"
+    )
     print("probing 1000-SUO streaming scenario ...", flush=True)
     scenarios = probe_scenarios()
     print(
@@ -665,6 +746,7 @@ def main() -> int:
         "sharded": sharded,
         "detection": detection,
         "diagnosis": diagnosis,
+        "fuzz": fuzz,
         "seed_baseline": SEED_BASELINE,
         "perf_floor": PERF_FLOOR,
         "benches": benches,

@@ -1,0 +1,64 @@
+"""Coverage-guided scenario fuzzing: scenarios nobody wrote.
+
+The scenario library (:mod:`repro.scenarios.library`) encodes the
+campaigns we *thought* to write; this package searches the spec space
+for the ones we did not:
+
+* :mod:`repro.fuzz.grammar`  — samples and mutates valid
+  :class:`~repro.scenarios.ScenarioSpec`\\ s (device mixes, Markov-chain
+  user behaviour, fault schedules over every known fault);
+* :mod:`repro.fuzz.coverage` — the novelty signal: spec-model
+  transitions fired, faults/components injected, detection and
+  recovery outcomes;
+* :mod:`repro.fuzz.oracle`   — verdicts (crash, digest divergence,
+  false alarm, missed detection, unrecovered) with dedupe signatures;
+* :mod:`repro.fuzz.corpus`   — the coverage-novel frontier, persisted
+  in the :class:`~repro.obs.history.RunHistory` store CI caches;
+* :mod:`repro.fuzz.shrink`   — greedy reduction of failing candidates
+  to minimal deterministic repros (committable as library scenarios);
+* :mod:`repro.fuzz.engine`   — the deterministic fuzz loop;
+* ``python -m repro.fuzz``   — run / shrink / corpus / export-scenario.
+
+Quick start::
+
+    from repro.fuzz import FuzzConfig, Fuzzer
+
+    report = Fuzzer(FuzzConfig(seed=1, candidates=25)).run()
+    print(report.coverage_keys, [f.as_dict() for f in report.findings])
+"""
+
+from .corpus import Corpus, CorpusEntry
+from .coverage import CoverageMap, coverage_keys
+from .engine import Finding, FuzzConfig, FuzzReport, Fuzzer
+from .grammar import OP_VOCABULARY, ScenarioGrammar, markov_walk
+from .oracle import (
+    CandidateResult,
+    DETECT_GRACE,
+    VERDICT_ORDER,
+    Verdict,
+    classify,
+    evaluate_candidate,
+)
+from .shrink import ShrinkResult, shrink
+
+__all__ = [
+    "CandidateResult",
+    "Corpus",
+    "CorpusEntry",
+    "CoverageMap",
+    "DETECT_GRACE",
+    "Finding",
+    "FuzzConfig",
+    "FuzzReport",
+    "Fuzzer",
+    "OP_VOCABULARY",
+    "ScenarioGrammar",
+    "ShrinkResult",
+    "VERDICT_ORDER",
+    "Verdict",
+    "classify",
+    "coverage_keys",
+    "evaluate_candidate",
+    "markov_walk",
+    "shrink",
+]

@@ -1,0 +1,148 @@
+"""The fuzz corpus: the coverage-novel frontier, persisted.
+
+A candidate is admitted when it contributes something the corpus has
+never seen — new coverage keys, or a new failure signature.  Everything
+else is discarded: the corpus is the *frontier*, not a log.  Entries
+persist in the same append-only :class:`~repro.obs.history.RunHistory`
+SQLite store CI already caches between runs, keyed by
+:func:`~repro.scenarios.spec_hash` (so re-finding a known spec is a
+no-op), which is what lets a 30-second CI fuzz lane accumulate coverage
+across weeks of builds instead of restarting from zero each time.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Tuple
+
+from ..obs.history import RunHistory
+from ..scenarios.spec import ScenarioSpec, spec_hash
+from .coverage import CoverageMap
+from .oracle import CandidateResult
+
+
+@dataclass
+class CorpusEntry:
+    """One admitted candidate."""
+
+    spec: ScenarioSpec
+    seed: int
+    origin: str  # "sample" | "mutate" | "shrunk"
+    verdict: str
+    signature: Tuple[str, ...]
+    novel_keys: FrozenSet[str]
+    coverage: FrozenSet[str]
+
+    @property
+    def hash(self) -> str:
+        return spec_hash(self.spec)
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "name": self.spec.name,
+            "spec_hash": self.hash,
+            "seed": self.seed,
+            "origin": self.origin,
+            "verdict": self.verdict,
+            "signature": list(self.signature),
+            "novel_keys": sorted(self.novel_keys),
+            "coverage_size": len(self.coverage),
+        }
+
+
+@dataclass
+class Corpus:
+    """In-memory frontier over a :class:`CoverageMap`, with optional
+    SQLite persistence."""
+
+    coverage: CoverageMap = field(default_factory=CoverageMap)
+    entries: List[CorpusEntry] = field(default_factory=list)
+    signatures: set = field(default_factory=set)
+    _hashes: set = field(default_factory=set)
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def load(cls, history: RunHistory) -> "Corpus":
+        """Rebuild the frontier from a history store (seen coverage and
+        signatures carry over; specs are re-materialized so mutation can
+        keep working the old frontier)."""
+        corpus = cls(coverage=CoverageMap(history.fuzz_coverage()))
+        for row in reversed(history.fuzz_entries(limit=10_000)):
+            spec = ScenarioSpec.from_json(json.loads(row["spec"]))
+            entry = CorpusEntry(
+                spec=spec,
+                seed=int(row["seed"] or 0),
+                origin=row["origin"] or "sample",
+                verdict=row["verdict"] or "ok",
+                signature=tuple((row["signature"] or "").split("|")) if row["signature"] else (),
+                novel_keys=frozenset(row["novel_keys"]),
+                coverage=frozenset(row["coverage"]),
+            )
+            corpus.entries.append(entry)
+            corpus._hashes.add(row["spec_hash"])
+            if entry.verdict != "ok":
+                corpus.signatures.add(entry.signature)
+        return corpus
+
+    # ------------------------------------------------------------------
+    def consider(self, result: CandidateResult, origin: str) -> Optional[CorpusEntry]:
+        """Admit ``result`` if it advances the frontier; else None."""
+        novel = self.coverage.novel(result.coverage)
+        new_signature = (
+            result.failing
+            and result.verdict.signature not in self.signatures
+        )
+        if not novel and not new_signature:
+            return None
+        candidate_hash = spec_hash(result.spec)
+        if candidate_hash in self._hashes:
+            self.coverage.admit(result.coverage)
+            return None
+        self.coverage.admit(result.coverage)
+        entry = CorpusEntry(
+            spec=result.spec,
+            seed=result.seed,
+            origin=origin,
+            verdict=result.verdict.kind,
+            signature=result.verdict.signature if result.failing else (),
+            novel_keys=novel,
+            coverage=result.coverage,
+        )
+        self.entries.append(entry)
+        self._hashes.add(candidate_hash)
+        if result.failing:
+            self.signatures.add(result.verdict.signature)
+        return entry
+
+    def persist(self, history: RunHistory, entries: List[CorpusEntry]) -> int:
+        """Write ``entries`` to the store; returns how many were new."""
+        written = 0
+        for entry in entries:
+            row_id = history.record_fuzz_entry(
+                spec_hash=entry.hash,
+                spec_json=entry.spec.canonical_json(),
+                name=entry.spec.name,
+                seed=entry.seed,
+                origin=entry.origin,
+                verdict=entry.verdict,
+                signature="|".join(entry.signature),
+                novel_keys=sorted(entry.novel_keys),
+                coverage=sorted(entry.coverage),
+            )
+            if row_id is not None:
+                written += 1
+        return written
+
+    # ------------------------------------------------------------------
+    def stats(self) -> Dict[str, object]:
+        verdicts: Dict[str, int] = {}
+        for entry in self.entries:
+            verdicts[entry.verdict] = verdicts.get(entry.verdict, 0) + 1
+        return {
+            "entries": len(self.entries),
+            "coverage_keys": len(self.coverage),
+            "coverage_by_layer": self.coverage.by_layer(),
+            "failure_signatures": len(self.signatures),
+            "verdicts": dict(sorted(verdicts.items())),
+        }

@@ -1,0 +1,186 @@
+"""The fuzz loop: sample → run → score → admit → shrink.
+
+:class:`Fuzzer` drives the whole pipeline deterministically: given the
+same :class:`FuzzConfig` (seed + candidate budget) it evaluates the
+same candidates in the same order and produces byte-identical results —
+the property the determinism gate test replays.  A wall-clock budget
+(``budget_seconds``) may *additionally* stop the loop early for CI
+time-boxing; runs compared for determinism must use the candidate
+budget alone.
+
+Candidate sourcing alternates between fresh grammar samples and
+mutations of corpus frontier entries (coverage-guided search needs
+both: samples for global reach, mutations to push past a frontier
+entry's neighborhood).  Every failing candidate with a novel failure
+signature is shrunk on the spot to a minimal deterministic repro.
+"""
+
+from __future__ import annotations
+
+import time as wallclock
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from ..obs.history import RunHistory
+from ..scenarios.spec import spec_hash
+from .corpus import Corpus, CorpusEntry
+from .grammar import ScenarioGrammar
+from .oracle import CandidateResult, evaluate_candidate
+from .shrink import ShrinkResult, shrink
+
+#: Every third candidate mutates a corpus entry (when one exists).
+MUTATE_EVERY = 3
+
+
+@dataclass(frozen=True)
+class FuzzConfig:
+    """One fuzz run's parameters (the determinism key)."""
+
+    seed: int = 0
+    #: Evaluate at most this many candidates.
+    candidates: int = 50
+    #: Optional wall-clock cap in seconds (CI time-boxing).  Checked
+    #: between candidates; None means the candidate budget alone rules.
+    budget_seconds: Optional[float] = None
+    #: Campaign seed used for every candidate run.
+    campaign_seed: int = 0
+    #: Also run each candidate 2-shard inline and compare digests.
+    check_divergence: bool = True
+    #: Cap on shrink probes per novel failure signature.
+    shrink_attempts: int = 150
+
+
+@dataclass
+class Finding:
+    """One novel failure, shrunk to its minimal deterministic repro."""
+
+    index: int
+    original: CandidateResult
+    shrunk: ShrinkResult
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "index": self.index,
+            "verdict": self.original.verdict.kind,
+            "signature": list(self.original.verdict.signature),
+            "detail": self.original.verdict.detail,
+            "original_members": self.original.spec.members,
+            "shrunk_members": self.shrunk.spec.members,
+            "shrunk_duration": self.shrunk.spec.duration,
+            "shrink_attempts": self.shrunk.attempts,
+            "spec_hash": spec_hash(self.shrunk.spec),
+            "spec": self.shrunk.spec.to_json(),
+        }
+
+
+@dataclass
+class FuzzReport:
+    """Everything one fuzz run produced (JSON-friendly via as_dict)."""
+
+    config: FuzzConfig
+    evaluated: int = 0
+    admitted: List[CorpusEntry] = field(default_factory=list)
+    findings: List[Finding] = field(default_factory=list)
+    coverage_keys: int = 0
+    coverage_by_layer: Dict[str, int] = field(default_factory=dict)
+    wall_seconds: float = 0.0
+    stopped_by: str = "candidates"
+
+    @property
+    def candidates_per_sec(self) -> float:
+        if self.wall_seconds <= 0:
+            return 0.0
+        return self.evaluated / self.wall_seconds
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "seed": self.config.seed,
+            "campaign_seed": self.config.campaign_seed,
+            "candidates": self.config.candidates,
+            "evaluated": self.evaluated,
+            "stopped_by": self.stopped_by,
+            "admitted": [entry.as_dict() for entry in self.admitted],
+            "findings": [finding.as_dict() for finding in self.findings],
+            "coverage_keys": self.coverage_keys,
+            "coverage_by_layer": dict(self.coverage_by_layer),
+            "wall_seconds": self.wall_seconds,
+            "candidates_per_sec": self.candidates_per_sec,
+        }
+
+    def determinism_witness(self) -> Dict[str, Any]:
+        """The run's deterministic core: everything except wall-clock.
+
+        Two runs of the same :class:`FuzzConfig` (candidate-budget
+        stop) must agree on this dict exactly — the determinism gate
+        compares these witnesses.
+        """
+        return {
+            "evaluated": self.evaluated,
+            "admitted": [entry.as_dict() for entry in self.admitted],
+            "findings": [finding.as_dict() for finding in self.findings],
+            "coverage_keys": self.coverage_keys,
+            "coverage_by_layer": dict(self.coverage_by_layer),
+        }
+
+
+class Fuzzer:
+    """Coverage-guided scenario fuzzing over the campaign surface."""
+
+    def __init__(
+        self,
+        config: FuzzConfig,
+        corpus: Optional[Corpus] = None,
+        history: Optional[RunHistory] = None,
+    ) -> None:
+        self.config = config
+        self.grammar = ScenarioGrammar(config.seed)
+        self.corpus = corpus if corpus is not None else Corpus()
+        self.history = history
+
+    # ------------------------------------------------------------------
+    def _next_spec(self, index: int):
+        """Sample or mutate, deterministically by index."""
+        frontier = self.corpus.entries
+        if frontier and index % MUTATE_EVERY == MUTATE_EVERY - 1:
+            parent = frontier[index % len(frontier)]
+            return self.grammar.mutate(parent.spec, index), "mutate"
+        return self.grammar.sample(index), "sample"
+
+    def run(self) -> FuzzReport:
+        config = self.config
+        report = FuzzReport(config=config)
+        start = wallclock.perf_counter()
+        for index in range(config.candidates):
+            if (
+                config.budget_seconds is not None
+                and wallclock.perf_counter() - start >= config.budget_seconds
+            ):
+                report.stopped_by = "budget"
+                break
+            spec, origin = self._next_spec(index)
+            result = evaluate_candidate(
+                spec,
+                config.campaign_seed,
+                check_divergence=config.check_divergence,
+            )
+            report.evaluated += 1
+            novel_failure = (
+                result.failing
+                and result.verdict.signature not in self.corpus.signatures
+            )
+            entry = self.corpus.consider(result, origin)
+            if entry is not None:
+                report.admitted.append(entry)
+            if novel_failure:
+                shrunk = shrink(
+                    result, max_attempts=config.shrink_attempts
+                )
+                report.findings.append(
+                    Finding(index=index, original=result, shrunk=shrunk)
+                )
+        report.wall_seconds = wallclock.perf_counter() - start
+        report.coverage_keys = len(self.corpus.coverage)
+        report.coverage_by_layer = self.corpus.coverage.by_layer()
+        if self.history is not None and report.admitted:
+            self.corpus.persist(self.history, report.admitted)
+        return report

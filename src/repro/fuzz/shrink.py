@@ -1,0 +1,156 @@
+"""Greedy spec shrinking: from a failing candidate to a minimal repro.
+
+A grammar-sampled failure is rarely committable as-is — six TVs, two
+stray fault phases, a 58-second horizon, and a pile of incidental
+profile noise around the one interaction that matters.  :func:`shrink`
+reduces it the classic delta-debugging way: apply structural reduction
+passes (drop phases, zero device kinds, halve counts, shorten the
+horizon, simplify profiles, trim corrupt-packet lists), keep any
+reduction under which the candidate *still fails with the same verdict
+signature*, and iterate to a fixpoint.
+
+The predicate re-runs the full oracle each probe, so a shrunk repro is
+deterministic by construction: it is only accepted because it failed
+the same way again.  Probes are capped (``max_attempts``) — shrinking
+is a budgeted activity inside a fuzz run, not an unbounded search.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Callable, Iterator, Optional, Tuple
+
+from ..scenarios.spec import ScenarioSpec, UserProfile
+from .oracle import CandidateResult, evaluate_candidate
+
+
+@dataclass
+class ShrinkResult:
+    """The minimal spec plus the bookkeeping of how it got there."""
+
+    spec: ScenarioSpec
+    result: CandidateResult
+    attempts: int
+    accepted: int
+
+    @property
+    def signature(self) -> Tuple[str, ...]:
+        return self.result.verdict.signature
+
+
+def _reductions(spec: ScenarioSpec) -> Iterator[ScenarioSpec]:
+    """Candidate reductions, most aggressive first (a successful early
+    cut saves every later probe the work)."""
+    # drop whole fault phases
+    for index in range(len(spec.phases)):
+        yield replace(spec, phases=tuple(
+            phase for i, phase in enumerate(spec.phases) if i != index
+        ))
+    # zero out whole device kinds
+    for kind in ("tvs", "players", "printers"):
+        if getattr(spec, kind):
+            yield replace(spec, **{kind: 0})
+    # halve device counts, then step to 1
+    for kind in ("tvs", "players", "printers"):
+        count = getattr(spec, kind)
+        if count > 1:
+            yield replace(spec, **{kind: count // 2})
+            yield replace(spec, **{kind: 1})
+    # widen the fault to the whole population (fraction 1.0 on a
+    # 1-member kind is the canonical minimal form)
+    for index, phase in enumerate(spec.phases):
+        if phase.fraction < 1.0:
+            yield replace(spec, phases=tuple(
+                replace(p, fraction=1.0) if i == index else p
+                for i, p in enumerate(spec.phases)
+            ))
+    # shorten the horizon (keep every phase inside it)
+    latest = max((p.at for p in spec.phases), default=0.0)
+    for factor in (0.5, 0.75):
+        shorter = round(spec.duration * factor, 1)
+        if shorter > latest + 1.0 and shorter >= 5.0:
+            yield replace(spec, duration=shorter)
+    # pull phases to the start
+    for index, phase in enumerate(spec.phases):
+        if phase.at > 1.0:
+            yield replace(spec, phases=tuple(
+                replace(p, at=1.0) if i == index else p
+                for i, p in enumerate(spec.phases)
+            ))
+    # drop scheduled-repair windows and pulses
+    for index, phase in enumerate(spec.phases):
+        if phase.duration is not None or phase.pulse_every is not None:
+            yield replace(spec, phases=tuple(
+                replace(p, duration=None, pulse_every=None)
+                if i == index else p
+                for i, p in enumerate(spec.phases)
+            ))
+    # simplify user behaviour to the default profile
+    if spec.profiles != (UserProfile("default"),):
+        yield replace(spec, profiles=(UserProfile("default"),))
+    # drop per-profile extras one at a time
+    for index in range(len(spec.profiles)):
+        if len(spec.profiles) > 1:
+            yield replace(spec, profiles=tuple(
+                p for i, p in enumerate(spec.profiles) if i != index
+            ))
+    # strip incidental drivers
+    if spec.corrupt_player_packets:
+        yield replace(spec, corrupt_player_packets=())
+        if len(spec.corrupt_player_packets) > 1:
+            yield replace(
+                spec,
+                corrupt_player_packets=spec.corrupt_player_packets[:1],
+            )
+    if spec.player_seek_every is not None:
+        yield replace(spec, player_seek_every=None)
+    if spec.printer_job_gap is not None:
+        yield replace(spec, printer_job_gap=None)
+    if spec.record_spans:
+        yield replace(spec, record_spans=False)
+
+
+def shrink(
+    result: CandidateResult,
+    max_attempts: int = 150,
+    evaluate: Optional[Callable[[ScenarioSpec, int], CandidateResult]] = None,
+) -> ShrinkResult:
+    """Reduce ``result.spec`` while it keeps failing the same way.
+
+    ``evaluate`` defaults to the full oracle (serial + shard-divergence
+    run); tests inject cheaper predicates.
+    """
+    if not result.failing:
+        raise ValueError("only failing candidates shrink")
+    if evaluate is None:
+        evaluate = evaluate_candidate
+    target = result.verdict.signature
+    current = result
+    attempts = 0
+    accepted = 0
+    progress = True
+    while progress and attempts < max_attempts:
+        progress = False
+        for candidate in _reductions(current.spec):
+            if attempts >= max_attempts:
+                break
+            candidate = replace(
+                candidate, name=f"{result.spec.name}-min"
+            )
+            try:
+                candidate.validate()
+            except ValueError:
+                continue
+            attempts += 1
+            probe = evaluate(candidate, result.seed)
+            if probe.failing and probe.verdict.signature == target:
+                current = probe
+                accepted += 1
+                progress = True
+                break  # restart passes from the smaller spec
+    return ShrinkResult(
+        spec=current.spec,
+        result=current,
+        attempts=attempts,
+        accepted=accepted,
+    )

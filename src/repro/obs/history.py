@@ -73,10 +73,26 @@ CREATE TABLE IF NOT EXISTS episodes (
     hit         INTEGER,
     digest      TEXT
 );
+CREATE TABLE IF NOT EXISTS fuzz_corpus (
+    id          INTEGER PRIMARY KEY AUTOINCREMENT,
+    recorded_at TEXT NOT NULL,
+    git_rev     TEXT,
+    spec_hash   TEXT NOT NULL UNIQUE,
+    name        TEXT,
+    seed        INTEGER,
+    origin      TEXT,
+    verdict     TEXT,
+    signature   TEXT,
+    novel_keys  TEXT,
+    coverage    TEXT,
+    spec        TEXT NOT NULL
+);
 CREATE INDEX IF NOT EXISTS idx_campaigns_scenario
     ON campaigns (scenario, id);
 CREATE INDEX IF NOT EXISTS idx_episodes_campaign
     ON episodes (campaign_id);
+CREATE INDEX IF NOT EXISTS idx_fuzz_verdict
+    ON fuzz_corpus (verdict, id);
 """
 
 
@@ -213,6 +229,45 @@ class RunHistory:
         self._conn.commit()
         return campaign_id
 
+    def record_fuzz_entry(
+        self,
+        spec_hash: str,
+        spec_json: str,
+        name: Optional[str] = None,
+        seed: Optional[int] = None,
+        origin: Optional[str] = None,
+        verdict: Optional[str] = None,
+        signature: Optional[str] = None,
+        novel_keys: Optional[List[str]] = None,
+        coverage: Optional[List[str]] = None,
+        git_rev: Optional[str] = None,
+    ) -> Optional[int]:
+        """Append one fuzz-corpus entry (:mod:`repro.fuzz`): the spec's
+        canonical JSON keyed by its :func:`~repro.scenarios.spec_hash`.
+        A hash already in the store is left untouched (the corpus is a
+        set); returns the row id, or None for such a duplicate."""
+        cursor = self._conn.execute(
+            "INSERT OR IGNORE INTO fuzz_corpus (recorded_at, git_rev,"
+            " spec_hash, name, seed, origin, verdict, signature,"
+            " novel_keys, coverage, spec)"
+            " VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
+            (
+                _utcnow(),
+                git_rev if git_rev is not None else current_git_rev(),
+                spec_hash,
+                name,
+                seed,
+                origin,
+                verdict,
+                signature,
+                json.dumps(sorted(novel_keys or [])),
+                json.dumps(sorted(coverage or [])),
+                spec_json,
+            ),
+        )
+        self._conn.commit()
+        return int(cursor.lastrowid) if cursor.rowcount else None
+
     # ------------------------------------------------------------------
     # reads (newest first)
     # ------------------------------------------------------------------
@@ -282,11 +337,44 @@ class RunHistory:
         ).fetchall()
         return [dict(row) for row in rows]
 
+    def fuzz_entries(
+        self, verdict: Optional[str] = None, limit: int = 100
+    ) -> List[Dict[str, Any]]:
+        """Fuzz-corpus rows, newest first, coverage/novel keys decoded."""
+        query = (
+            "SELECT id, recorded_at, git_rev, spec_hash, name, seed,"
+            " origin, verdict, signature, novel_keys, coverage, spec"
+            " FROM fuzz_corpus"
+        )
+        params: tuple = ()
+        if verdict is not None:
+            query += " WHERE verdict = ?"
+            params = (verdict,)
+        query += " ORDER BY id DESC LIMIT ?"
+        rows = self._conn.execute(query, params + (limit,)).fetchall()
+        entries = []
+        for row in rows:
+            entry = dict(row)
+            entry["novel_keys"] = json.loads(entry["novel_keys"] or "[]")
+            entry["coverage"] = json.loads(entry["coverage"] or "[]")
+            entries.append(entry)
+        return entries
+
+    def fuzz_coverage(self) -> List[str]:
+        """The union of coverage keys over every stored corpus entry —
+        what a resumed fuzz run counts as "already seen"."""
+        seen: set = set()
+        for row in self._conn.execute(
+            "SELECT coverage FROM fuzz_corpus"
+        ).fetchall():
+            seen.update(json.loads(row["coverage"] or "[]"))
+        return sorted(seen)
+
     def counts(self) -> Dict[str, int]:
         """Row counts per table (used by the CLI's query summary)."""
         return {
             table: self._conn.execute(
                 f"SELECT COUNT(*) AS n FROM {table}"
             ).fetchone()["n"]
-            for table in ("runs", "campaigns", "episodes")
+            for table in ("runs", "campaigns", "episodes", "fuzz_corpus")
         }

@@ -21,6 +21,13 @@ Quick start::
 """
 
 from .compile import CompiledScenario, FAULT_ACTIONS
+from .exercise import (
+    EXERCISE_GAP,
+    EXERCISE_KEYS,
+    exercise_profile,
+    tv_exercise_script,
+    uncovered_by_exercise,
+)
 from .recovery import MemberRecovery
 from .plan import (
     PlannedMember,
@@ -42,10 +49,13 @@ from .spec import (
     FaultPhase,
     ScenarioSpec,
     UserProfile,
+    spec_hash,
 )
 
 __all__ = [
     "CompiledScenario",
+    "EXERCISE_GAP",
+    "EXERCISE_KEYS",
     "FAULT_ACTIONS",
     "FaultPhase",
     "KNOWN_FAULTS",
@@ -60,9 +70,13 @@ __all__ = [
     "UserProfile",
     "build_plan",
     "derive_shard_seed",
+    "exercise_profile",
     "format_table",
     "get_scenario",
     "partition_plan",
     "register_scenario",
     "scenario_names",
+    "spec_hash",
+    "tv_exercise_script",
+    "uncovered_by_exercise",
 ]

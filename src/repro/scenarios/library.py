@@ -18,6 +18,7 @@ from __future__ import annotations
 
 from typing import Dict, List
 
+from .exercise import exercise_profile
 from .spec import FaultPhase, ScenarioSpec, UserProfile
 
 ZAP_KEYS = ("ch_up", "ch_down", "digit1", "digit5", "digit9", "ok", "back")
@@ -235,6 +236,45 @@ register_scenario(ScenarioSpec(
         FaultPhase("silent_jam", at=32.0, kind="printer", fraction=0.5,
                    recovery=True),
     ),
+))
+
+# ----------------------------------------------------------------------
+# fuzzer-pinned repros (PR 8).  Each pair of facts below was found by
+# ``python -m repro.fuzz run``, shrunk to a minimal spec, and pinned
+# here with the workload fix that closes the detection gap; the shrunk
+# *failing* twins live in tests/test_fuzz_repros.py.
+# ----------------------------------------------------------------------
+register_scenario(ScenarioSpec(
+    name="fuzz-latent-volume",
+    description="Fuzzer find (spec 2c248f67be04, campaign seed 2): a "
+                "volume_overshoot injected at t=0 on a lone TV stayed "
+                "invisible for the whole horizon because the sampled "
+                "profile never touched a volume key — passive awareness "
+                "cannot see a latent interaction fault.  Pinned with the "
+                "model-coverage exercise profile, which is guaranteed to "
+                "reach every key-triggered spec transition: detection "
+                "now lands within the first volume press's streak.",
+    duration=18.0,
+    tvs=1,
+    profiles=(exercise_profile(),),
+    phases=(FaultPhase("volume_overshoot", at=1.0, kind="tv", fraction=1.0),),
+))
+
+register_scenario(ScenarioSpec(
+    name="fuzz-printer-silent-jam",
+    description="Fuzzer find (spec 8ade5f2b092a, campaign seed 5): a "
+                "silent feeder jam on an idle printer — no job gap, so "
+                "the paper path never ran and every throughput/progress "
+                "observable stayed vacuously healthy.  Pinned with a "
+                "probe job cadence: the first submission stalls in the "
+                "jammed feeder and the progressing observable flags the "
+                "divergence inside the spec's slack window.",
+    duration=25.0,
+    printers=1,
+    printer_job_gap=5.0,
+    printer_pages=(2, 4),
+    profiles=(),
+    phases=(FaultPhase("silent_jam", at=1.0, kind="printer", fraction=1.0),),
 ))
 
 register_scenario(ScenarioSpec(

@@ -17,8 +17,10 @@ draws from streams derived from ``(seed, scenario)`` names, so the same
 
 from __future__ import annotations
 
+import hashlib
+import json
 from dataclasses import dataclass, field, replace
-from typing import Optional, Tuple
+from typing import Any, Dict, Optional, Tuple
 
 #: TV faults toggled through ``control.fault_flags``.
 TV_FLAG_FAULTS = ("volume_overshoot", "mute_noop", "menu_opens_epg")
@@ -48,6 +50,26 @@ LOAD_FAULTS = frozenset(
 )
 
 
+def _opt_tuple(value) -> Optional[Tuple[str, ...]]:
+    return None if value is None else tuple(value)
+
+
+def _opt_float(value) -> Optional[float]:
+    return None if value is None else float(value)
+
+
+def spec_hash(spec: "ScenarioSpec") -> str:
+    """Stable SHA-256 identity of a spec's canonical JSON form.
+
+    Two specs hash equal iff they are behaviourally the same scenario:
+    the canonical form coerces ints-given-for-floats, restores no
+    defaults, and sorts keys, so hand-written, round-tripped, and
+    grammar-sampled specs all agree.  This is the corpus key under
+    :mod:`repro.fuzz` and the diffable identity of a shrunk repro.
+    """
+    return hashlib.sha256(spec.canonical_json().encode("utf-8")).hexdigest()
+
+
 @dataclass(frozen=True)
 class UserProfile:
     """One class of TV user: how often they press, and what.
@@ -69,6 +91,33 @@ class UserProfile:
     keys: Optional[Tuple[str, ...]] = None
     weight: float = 1.0
     script: Optional[Tuple[str, ...]] = None
+
+    def to_json(self) -> Dict[str, Any]:
+        """Canonical JSON form (see :func:`spec_hash` for the contract)."""
+        data: Dict[str, Any] = {
+            "name": self.name,
+            "mean_gap": float(self.mean_gap),
+            "weight": float(self.weight),
+        }
+        # Optional tuple fields serialize as lists only when present, so
+        # the canonical form has no nulls to diff against.
+        if self.keys is not None:
+            data["keys"] = list(self.keys)
+        if self.script is not None:
+            data["script"] = list(self.script)
+        return data
+
+    @classmethod
+    def from_json(cls, data: Dict[str, Any]) -> "UserProfile":
+        return cls(
+            name=data["name"],
+            mean_gap=float(data.get("mean_gap", 4.0)),
+            # JSON has no tuples: restore them, else a loaded profile
+            # would not compare (or hash) equal to the one it came from.
+            keys=_opt_tuple(data.get("keys")),
+            weight=float(data.get("weight", 1.0)),
+            script=_opt_tuple(data.get("script")),
+        )
 
     def validate(self) -> None:
         if self.mean_gap <= 0:
@@ -130,6 +179,33 @@ class FaultPhase:
     def marks_faulty(self) -> bool:
         """Whether targets count as fault-injected for detection rates."""
         return (self.kind, self.fault) not in LOAD_FAULTS
+
+    def to_json(self) -> Dict[str, Any]:
+        data: Dict[str, Any] = {
+            "fault": self.fault,
+            "at": float(self.at),
+            "kind": self.kind,
+            "fraction": float(self.fraction),
+        }
+        if self.duration is not None:
+            data["duration"] = float(self.duration)
+        if self.pulse_every is not None:
+            data["pulse_every"] = float(self.pulse_every)
+        if self.recovery:
+            data["recovery"] = True
+        return data
+
+    @classmethod
+    def from_json(cls, data: Dict[str, Any]) -> "FaultPhase":
+        return cls(
+            fault=data["fault"],
+            at=float(data["at"]),
+            kind=data.get("kind", "tv"),
+            fraction=float(data.get("fraction", 0.25)),
+            duration=_opt_float(data.get("duration")),
+            pulse_every=_opt_float(data.get("pulse_every")),
+            recovery=bool(data.get("recovery", False)),
+        )
 
     def validate(self) -> None:
         if (self.kind, self.fault) not in KNOWN_FAULTS:
@@ -245,6 +321,90 @@ class ScenarioSpec:
             raise ValueError(f"scenario {self.name!r}: printer_job_gap must be > 0")
         if self.printer_pages[0] < 1 or self.printer_pages[1] < self.printer_pages[0]:
             raise ValueError(f"scenario {self.name!r}: bad printer_pages range")
+
+    # ------------------------------------------------------------------
+    # canonical serialization (corpus entries, shrunk repros, diffs)
+    # ------------------------------------------------------------------
+    def to_json(self) -> Dict[str, Any]:
+        """Canonical JSON form: floats are floats, tuples are lists, and
+        fields at their dataclass default are omitted — so two equal
+        specs always serialize to the same bytes under
+        ``json.dumps(..., sort_keys=True)`` and :func:`spec_hash` is a
+        stable identity for corpus entries and shrunk repros."""
+        data: Dict[str, Any] = {
+            "name": self.name,
+            "description": self.description,
+            "duration": float(self.duration),
+            "tvs": int(self.tvs),
+            "players": int(self.players),
+            "printers": int(self.printers),
+            "profiles": [profile.to_json() for profile in self.profiles],
+            "phases": [phase.to_json() for phase in self.phases],
+            "player_packets": int(self.player_packets),
+            "corrupt_player_packets": [
+                int(i) for i in self.corrupt_player_packets
+            ],
+            "printer_pages": [int(p) for p in self.printer_pages],
+            "stagger": float(self.stagger),
+            "telemetry_window": float(self.telemetry_window),
+            "telemetry_reservoir": int(self.telemetry_reservoir),
+            "record_spans": bool(self.record_spans),
+        }
+        if self.player_seek_every is not None:
+            data["player_seek_every"] = float(self.player_seek_every)
+        if self.printer_job_gap is not None:
+            data["printer_job_gap"] = float(self.printer_job_gap)
+        if self.retain_trace is not None:
+            data["retain_trace"] = bool(self.retain_trace)
+        return data
+
+    @classmethod
+    def from_json(cls, data: Dict[str, Any]) -> "ScenarioSpec":
+        """Inverse of :meth:`to_json`: ``from_json(spec.to_json())``
+        compares equal to ``spec`` (tuples restored from JSON lists —
+        the field shapes that used to break round-tripping)."""
+        return cls(
+            name=data["name"],
+            description=data.get("description", ""),
+            duration=float(data["duration"]),
+            tvs=int(data.get("tvs", 0)),
+            players=int(data.get("players", 0)),
+            printers=int(data.get("printers", 0)),
+            profiles=(
+                tuple(
+                    UserProfile.from_json(entry)
+                    for entry in data["profiles"]
+                )
+                if "profiles" in data
+                else (UserProfile("default"),)
+            ),
+            phases=tuple(
+                FaultPhase.from_json(entry) for entry in data.get("phases", [])
+            ),
+            player_seek_every=_opt_float(data.get("player_seek_every")),
+            player_packets=int(data.get("player_packets", 500)),
+            corrupt_player_packets=tuple(
+                int(i) for i in data.get("corrupt_player_packets", [])
+            ),
+            printer_job_gap=_opt_float(data.get("printer_job_gap")),
+            printer_pages=tuple(
+                int(p) for p in data.get("printer_pages", (1, 4))
+            ),
+            stagger=float(data.get("stagger", 0.1)),
+            retain_trace=(
+                None if data.get("retain_trace") is None
+                else bool(data["retain_trace"])
+            ),
+            telemetry_window=float(data.get("telemetry_window", 10.0)),
+            telemetry_reservoir=int(data.get("telemetry_reservoir", 512)),
+            record_spans=bool(data.get("record_spans", False)),
+        )
+
+    def canonical_json(self) -> str:
+        """The canonical byte form :func:`spec_hash` hashes."""
+        return json.dumps(
+            self.to_json(), sort_keys=True, separators=(",", ":")
+        )
 
     def scaled(self, factor: float) -> "ScenarioSpec":
         """The same scenario with the device mix scaled by ``factor``

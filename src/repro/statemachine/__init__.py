@@ -20,12 +20,13 @@ __all__ = [
 ]
 
 from .check import CheckReport, ModelChecker, Violation
-from .testgen import Scenario, TestGenerator
+from .testgen import CoverageReport, Scenario, TestGenerator
 
 __all__ += [
     "CheckReport",
     "ModelChecker",
     "Scenario",
+    "CoverageReport",
     "TestGenerator",
     "Violation",
 ]

@@ -21,6 +21,11 @@ from .machine import Machine
 from .check import ModelChecker
 
 
+#: One transition-coverage key: ``(source-config, target-config, event)``
+#: — an edge of the reachable labelled transition system.
+CoverageKey = Tuple[str, str, str]
+
+
 @dataclass
 class Scenario:
     """One generated test: the event names to inject in order."""
@@ -31,6 +36,35 @@ class Scenario:
 
     def __len__(self) -> int:
         return len(self.events)
+
+
+@dataclass(frozen=True)
+class CoverageReport:
+    """Covered vs uncovered transition keys against one machine's
+    reachable LTS — the shared oracle for the test generator, the
+    scenario fuzzer, and any future coverage tool."""
+
+    covered: frozenset
+    uncovered: frozenset
+
+    @property
+    def total(self) -> int:
+        return len(self.covered) + len(self.uncovered)
+
+    @property
+    def ratio(self) -> float:
+        """Covered / reachable (vacuously 1.0 on an edgeless model)."""
+        total = self.total
+        return len(self.covered) / total if total else 1.0
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "total": self.total,
+            "covered": len(self.covered),
+            "uncovered": len(self.uncovered),
+            "ratio": self.ratio,
+            "uncovered_keys": sorted(self.uncovered),
+        }
 
 
 class TestGenerator:
@@ -47,6 +81,7 @@ class TestGenerator:
         self.max_states = max_states
         self._graph: Optional[nx.MultiDiGraph] = None
         self._initial_key: Optional[str] = None
+        self._fired_names: Optional[frozenset] = None
 
     # ------------------------------------------------------------------
     def _explore(self) -> nx.MultiDiGraph:
@@ -83,15 +118,71 @@ class TestGenerator:
         vars_key = repr(sorted(snapshot["vars"].items(), key=lambda kv: kv[0]))
         return (snapshot["active"] or "") + "|" + vars_key
 
+    def _ensure_explored(self) -> nx.MultiDiGraph:
+        """Explore once, caching the LTS and the set of machine
+        transitions the walk exercised (by fire-count delta, so one
+        O(transitions) diff instead of per-dispatch bookkeeping)."""
+        if self._graph is None:
+            before = {
+                id(t): t.fire_count for t in self.machine.all_transitions()
+            }
+            self._graph = self._explore()
+            self._fired_names = frozenset(
+                t.name
+                for t in self.machine.all_transitions()
+                if t.fire_count > before[id(t)]
+            )
+        return self._graph
+
+    # ------------------------------------------------------------------
+    # the public coverage oracle
+    # ------------------------------------------------------------------
+    def coverage_keys(self) -> frozenset:
+        """Every reachable transition key ``(source, target, event)``.
+
+        This is exactly the edge set :meth:`generate`'s greedy walk
+        covers — exposed so other tools (the scenario fuzzer's coverage
+        signal, future dashboards) measure against the same universe
+        instead of re-deriving their own.
+        """
+        graph = self._ensure_explored()
+        return frozenset(
+            (u, v, data["event"]) for u, v, data in graph.edges(data=True)
+        )
+
+    def transition_names(self) -> frozenset:
+        """Names of the machine's transitions the reachable LTS can fire.
+
+        Coarser than :meth:`coverage_keys` (one name may label many LTS
+        edges) but directly comparable with live ``fire_count`` data —
+        the granularity :mod:`repro.fuzz` reads off running monitors.
+        """
+        self._ensure_explored()
+        assert self._fired_names is not None
+        return self._fired_names
+
+    def uncovered_report(self, covered) -> CoverageReport:
+        """Split the reachable keys against an observed ``covered`` set.
+
+        ``covered`` may hold LTS edge triples (from :attr:`Scenario.
+        covers`) or transition names (from live machines); whichever
+        universe its elements belong to decides the comparison.
+        """
+        covered = set(covered)
+        if covered and all(isinstance(key, str) for key in covered):
+            universe = self.transition_names()
+        else:
+            universe = self.coverage_keys()
+        return CoverageReport(
+            covered=frozenset(universe & covered),
+            uncovered=frozenset(universe - covered),
+        )
+
     # ------------------------------------------------------------------
     def generate(self, max_scenarios: int = 50) -> List[Scenario]:
         """Greedy transition coverage: repeatedly walk to an uncovered edge."""
-        if self._graph is None:
-            self._graph = self._explore()
-        graph = self._graph
-        uncovered: Set[Tuple[str, str, str]] = {
-            (u, v, data["event"]) for u, v, data in graph.edges(data=True)
-        }
+        graph = self._ensure_explored()
+        uncovered: Set[Tuple[str, str, str]] = set(self.coverage_keys())
         scenarios: List[Scenario] = []
         counter = 0
         while uncovered and counter < max_scenarios:

@@ -1,0 +1,373 @@
+"""The ``repro.fuzz`` subsystem: grammar, oracle, corpus, shrinker,
+engine, persistence, and CLI.
+
+The load-bearing test is :class:`TestDeterminismGate`: a bounded fuzz
+run (fixed seed, fixed candidate budget) must be *fully deterministic*
+across two invocations — same candidates, same verdicts, same coverage,
+same shrunk repros.  Everything the fuzzer reports is replayable from
+``(seed, candidates)`` alone; wall-clock shows up nowhere in the
+witness.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.fuzz import (
+    Corpus,
+    CoverageMap,
+    FuzzConfig,
+    Fuzzer,
+    OP_VOCABULARY,
+    ScenarioGrammar,
+    Verdict,
+    classify,
+    evaluate_candidate,
+    markov_walk,
+    shrink,
+)
+from repro.fuzz.cli import main as fuzz_main
+from repro.fuzz.engine import MUTATE_EVERY
+from repro.obs.history import RunHistory
+from repro.scenarios import ScenarioSpec, get_scenario, spec_hash
+from repro.tv.remote import KEYS
+
+
+# ----------------------------------------------------------------------
+# grammar
+# ----------------------------------------------------------------------
+class TestGrammar:
+    def test_samples_are_valid_and_deterministic(self):
+        g1, g2 = ScenarioGrammar(seed=11), ScenarioGrammar(seed=11)
+        for index in range(25):
+            spec = g1.sample(index)
+            spec.validate()  # grammar output must always validate
+            assert spec == g2.sample(index)
+
+    def test_sample_is_index_addressed(self):
+        # Candidate N is the same spec no matter what was sampled before
+        # it — the property that lets mutation interleave with sampling
+        # without perturbing later candidates.
+        grammar = ScenarioGrammar(seed=4)
+        eighth = grammar.sample(8)
+        fresh = ScenarioGrammar(seed=4)
+        assert fresh.sample(8) == eighth
+
+    def test_different_seeds_differ(self):
+        a = [ScenarioGrammar(seed=0).sample(i) for i in range(6)]
+        b = [ScenarioGrammar(seed=1).sample(i) for i in range(6)]
+        assert a != b
+
+    def test_mutations_are_valid_and_deterministic(self):
+        grammar = ScenarioGrammar(seed=7)
+        base = grammar.sample(3)
+        for index in range(10):
+            mutant = grammar.mutate(base, index)
+            mutant.validate()
+            assert mutant == ScenarioGrammar(seed=7).mutate(base, index)
+
+    def test_markov_walk_ops_are_legal_keys(self):
+        import random
+
+        ops = markov_walk(random.Random(5), 40, OP_VOCABULARY)
+        assert len(ops) == 40
+        assert set(ops) <= set(OP_VOCABULARY) <= set(KEYS)
+
+
+# ----------------------------------------------------------------------
+# oracle
+# ----------------------------------------------------------------------
+class TestOracle:
+    def test_healthy_scenario_is_ok(self):
+        spec = ScenarioSpec(
+            name="healthy", description="", duration=12.0, printers=1,
+            printer_job_gap=4.0, profiles=(),
+        )
+        result = evaluate_candidate(spec, seed=0, check_divergence=False)
+        assert result.verdict.kind == "ok"
+        assert not result.failing
+        assert result.coverage  # ok candidates still contribute coverage
+
+    def test_digest_divergence_outranks_everything(self):
+        spec = get_scenario("fuzz-printer-silent-jam")
+        from repro.campaign.backends import SerialBackend
+
+        report, _fleet, compiled = SerialBackend().run_detailed(spec, 0)
+        verdict = classify(spec, report, compiled, shard_digest="deadbeef")
+        assert verdict.kind == "digest_divergence"
+        assert "deadbeef"[:12] in verdict.detail
+
+    def test_signature_is_kind_plus_fault_pairs(self):
+        verdict = Verdict(
+            kind="missed_detection",
+            fault_pairs=(("printer", "silent_jam"), ("tv", "mute_noop")),
+        )
+        assert verdict.signature == (
+            "missed_detection", "printer:silent_jam", "tv:mute_noop",
+        )
+        assert verdict.failing
+
+    def test_crash_verdict_captures_exception(self):
+        # A spec that validates but explodes in compile: unknown faults
+        # are caught by validate, so force a crash through a bad field.
+        spec = ScenarioSpec(
+            name="boom", description="", duration=10.0, tvs=1,
+            profiles=(), phases=(),
+        )
+        # tvs without profiles fails validation inside the campaign run
+        result = evaluate_candidate(spec, seed=0, check_divergence=False)
+        assert result.verdict.kind == "crash"
+        assert "profiles" in result.verdict.detail
+
+
+# ----------------------------------------------------------------------
+# coverage + corpus
+# ----------------------------------------------------------------------
+class TestCorpus:
+    def test_coverage_map_admits_only_novel(self):
+        cmap = CoverageMap(["model:tv:a"])
+        assert cmap.novel(["model:tv:a", "fault:tv:mute_noop"]) == {
+            "fault:tv:mute_noop"
+        }
+        admitted = cmap.admit(["model:tv:a", "fault:tv:mute_noop"])
+        assert admitted == {"fault:tv:mute_noop"}
+        assert cmap.novel(["fault:tv:mute_noop"]) == frozenset()
+        assert cmap.by_layer() == {"fault": 1, "model": 1}
+
+    def test_consider_admits_novelty_then_dedupes(self):
+        corpus = Corpus()
+        spec = ScenarioSpec(
+            name="c", description="", duration=10.0, printers=1, profiles=(),
+        )
+        from repro.fuzz.oracle import CandidateResult
+
+        result = CandidateResult(
+            spec=spec, seed=0, verdict=Verdict(kind="ok"),
+            coverage=frozenset({"component:feeder"}),
+        )
+        first = corpus.consider(result, origin="sample")
+        assert first is not None and first.novel_keys == {"component:feeder"}
+        # same spec again: no new coverage, no new signature -> rejected
+        assert corpus.consider(result, origin="sample") is None
+
+    def test_new_failure_signature_admits_without_new_coverage(self):
+        corpus = Corpus()
+        spec_a = ScenarioSpec(
+            name="a", description="", duration=10.0, printers=1, profiles=(),
+        )
+        spec_b = ScenarioSpec(
+            name="b", description="", duration=11.0, printers=1, profiles=(),
+        )
+        from repro.fuzz.oracle import CandidateResult
+
+        keys = frozenset({"component:feeder"})
+        corpus.consider(
+            CandidateResult(spec=spec_a, seed=0, verdict=Verdict(kind="ok"),
+                            coverage=keys),
+            origin="sample",
+        )
+        failing = CandidateResult(
+            spec=spec_b, seed=0,
+            verdict=Verdict(kind="missed_detection",
+                            fault_pairs=(("printer", "silent_jam"),)),
+            coverage=keys,
+        )
+        entry = corpus.consider(failing, origin="sample")
+        assert entry is not None and entry.verdict == "missed_detection"
+
+    def test_persist_and_load_round_trip(self, tmp_path):
+        db = str(tmp_path / "hist.sqlite")
+        report = Fuzzer(
+            FuzzConfig(seed=2, candidates=3, check_divergence=False,
+                       shrink_attempts=10),
+            history=RunHistory(db),
+        ).run()
+        assert report.admitted
+        loaded = Corpus.load(RunHistory(db))
+        assert {e.hash for e in loaded.entries} == {
+            e.hash for e in report.admitted
+        }
+        assert loaded.coverage.keys >= frozenset().union(
+            *(e.coverage for e in report.admitted)
+        )
+        # re-persisting the same entries is a no-op (INSERT OR IGNORE)
+        assert loaded.persist(RunHistory(db), loaded.entries) == 0
+
+
+# ----------------------------------------------------------------------
+# shrinker
+# ----------------------------------------------------------------------
+class TestShrink:
+    def test_shrinks_to_minimal_reproducer(self):
+        base = get_scenario("fuzz-printer-silent-jam")
+        # Fatten the repro back up: extra devices and a pointless phase
+        # the shrinker must strip while preserving the signature.
+        from dataclasses import replace
+
+        fat = replace(
+            base, name="fat", printers=3, tvs=2, duration=40.0,
+            printer_job_gap=None,
+            profiles=(get_scenario("zapping-storm").profiles[0],),
+        )
+        fat.validate()
+        result = evaluate_candidate(fat, seed=0, check_divergence=False)
+        assert result.verdict.kind == "missed_detection"
+        outcome = shrink(result, max_attempts=60)
+        assert outcome.spec.members < fat.members
+        assert outcome.result.verdict.signature == result.verdict.signature
+        final = evaluate_candidate(
+            outcome.spec, seed=0, check_divergence=False
+        )
+        assert final.verdict.signature == result.verdict.signature
+
+    def test_ok_candidate_refuses_to_shrink(self):
+        spec = ScenarioSpec(
+            name="fine", description="", duration=10.0, printers=1,
+            printer_job_gap=4.0, profiles=(),
+        )
+        result = evaluate_candidate(spec, seed=0, check_divergence=False)
+        with pytest.raises(ValueError, match="failing"):
+            shrink(result, max_attempts=10)
+
+
+# ----------------------------------------------------------------------
+# engine: the determinism gate (ISSUE 8 acceptance criterion)
+# ----------------------------------------------------------------------
+class TestDeterminismGate:
+    def test_bounded_run_is_fully_deterministic(self):
+        config = FuzzConfig(seed=3, candidates=8, shrink_attempts=25)
+        first = Fuzzer(config).run()
+        second = Fuzzer(config).run()
+        assert first.determinism_witness() == second.determinism_witness()
+        # the witness is the run's whole deterministic core
+        assert first.evaluated == 8
+        assert first.stopped_by == "candidates"
+        assert first.coverage_keys > 0
+
+    def test_mutation_stage_engages(self):
+        report = Fuzzer(
+            FuzzConfig(seed=3, candidates=8, shrink_attempts=25)
+        ).run()
+        origins = {entry.origin for entry in report.admitted}
+        assert "sample" in origins
+        # with a non-empty frontier every MUTATE_EVERY-th candidate is a
+        # mutation; seed 3 admits early so mutants must appear
+        assert "mutate" in origins, origins
+        assert MUTATE_EVERY == 3
+
+    def test_wall_budget_stops_early(self):
+        report = Fuzzer(
+            FuzzConfig(seed=0, candidates=500, budget_seconds=0.0,
+                       check_divergence=False)
+        ).run()
+        assert report.stopped_by == "budget"
+        assert report.evaluated == 0
+
+
+# ----------------------------------------------------------------------
+# CLI
+# ----------------------------------------------------------------------
+class TestCli:
+    def test_run_writes_report(self, tmp_path):
+        out = tmp_path / "report.json"
+        code = fuzz_main([
+            "run", "--seed", "1", "--candidates", "2", "--no-db",
+            "--no-divergence-check", "--shrink-attempts", "5",
+            "--out", str(out),
+        ])
+        assert code == 0
+        data = json.loads(out.read_text())
+        assert data["evaluated"] == 2
+        assert data["seed"] == 1
+        assert "coverage_by_layer" in data
+
+    def test_corpus_and_export_round_trip(self, tmp_path):
+        db = str(tmp_path / "hist.sqlite")
+        code = fuzz_main([
+            "run", "--seed", "2", "--candidates", "3", "--db", db,
+            "--no-divergence-check", "--shrink-attempts", "5",
+        ])
+        assert code == 0
+        entries = RunHistory(db).fuzz_entries()
+        assert entries
+        assert fuzz_main(["corpus", "--db", db]) == 0
+        target = entries[0]["spec_hash"]
+        out = tmp_path / "exported.json"
+        code = fuzz_main([
+            "export-scenario", "--db", db, "--hash", target[:10],
+            "--out", str(out),
+        ])
+        assert code == 0
+        exported = ScenarioSpec.from_json(json.loads(out.read_text()))
+        assert spec_hash(exported) == target
+
+    def test_export_unknown_hash_fails(self, tmp_path):
+        db = str(tmp_path / "hist.sqlite")
+        RunHistory(db)  # create empty store
+        assert fuzz_main([
+            "export-scenario", "--db", db, "--hash", "ffffffff",
+        ]) != 0
+
+    def test_ci_mode_passes_on_clean_run(self, tmp_path):
+        # seed 1 / 2 candidates found nothing on the curated corpus
+        # above; --ci must exit 0 when there are no findings.
+        code = fuzz_main([
+            "run", "--seed", "1", "--candidates", "2", "--no-db",
+            "--no-divergence-check", "--shrink-attempts", "5", "--ci",
+        ])
+        assert code == 0
+
+    def test_known_seeding_and_soft_findings_keep_ci_green(self, capsys):
+        # The checked-in pins (benchmarks/fuzz_known) seed their failure
+        # signatures, and the remaining reproducible detection-gap
+        # findings report without failing the lane: --ci is a runtime
+        # gate, not a research-completeness gate.
+        known = os.path.join(
+            os.path.dirname(__file__), os.pardir, "benchmarks", "fuzz_known"
+        )
+        code = fuzz_main([
+            "run", "--seed", "7", "--candidates", "8", "--no-db",
+            "--known", known, "--no-divergence-check",
+            "--shrink-attempts", "5", "--ci",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "known: latent_volume.json" in out
+        assert "known: latent_silent_jam.json" in out
+        # the pinned signatures were seeded, so they are not findings
+        findings = [line for line in out.splitlines() if "FINDING" in line]
+        assert findings
+        assert not any("tv:volume_overshoot" in line for line in findings)
+        assert not any("printer:silent_jam" in line for line in findings)
+        # ... but the novel-signature findings still surface, soft
+        assert "detection-gap finding(s)" in out
+
+
+# ----------------------------------------------------------------------
+# history schema
+# ----------------------------------------------------------------------
+class TestHistoryFuzzTable:
+    def test_record_is_idempotent_by_spec_hash(self, tmp_path):
+        history = RunHistory(str(tmp_path / "h.sqlite"))
+        kwargs = dict(
+            spec_hash="abc123", spec_json="{}", name="x", seed=0,
+            origin="sample", verdict="ok", signature="",
+            novel_keys=["model:tv:t"], coverage=["model:tv:t"],
+        )
+        assert history.record_fuzz_entry(**kwargs) is not None
+        assert history.record_fuzz_entry(**kwargs) is None
+        assert history.counts()["fuzz_corpus"] == 1
+        assert history.fuzz_coverage() == ["model:tv:t"]
+
+    def test_fuzz_entries_filter_by_verdict(self, tmp_path):
+        history = RunHistory(str(tmp_path / "h.sqlite"))
+        for i, verdict in enumerate(("ok", "missed_detection")):
+            history.record_fuzz_entry(
+                spec_hash=f"hash{i}", spec_json="{}", name=f"s{i}", seed=0,
+                origin="sample", verdict=verdict,
+                signature="missed_detection|tv:mute_noop" if i else "",
+                novel_keys=[], coverage=[],
+            )
+        failing = history.fuzz_entries(verdict="missed_detection")
+        assert [row["name"] for row in failing] == ["s1"]

@@ -65,7 +65,9 @@ def test_run_round_trip(tmp_path):
         ]
         priors = history.run_reports(limit=5, before_id=second)
         assert [r["fleet"]["events_per_sec"] for r in priors] == [150_000]
-        assert history.counts() == {"runs": 2, "campaigns": 0, "episodes": 0}
+        assert history.counts() == {
+            "runs": 2, "campaigns": 0, "episodes": 0, "fuzz_corpus": 0,
+        }
     # reopening sees the same rows (it is a file, not a session)
     with RunHistory(path) as history:
         assert history.counts()["runs"] == 2

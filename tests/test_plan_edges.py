@@ -1,0 +1,167 @@
+"""Plan-layer edge cases surfaced by the PR 8 fuzz grammar.
+
+The grammar samples device mixes and fault schedules at the borders of
+the spec contract — empty mixes, single-member fleets partitioned into
+more shards than members, faults at ``t=0`` and at/after the horizon.
+These tests pin what the plan layer promises at each border, so a
+grammar change that starts emitting an illegal shape fails loudly here
+instead of inside a campaign worker.
+"""
+
+import pytest
+
+from repro.campaign.backends import SerialBackend
+from repro.scenarios import (
+    FaultPhase,
+    ScenarioSpec,
+    UserProfile,
+    build_plan,
+    partition_plan,
+)
+
+
+def tv_spec(**overrides):
+    base = dict(
+        name="edge", description="", duration=10.0, tvs=1,
+        profiles=(UserProfile("default"),),
+    )
+    base.update(overrides)
+    return ScenarioSpec(**base)
+
+
+class TestEmptyMixes:
+    def test_empty_device_mix_rejected(self):
+        spec = ScenarioSpec(name="empty", description="", duration=10.0)
+        with pytest.raises(ValueError, match="empty device mix"):
+            spec.validate()
+
+    def test_build_plan_validates_first(self):
+        # The plan layer must not happily plan zero members and let the
+        # compiler discover the problem later.
+        spec = ScenarioSpec(name="empty", description="", duration=10.0)
+        with pytest.raises(ValueError, match="empty device mix"):
+            build_plan(spec, seed=0)
+
+    def test_tvs_without_profiles_rejected(self):
+        spec = ScenarioSpec(
+            name="mute-fleet", description="", duration=10.0, tvs=2,
+            profiles=(),
+        )
+        with pytest.raises(ValueError, match="TVs need user profiles"):
+            spec.validate()
+
+    def test_profiles_without_tvs_are_legal_and_unassigned(self):
+        # A printer-only mix may carry profiles (e.g. a template spec);
+        # nobody gets one.
+        spec = ScenarioSpec(
+            name="printers", description="", duration=10.0, printers=2,
+            profiles=(UserProfile("default"),),
+        )
+        plan = build_plan(spec, seed=0)
+        assert all(member.profile is None for member in plan.members)
+
+
+class TestSingleMemberFleets:
+    def test_more_shards_than_members_drops_empty_shards(self):
+        plan = build_plan(tv_spec(), seed=0)
+        shards = partition_plan(plan, shards=4)
+        assert len(shards) == 1
+        (shard,) = shards
+        assert shard.shards == 4
+        assert [member.suo_id for member in shard.members] == ["tv-0"]
+        assert shard.spec.tvs == 1 and shard.spec.members == 1
+
+    def test_global_identity_survives_partitioning(self):
+        spec = tv_spec(
+            tvs=1, printers=1,
+            phases=(FaultPhase("silent_jam", at=1.0, kind="printer",
+                               fraction=1.0),),
+        )
+        plan = build_plan(spec, seed=3)
+        shards = partition_plan(plan, shards=3)
+        # Round-robin per kind: both members land in shard 0 — one shard
+        # plan carrying both global suo_ids and the full phase target.
+        assert len(shards) == 1
+        (shard,) = shards
+        assert {m.suo_id for m in shard.members} == {"tv-0", "printer-1"}
+        assert shard.phase_targets == (("printer-1",),)
+        by_id = {m.suo_id: m for m in shard.members}
+        assert by_id["printer-1"].kind_index == 0
+
+    def test_shard_plans_cannot_be_repartitioned(self):
+        plan = build_plan(tv_spec(), seed=0)
+        (shard,) = partition_plan(plan, shards=2)
+        with pytest.raises(ValueError, match="re-partition"):
+            partition_plan(shard, shards=2)
+
+    def test_single_shard_is_identity(self):
+        plan = build_plan(tv_spec(), seed=0)
+        assert partition_plan(plan, shards=1) == [plan]
+
+
+class TestPhaseTimingBorders:
+    def test_phase_at_zero_is_legal(self):
+        spec = tv_spec(
+            phases=(FaultPhase("volume_overshoot", at=0.0, kind="tv",
+                               fraction=1.0),),
+        )
+        spec.validate()
+        plan = build_plan(spec, seed=0)
+        assert plan.phase_targets == (("tv-0",),)
+
+    def test_phase_at_zero_runs(self):
+        # A fault armed before the first dispatched event must not trip
+        # the compiler or the kernel — the fuzz grammar emits these.
+        spec = tv_spec(
+            name="t0-run", duration=6.0,
+            phases=(FaultPhase("volume_overshoot", at=0.0, kind="tv",
+                               fraction=1.0),),
+        )
+        report = SerialBackend().run(spec, 0)
+        assert report.members == 1
+
+    def test_phase_at_horizon_rejected(self):
+        spec = tv_spec(
+            phases=(FaultPhase("volume_overshoot", at=10.0, kind="tv",
+                               fraction=1.0),),
+        )
+        with pytest.raises(ValueError, match="starts after the scenario ends"):
+            spec.validate()
+
+    def test_phase_after_horizon_rejected(self):
+        spec = tv_spec(
+            phases=(FaultPhase("volume_overshoot", at=99.0, kind="tv",
+                               fraction=1.0),),
+        )
+        with pytest.raises(ValueError, match="starts after the scenario ends"):
+            spec.validate()
+
+    def test_phase_targeting_absent_kind_rejected(self):
+        spec = tv_spec(
+            phases=(FaultPhase("silent_jam", at=1.0, kind="printer",
+                               fraction=1.0),),
+        )
+        with pytest.raises(ValueError, match="no such devices"):
+            spec.validate()
+
+
+class TestPlanDeterminism:
+    def test_plan_is_pure_in_spec_and_seed(self):
+        spec = tv_spec(
+            tvs=3, printers=2,
+            profiles=(UserProfile("a", weight=1.0), UserProfile("b", weight=2.0)),
+            phases=(FaultPhase("volume_overshoot", at=2.0, kind="tv",
+                               fraction=0.5),),
+        )
+        assert build_plan(spec, seed=11) == build_plan(spec, seed=11)
+        assert build_plan(spec, seed=11) != build_plan(spec, seed=12)
+
+    def test_partition_preserves_member_set(self):
+        spec = tv_spec(tvs=5, players=3, printers=2)
+        plan = build_plan(spec, seed=2)
+        shards = partition_plan(plan, shards=4)
+        scattered = [m for shard in shards for m in shard.members]
+        assert sorted(m.suo_id for m in scattered) == sorted(
+            m.suo_id for m in plan.members
+        )
+        assert sum(shard.spec.members for shard in shards) == plan.spec.members

@@ -88,6 +88,12 @@ def passing_report():
                 "digests_match": True, "diagnosis_invariant": True,
             },
         },
+        "fuzz": {
+            "seed": 7, "candidates": 8, "evaluated": 8,
+            "stopped_by": "candidates", "admitted": 6, "findings": 2,
+            "crash_findings": [], "coverage_keys": 40,
+            "candidates_per_sec": 2.5, "deterministic": True,
+        },
         "benches": {
             "bench_e14_fleet.py": {"ok": True, "seconds": 1.0},
             "bench_e16_sharded.py": {"ok": True, "seconds": 2.0},
@@ -281,6 +287,53 @@ def test_dropped_probe_scenarios_fail_not_pass():
     del report["detection"]["overnight-soak"]
     failures = evaluate_report(report)
     assert any("overnight-soak" in f and "missing" in f for f in failures)
+
+
+# ----------------------------------------------------------------------
+# the fuzz gate (PR 8)
+# ----------------------------------------------------------------------
+def test_missing_fuzz_probe_fails():
+    report = passing_report()
+    del report["fuzz"]
+    assert any("fuzz probe missing" in f for f in evaluate_report(report))
+
+
+def test_fuzz_nondeterminism_fails():
+    report = passing_report()
+    report["fuzz"]["deterministic"] = False
+    assert any(
+        "fuzz determinism gate" in f for f in evaluate_report(report)
+    )
+
+
+def test_fuzz_crash_findings_fail():
+    report = passing_report()
+    report["fuzz"]["crash_findings"] = [
+        {"detail": "ValueError: boom", "spec_hash": "abc"},
+    ]
+    failures = evaluate_report(report)
+    assert any("crash verdict" in f and "boom" in f for f in failures)
+
+
+def test_fuzz_zero_candidates_fails():
+    report = passing_report()
+    report["fuzz"]["evaluated"] = 0
+    assert any("no candidates" in f for f in evaluate_report(report))
+
+
+def test_fuzz_throughput_joins_the_perf_floor():
+    report = floored_report()
+    report["perf_floor"]["fuzz_candidates_per_sec"] = 2.0
+    report["fuzz"]["candidates_per_sec"] = 1.8  # -10%: inside the margin
+    assert evaluate_report(report) == []
+    report["fuzz"]["candidates_per_sec"] = 0.9  # -55%: below the floor
+    failures = evaluate_report(report)
+    assert any("fuzz" in f and "perf floor" in f for f in failures)
+    # quick mode runs a smaller candidate budget than the floor was
+    # recorded at, so the fuzz floor (and only it) is not applied
+    report["mode"] = "quick"
+    report["sharded"]["cpu_count"] = 4
+    assert not any("fuzz" in f for f in evaluate_report(report))
 
 
 # ----------------------------------------------------------------------

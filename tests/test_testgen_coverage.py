@@ -1,0 +1,98 @@
+"""The TestGenerator's public coverage oracle (PR 8 satellite).
+
+``coverage_keys`` / ``transition_names`` / ``uncovered_report`` expose
+the transition-coverage universe the generator's greedy walk already
+computes — the fuzzer (and these tests) measure against it instead of
+re-deriving their own.
+"""
+
+from repro.statemachine import CoverageReport, Event, MachineBuilder
+from repro.statemachine import TestGenerator as Generator
+
+
+def toggle_machine():
+    b = MachineBuilder("toggle")
+    b.state("off")
+    b.state("on")
+    b.initial("off")
+    b.transition("off", "on", event="flip", name="t_on")
+    b.transition("on", "off", event="flip", name="t_off")
+    return b.build()
+
+
+def branchy_machine():
+    b = MachineBuilder("branchy")
+    for name in ("a", "b", "c"):
+        b.state(name)
+    b.initial("a")
+    b.transition("a", "b", event="go", name="a_to_b")
+    b.transition("b", "c", event="go", name="b_to_c")
+    b.transition("c", "a", event="reset", name="c_to_a")
+    # unreachable by the alphabet below
+    b.transition("a", "c", event="skip", name="a_to_c")
+    return b.build()
+
+
+class TestCoverageKeys:
+    def test_keys_match_generated_scenario_covers(self):
+        generator = Generator(toggle_machine(), [Event("flip")])
+        keys = generator.coverage_keys()
+        scenarios = generator.generate()
+        covered = set()
+        for scenario in scenarios:
+            covered |= scenario.covers
+        assert covered == set(keys)
+        assert len(keys) == 2
+
+    def test_alphabet_limits_the_universe(self):
+        generator = Generator(branchy_machine(), [Event("go"), Event("reset")])
+        keys = generator.coverage_keys()
+        assert len(keys) == 3  # a_to_c needs "skip", absent from alphabet
+        assert all(event in ("go", "reset") for _, _, event in keys)
+
+
+class TestTransitionNames:
+    def test_names_reflect_exploration(self):
+        generator = Generator(toggle_machine(), [Event("flip")])
+        assert generator.transition_names() == {"t_on", "t_off"}
+
+    def test_unreachable_transition_excluded(self):
+        generator = Generator(
+            branchy_machine(), [Event("go"), Event("reset")]
+        )
+        names = generator.transition_names()
+        assert "a_to_c" not in names
+        assert names == {"a_to_b", "b_to_c", "c_to_a"}
+
+
+class TestUncoveredReport:
+    def test_name_universe_autodetected(self):
+        generator = Generator(toggle_machine(), [Event("flip")])
+        report = generator.uncovered_report({"t_on"})
+        assert isinstance(report, CoverageReport)
+        assert report.covered == {"t_on"}
+        assert report.uncovered == {"t_off"}
+        assert report.total == 2
+        assert report.ratio == 0.5
+
+    def test_edge_universe_autodetected(self):
+        generator = Generator(toggle_machine(), [Event("flip")])
+        keys = set(generator.coverage_keys())
+        some = {next(iter(keys))}
+        report = generator.uncovered_report(some)
+        assert report.covered == some
+        assert report.uncovered == keys - some
+
+    def test_foreign_keys_do_not_count(self):
+        generator = Generator(toggle_machine(), [Event("flip")])
+        report = generator.uncovered_report({"no_such_transition"})
+        assert report.covered == frozenset()
+        assert report.uncovered == {"t_on", "t_off"}
+
+    def test_full_coverage_report(self):
+        generator = Generator(toggle_machine(), [Event("flip")])
+        report = generator.uncovered_report(generator.transition_names())
+        assert report.ratio == 1.0
+        data = report.as_dict()
+        assert data["uncovered_keys"] == []
+        assert data["covered"] == 2
