@@ -18,7 +18,7 @@ from dataclasses import replace
 import pytest
 
 from repro.awareness import make_tv_monitor
-from repro.campaign import SerialBackend
+from repro.campaign import run_cell
 from repro.core import TraderTV
 from repro.scenarios import get_scenario
 from repro.tv import TVSet
@@ -128,7 +128,7 @@ def test_e13_span_recorder_overhead(benchmark):
         for _ in range(qscale(5, 3)):
             for name, cell in (("disabled", spec), ("enabled", spans_spec)):
                 start = wallclock.perf_counter()
-                reports[name] = SerialBackend().run(cell, seed=7)
+                reports[name] = run_cell(cell, 7)
                 samples[name].append(wallclock.perf_counter() - start)
         return {name: min(times) for name, times in samples.items()}, reports
 

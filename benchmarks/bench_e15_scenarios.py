@@ -18,7 +18,7 @@ Claims checked:
 
 import json
 
-from repro.campaign import SerialBackend
+from repro.campaign import run_cell
 from repro.scenarios import (
     CompiledScenario,
     FaultPhase,
@@ -81,8 +81,8 @@ def test_e15_thousand_suo_streaming_campaign(benchmark):
 
 def test_e15_streaming_run_is_deterministic(benchmark):
     def both():
-        first = SerialBackend().run(THOUSAND, seed=15)
-        second = SerialBackend().run(THOUSAND, seed=15)
+        first = run_cell(THOUSAND, 15)
+        second = run_cell(THOUSAND, 15)
         return first, second
 
     first, second = run_once(benchmark, both)

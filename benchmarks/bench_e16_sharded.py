@@ -20,7 +20,7 @@ so this doubles as the CI shard-determinism smoke (serial vs 2-shard).
 
 import os
 
-from repro.campaign import ProcessShardBackend, SerialBackend
+from repro.campaign import ProcessShardBackend, run_cell
 from repro.scenarios import FaultPhase, ScenarioSpec, UserProfile
 
 from conftest import print_table, qscale, run_once
@@ -51,8 +51,8 @@ def test_e16_sharded_campaign_matches_serial_and_scales(benchmark):
         # not the CPython copy-on-write penalty of duplicating a heap the
         # serial run would otherwise have left behind (refcount writes
         # unshare forked pages).
-        sharded = ProcessShardBackend(shards=SHARDS).run(SPEC, seed=16)
-        serial = SerialBackend().run(SPEC, seed=16)
+        sharded = run_cell(SPEC, 16, backend=ProcessShardBackend(shards=SHARDS))
+        serial = run_cell(SPEC, 16)
         return serial, sharded
 
     serial, sharded = run_once(benchmark, both)
@@ -99,7 +99,10 @@ def test_e16_shard_trace_digests_reproduce(benchmark):
     backend = ProcessShardBackend(shards=SHARDS)
 
     def twice():
-        return backend.run(SPEC, seed=16), backend.run(SPEC, seed=16)
+        return (
+            run_cell(SPEC, 16, backend=backend),
+            run_cell(SPEC, 16, backend=backend),
+        )
 
     first, second = run_once(benchmark, twice)
     assert first.shard_trace_digests == second.shard_trace_digests

@@ -189,7 +189,7 @@ def probe_fleet(members: int = 100, duration: float = 60.0) -> dict:
 
 def probe_scenarios(members: int = 1000, duration: float = 20.0) -> dict:
     """One 1000-SUO streaming scenario campaign (the E15 workload)."""
-    from repro.campaign import SerialBackend
+    from repro.campaign import run_cell_detailed
     from repro.scenarios import FaultPhase, ScenarioSpec, UserProfile
 
     spec = ScenarioSpec(
@@ -201,7 +201,8 @@ def probe_scenarios(members: int = 1000, duration: float = 20.0) -> dict:
                               keys=("power", "ch_up", "vol_up", "mute")),),
         phases=(FaultPhase("volume_overshoot", at=duration / 2, fraction=0.1),),
     )
-    report, fleet_report, _compiled = SerialBackend().run_detailed(spec, 15)
+    cell = run_cell_detailed(spec, 15)
+    report, fleet_report = cell.report, cell.fleet_report
     return {
         "members": report.members,
         "sim_duration": duration,
@@ -222,7 +223,7 @@ def probe_sharded(quick: bool = False) -> dict:
     gate: the merged counter/tally telemetry of the sharded run must be
     byte-identical to the serial run's.
     """
-    from repro.campaign import ProcessShardBackend, SerialBackend
+    from repro.campaign import ProcessShardBackend, run_cell
     from repro.scenarios import FaultPhase, ScenarioSpec, UserProfile
 
     members = 300 if quick else 1000
@@ -239,8 +240,8 @@ def probe_sharded(quick: bool = False) -> dict:
     )
     # Sharded first: fork from a lean parent (a prior serial run would
     # leave a big heap whose pages the workers' refcount writes unshare).
-    sharded = ProcessShardBackend(shards=shards).run(spec, seed=16)
-    serial = SerialBackend().run(spec, seed=16)
+    sharded = run_cell(spec, 16, backend=ProcessShardBackend(shards=shards))
+    serial = run_cell(spec, 16)
     speedup = (
         serial.wall_seconds / sharded.wall_seconds
         if sharded.wall_seconds > 0 else 0.0
@@ -276,16 +277,15 @@ _PROBE_CELLS: dict = {}
 
 
 def _probe_cell(name: str, seed: int, shards=None):
-    from repro.campaign import ProcessShardBackend, SerialBackend
+    from repro.campaign import ProcessShardBackend, run_cell
     from repro.scenarios import get_scenario
 
     key = (name, seed, shards)
     if key not in _PROBE_CELLS:
         backend = (
-            SerialBackend() if shards is None
-            else ProcessShardBackend(shards=shards)
+            None if shards is None else ProcessShardBackend(shards=shards)
         )
-        _PROBE_CELLS[key] = backend.run(get_scenario(name), seed)
+        _PROBE_CELLS[key] = run_cell(name, seed, backend=backend)
     return _PROBE_CELLS[key]
 
 
@@ -423,6 +423,87 @@ def probe_fuzz(quick: bool = False) -> dict:
             first.determinism_witness() == second.determinism_witness()
         ),
     }
+
+
+def probe_resume(quick: bool = False) -> dict:
+    """Checkpoint/resume determinism probe (the PR 9 gate).
+
+    Interrupt a checkpointed campaign cell for real — a worker-fault
+    injector kills one shard's worker and the backend is allowed no
+    retry, so the cell dies with exactly one shard durable — then
+    resume it with a healthy backend against the same store and compare
+    the merged telemetry AND span digests against an uninterrupted
+    serial run of the same cell.  Inline executors only: deterministic,
+    no processes, so the gate applies identically on a 1-CPU container
+    (no skip guard needed, unlike the wall-clock speedup gates).
+    """
+    import tempfile
+    from dataclasses import replace as dc_replace
+
+    from repro.campaign import (
+        CampaignCheckpoint,
+        DistributedBackend,
+        InlineExecutor,
+        ShardExhaustedError,
+        WorkerFaultInjector,
+        run_cell,
+    )
+    from repro.scenarios import get_scenario
+
+    name = "recovery-ladder-drill"
+    seed, shards, kill_shard = 7, 3, 1
+    spec = dc_replace(get_scenario(name), record_spans=True)
+    serial = run_cell(spec, seed)
+    result = {
+        "scenario": name,
+        "seed": seed,
+        "shards": shards,
+        "killed_shard": kill_shard,
+        "interrupt_observed": False,
+        "shards_durable_at_interrupt": 0,
+        "lost_shards": shards,
+        "telemetry_match": False,
+        "span_match": False,
+    }
+    with tempfile.TemporaryDirectory() as tmp:
+        db = os.path.join(tmp, "resume_probe.sqlite")
+        # Phase 1: the interrupted sitting.  Shard 0 lands durably;
+        # shard `kill_shard` loses its (only allowed) worker and the
+        # campaign dies mid-cell.
+        faulty_backend = DistributedBackend(
+            InlineExecutor(WorkerFaultInjector(kill_shards=(kill_shard,))),
+            shards=shards, max_attempts=1,
+        )
+        with CampaignCheckpoint(db) as checkpoint:
+            try:
+                run_cell(
+                    spec, seed, backend=faulty_backend,
+                    checkpoint=checkpoint, campaign_id="resume-probe",
+                )
+            except ShardExhaustedError:
+                result["interrupt_observed"] = True
+            status = checkpoint.status("resume-probe")
+            result["shards_durable_at_interrupt"] = (
+                status["cells"][0]["completed_shards"] if status["cells"]
+                else 0
+            )
+        # Phase 2: resume with a healthy backend against the same store.
+        healthy = DistributedBackend(InlineExecutor(), shards=shards)
+        with CampaignCheckpoint(db) as checkpoint:
+            resumed = run_cell(
+                spec, seed, backend=healthy,
+                checkpoint=checkpoint, campaign_id="resume-probe",
+            )
+            status = checkpoint.status("resume-probe")
+        cell_status = status["cells"][0] if status["cells"] else {}
+        result["lost_shards"] = shards - cell_status.get("completed_shards", 0)
+        result["telemetry_match"] = (
+            resumed.telemetry_digest == serial.telemetry_digest
+        )
+        result["span_match"] = resumed.span_digest == serial.span_digest
+        result["telemetry_digest"] = serial.telemetry_digest
+        result["span_digest"] = serial.span_digest
+    return result
 
 
 def run_benches(quick: bool = False) -> dict:
@@ -601,6 +682,35 @@ def evaluate_report(report: dict, priors: list = None) -> list:
                 "fuzz probe hit a crash verdict on a grammar-sampled "
                 f"candidate: {crash.get('detail', '?')}"
             )
+    resume = report.get("resume")
+    if resume is None:
+        failures.append("resume probe missing from the report")
+    else:
+        if not resume.get("interrupt_observed"):
+            failures.append(
+                "resume probe never observed its injected interruption "
+                "(the gate proved nothing)"
+            )
+        if resume.get("shards_durable_at_interrupt", 0) <= 0:
+            failures.append(
+                "resume probe checkpointed no shards before the "
+                "interruption"
+            )
+        if resume.get("lost_shards", 1) > 0:
+            failures.append(
+                f"resume left {resume.get('lost_shards')} shard(s) "
+                "unexecuted (checkpoint resume gate)"
+            )
+        if not resume.get("telemetry_match"):
+            failures.append(
+                "resumed campaign telemetry digest diverged from the "
+                "uninterrupted run (checkpoint resume gate)"
+            )
+        if not resume.get("span_match"):
+            failures.append(
+                "resumed campaign span digest diverged from the "
+                "uninterrupted run (checkpoint resume gate)"
+            )
     baseline = report.get("seed_baseline", SEED_BASELINE).get(
         "kernel_events_per_sec", 0
     )
@@ -724,6 +834,16 @@ def main() -> int:
         f"{fuzz['findings']} findings, {fuzz['coverage_keys']} coverage keys, "
         f"deterministic={fuzz['deterministic']}"
     )
+    print("probing checkpoint interrupt/resume determinism ...", flush=True)
+    resume = probe_resume(quick=args.quick)
+    print(
+        f"  resume: {resume['scenario']} x{resume['shards']} shards, "
+        f"killed shard {resume['killed_shard']}, "
+        f"{resume['shards_durable_at_interrupt']} durable at interrupt, "
+        f"telemetry_match={resume['telemetry_match']}, "
+        f"span_match={resume['span_match']}, "
+        f"lost_shards={resume['lost_shards']}"
+    )
     print("probing 1000-SUO streaming scenario ...", flush=True)
     scenarios = probe_scenarios()
     print(
@@ -747,6 +867,7 @@ def main() -> int:
         "detection": detection,
         "diagnosis": diagnosis,
         "fuzz": fuzz,
+        "resume": resume,
         "seed_baseline": SEED_BASELINE,
         "perf_floor": PERF_FLOOR,
         "benches": benches,

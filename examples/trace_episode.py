@@ -20,7 +20,7 @@ import json
 import sys
 from dataclasses import replace
 
-from repro.campaign import SerialBackend
+from repro.campaign import run_cell_detailed
 from repro.obs.spans import chrome_trace, text_timeline
 from repro.scenarios import get_scenario
 
@@ -33,7 +33,8 @@ def main() -> None:
 
     # 1. run the drill with span recording on ---------------------------
     spec = replace(get_scenario(SCENARIO), record_spans=True)
-    report, _fleet_report, compiled = SerialBackend().run_detailed(spec, SEED)
+    cell = run_cell_detailed(spec, SEED)
+    report, compiled = cell.report, cell.compiled
     recorder = compiled.span_recorder
     episodes = list(recorder.episodes)
     print(f"{SCENARIO} seed {SEED}: {recorder.completed} fault episodes "

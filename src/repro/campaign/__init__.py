@@ -4,29 +4,68 @@ The paper's industry-as-laboratory premise (Sect. 3) is that runtime
 awareness must hold up under production-scale workloads.  This package
 is the API seam that makes scale pluggable:
 
-* :mod:`repro.campaign.core`     — :class:`Campaign`, the scenario × seed
-  plan built from specs or library names;
-* :mod:`repro.campaign.backends` — the :class:`ExecutionBackend`
-  protocol, :class:`SerialBackend` (one kernel, in-process), and
-  :class:`ProcessShardBackend` (device mix partitioned into per-shard
-  plans, one kernel + fleet per worker process, merged telemetry);
-* :mod:`repro.campaign.report`   — :class:`CampaignReport`, the merged
-  result schema with the backend-invariant ``telemetry_digest``.
+* :mod:`repro.campaign.core`        — :class:`Campaign` (the scenario ×
+  seed plan) and :func:`execute_cell`, THE orchestration path every
+  backend flows through (plus :func:`run_cell` /
+  :func:`run_cell_detailed`, the blessed one-off surfaces);
+* :mod:`repro.campaign.backends`    — the PR 9 executor protocol
+  (``submit(plan) -> ShardResult``), :class:`SerialBackend` (one
+  kernel, in-process), and :class:`ProcessShardBackend` (device mix
+  partitioned into per-shard plans, one kernel + fleet per worker
+  process, merged telemetry);
+* :mod:`repro.campaign.distributed` — :class:`DistributedBackend`
+  dispatching shard plans to workers (in-process, per-process with
+  heartbeat loss detection, or remote over sockets) with bounded
+  retry;
+* :mod:`repro.campaign.checkpoint`  — shard-durable progress in the
+  :mod:`repro.obs.history` store and :func:`resume_campaign`;
+* :mod:`repro.campaign.report`      — :class:`CampaignReport`, the
+  merged result schema with the backend-invariant
+  ``telemetry_digest``.
 
-``ExperimentRunner`` (PR 1) and ``ScenarioRunner`` (PR 2) survive as
-thin deprecation shims; see docs/CAMPAIGNS.md for the API, the backend
-selection guide, and the shard determinism rules.
+``python -m repro.campaign`` is the CLI (run / resume / status / list /
+worker).  ``ExperimentRunner`` (PR 1), ``ScenarioRunner`` (PR 2), and
+the pre-PR 9 entry points (``backend.run``, ``run_detailed``,
+``run_shard_plan``) survive as warn-once deprecation shims; see
+docs/CAMPAIGNS.md and docs/DISTRIBUTED.md.
 """
 
 from .backends import (
     ExecutionBackend,
+    ExecutorBackend,
     ProcessShardBackend,
     SerialBackend,
+    ShardResult,
     derive_shard_seed,
+    execute_plan,
+    execute_plan_detailed,
     resolve_shards,
     run_shard_plan,
 )
-from .core import Campaign, ScenarioLike
+from .checkpoint import (
+    CampaignCheckpoint,
+    CellHandle,
+    new_campaign_id,
+    resume_campaign,
+)
+from .core import (
+    Campaign,
+    CellExecution,
+    ScenarioLike,
+    execute_cell,
+    run_cell,
+    run_cell_detailed,
+)
+from .distributed import (
+    DistributedBackend,
+    InlineExecutor,
+    ProcessWorkerExecutor,
+    ShardExhaustedError,
+    ShardWorkerServer,
+    SocketWorkerExecutor,
+    WorkerFaultInjector,
+    WorkerLostError,
+)
 from .report import (
     CAMPAIGN_TABLE_HEADER,
     CampaignReport,
@@ -37,14 +76,34 @@ from .report import (
 __all__ = [
     "CAMPAIGN_TABLE_HEADER",
     "Campaign",
+    "CampaignCheckpoint",
     "CampaignReport",
+    "CellExecution",
+    "CellHandle",
+    "DistributedBackend",
     "ExecutionBackend",
+    "ExecutorBackend",
+    "InlineExecutor",
     "ProcessShardBackend",
+    "ProcessWorkerExecutor",
     "ScenarioLike",
     "SerialBackend",
+    "ShardExhaustedError",
+    "ShardResult",
+    "ShardWorkerServer",
+    "SocketWorkerExecutor",
+    "WorkerFaultInjector",
+    "WorkerLostError",
     "derive_shard_seed",
+    "execute_cell",
+    "execute_plan",
+    "execute_plan_detailed",
     "format_campaign_table",
     "merge_shard_results",
+    "new_campaign_id",
     "resolve_shards",
+    "resume_campaign",
+    "run_cell",
+    "run_cell_detailed",
     "run_shard_plan",
 ]

@@ -1,0 +1,15 @@
+"""Entry point: ``python -m repro.campaign`` (see
+:mod:`repro.campaign.cli`)."""
+
+import sys
+
+from .cli import main
+
+if __name__ == "__main__":
+    try:
+        sys.exit(main())
+    except BrokenPipeError:
+        # downstream pager/head closed the pipe — exit quietly like
+        # any well-behaved unix filter
+        sys.stderr.close()
+        sys.exit(0)

@@ -1,15 +1,26 @@
-"""Execution backends: how one campaign cell actually runs.
+"""Execution backends: the one seam every campaign cell runs through.
 
-The :class:`ExecutionBackend` protocol is the seam the ROADMAP's
-"sharded fleets" decade needed: everything above it (Campaign, sweeps,
-benches, CI gates) speaks (spec, seed) → :class:`CampaignReport`, and the
-backend decides whether that cell simulates on one kernel
-(:class:`SerialBackend`) or is partitioned across worker processes, one
-kernel + fleet + telemetry hub per shard
-(:class:`ProcessShardBackend`).
+PR 9 collapsed the three overlapping entry points that had accreted
+around campaign execution (``ExecutionBackend.run(spec, seed)``,
+``SerialBackend.run_detailed``, module-level ``run_shard_plan``) into a
+single protocol:
 
-The sharded backend's contract (verified by ``tests/test_campaign.py``
-and gated in CI):
+* **executors** implement ``submit(plan) -> ShardResult`` — run one
+  per-shard :class:`~repro.scenarios.plan.ScenarioPlan` wherever the
+  backend keeps its workers (in-process, a worker process, another
+  host) and hand back the shard's mergeable payload;
+* **orchestration** lives in exactly one place,
+  :func:`repro.campaign.core.execute_cell` — plan, partition, skip
+  checkpointed shards, submit the rest, merge — and every backend
+  (serial, process-sharded, distributed) flows through it via
+  :meth:`ExecutorBackend.run_cell`.
+
+The old signatures survive as warn-once deprecation shims (see the
+"deprecated entry points" section at the bottom); their behaviour is
+pinned by ``tests/test_campaign.py``.
+
+The sharded contract (verified by ``tests/test_campaign.py`` and gated
+in CI) is unchanged:
 
 * merged counter/tally telemetry is **identical** to the serial run's —
   per-member behaviour keys to ``(campaign seed, suo_id)`` so placement
@@ -23,25 +34,34 @@ from __future__ import annotations
 
 import multiprocessing
 import os
-import time as wallclock
-from typing import Any, Dict, Optional, Protocol, Tuple, runtime_checkable
-
-from ..runtime.fleet import FleetReport
-from ..scenarios.compile import CompiledScenario
-from ..scenarios.plan import (
-    ScenarioPlan,
-    build_plan,
-    derive_shard_seed,
-    partition_plan,
+from dataclasses import dataclass, field
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    List,
+    Optional,
+    Protocol,
+    Sequence,
+    Tuple,
+    runtime_checkable,
 )
+
+from ..runtime.fleet import FleetReport, warn_deprecated_once
+from ..scenarios.compile import CompiledScenario
+from ..scenarios.plan import ScenarioPlan, derive_shard_seed
 from ..scenarios.spec import ScenarioSpec
-from .report import CampaignReport, merge_shard_results
+from .report import CampaignReport
 
 __all__ = [
     "ExecutionBackend",
-    "SerialBackend",
+    "ExecutorBackend",
     "ProcessShardBackend",
+    "SerialBackend",
+    "ShardResult",
     "derive_shard_seed",
+    "execute_plan",
+    "execute_plan_detailed",
     "resolve_shards",
     "run_shard_plan",
 ]
@@ -58,23 +78,57 @@ def resolve_shards(members: int, cpu_count: Optional[int] = None) -> int:
 
     One shard per ``MIN_MEMBERS_PER_SHARD`` members, capped at the CPU
     count — a 1-CPU container degrades to a single in-process shard and
-    a thousand-SUO cell on a big host fans out to every core.
+    a thousand-SUO cell on a big host fans out to every core.  Every
+    backend's ``resolve()`` routes through here, and the resolved count
+    is what a :class:`~repro.campaign.checkpoint.CampaignCheckpoint`
+    records — so an autotune decision is visible in the checkpoint row
+    instead of vanishing with the process that made it.
     """
     cpus = cpu_count if cpu_count is not None else (os.cpu_count() or 1)
     by_size = max(1, members // MIN_MEMBERS_PER_SHARD)
     return max(1, min(cpus, by_size))
 
 
-@runtime_checkable
-class ExecutionBackend(Protocol):
-    """Anything that can execute one (scenario, seed) campaign cell."""
+# ----------------------------------------------------------------------
+# the unit of work and the unit of result
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ShardResult:
+    """One executed shard: the durable, mergeable unit of a campaign.
 
-    name: str
+    ``payload`` is the JSON-safe dict :func:`execute_plan` produces
+    (mergeable summary, span block, digests, detection accounting);
+    ``attempt`` and ``worker`` record how the shard got executed — the
+    fault-tolerance provenance a checkpoint row keeps.  The payload is
+    exactly what :func:`~repro.campaign.report.merge_shard_results`
+    folds, so a result loaded back from a checkpoint merges bit-for-bit
+    like a fresh one.
+    """
 
-    def run(self, spec: ScenarioSpec, seed: int) -> CampaignReport: ...
+    shard_id: int
+    payload: Dict[str, Any] = field(repr=False)
+    attempt: int = 0
+    worker: str = "local"
+
+    def to_json(self) -> Dict[str, Any]:
+        return {
+            "shard_id": self.shard_id,
+            "attempt": self.attempt,
+            "worker": self.worker,
+            "payload": self.payload,
+        }
+
+    @classmethod
+    def from_json(cls, data: Dict[str, Any]) -> "ShardResult":
+        return cls(
+            shard_id=int(data["shard_id"]),
+            payload=data["payload"],
+            attempt=int(data.get("attempt", 0)),
+            worker=str(data.get("worker", "local")),
+        )
 
 
-def _shard_result(
+def _shard_payload(
     compiled: CompiledScenario, fleet_report: FleetReport
 ) -> Dict[str, Any]:
     """Everything a worker sends home: JSON-friendly, mergeable."""
@@ -107,53 +161,172 @@ def _shard_result(
     }
 
 
-def run_shard_plan(plan: ScenarioPlan) -> Dict[str, Any]:
+def execute_plan(plan: ScenarioPlan) -> Dict[str, Any]:
     """Compile and run one plan (a full cell or one shard of it).
 
-    Module-level so :mod:`multiprocessing` can ship it to workers by
-    reference under every start method.
+    The executor primitive every backend bottoms out in.  Module-level
+    so :mod:`multiprocessing` can ship it to workers by reference under
+    every start method, and so a socket worker on another host runs the
+    byte-identical code path.
     """
     compiled = CompiledScenario(plan.spec, plan.seed, plan=plan)
     fleet_report = compiled.run()
-    return _shard_result(compiled, fleet_report)
+    return _shard_payload(compiled, fleet_report)
 
 
-class SerialBackend:
+def execute_plan_detailed(
+    plan: ScenarioPlan,
+) -> Tuple[Dict[str, Any], FleetReport, CompiledScenario]:
+    """:func:`execute_plan` plus the live compiled objects.
+
+    Only meaningful in-process; this is what the detailed serial path
+    (:func:`repro.campaign.core.run_cell_detailed`) uses so callers can
+    still inspect members, span recorders, and fleet internals."""
+    compiled = CompiledScenario(plan.spec, plan.seed, plan=plan)
+    fleet_report = compiled.run()
+    return _shard_payload(compiled, fleet_report), fleet_report, compiled
+
+
+#: Callback invoked with each completed :class:`ShardResult` as it
+#: lands (checkpoint writes hook in here).
+ResultSink = Callable[[ShardResult], None]
+
+
+# ----------------------------------------------------------------------
+# the unified backend protocol
+# ----------------------------------------------------------------------
+@runtime_checkable
+class ExecutionBackend(Protocol):
+    """Anything that can execute per-shard plans for a campaign cell.
+
+    The PR 9 protocol: ``resolve`` picks the shard count for a spec,
+    ``submit`` executes one plan, ``submit_all`` executes a batch
+    (possibly in parallel) and streams results into ``on_result``.  The
+    legacy ``run(spec, seed)`` surface still exists on every concrete
+    backend but is a warn-once deprecation shim.
+    """
+
+    name: str
+
+    def resolve(self, spec: ScenarioSpec) -> int: ...
+
+    def submit(self, plan: ScenarioPlan) -> ShardResult: ...
+
+    def submit_all(
+        self,
+        plans: Sequence[ScenarioPlan],
+        on_result: Optional[ResultSink] = None,
+    ) -> List[ShardResult]: ...
+
+
+class ExecutorBackend:
+    """Base class wiring a ``submit`` seam into the one orchestration
+    path (:func:`repro.campaign.core.execute_cell`).
+
+    Subclasses override :meth:`submit` (and optionally
+    :meth:`submit_all` for parallel dispatch and :meth:`resolve` for
+    their sharding policy); everything above — planning, partitioning,
+    checkpoint skip/record, merging — is shared and identical across
+    serial, process, and distributed execution.
+    """
+
+    name = "executor"
+
+    # -- sharding policy ------------------------------------------------
+    def resolve(self, spec: ScenarioSpec) -> int:
+        """The shard count this backend will use for one cell."""
+        return 1
+
+    # -- the executor seam ----------------------------------------------
+    def submit(self, plan: ScenarioPlan) -> ShardResult:
+        raise NotImplementedError
+
+    def submit_all(
+        self,
+        plans: Sequence[ScenarioPlan],
+        on_result: Optional[ResultSink] = None,
+    ) -> List[ShardResult]:
+        """Execute a batch of shard plans; default is sequential."""
+        results = []
+        for plan in plans:
+            result = self.submit(plan)
+            if on_result is not None:
+                on_result(result)
+            results.append(result)
+        return results
+
+    # -- orchestration (delegates to the single shared path) ------------
+    def run_cell(
+        self,
+        spec: ScenarioSpec,
+        seed: int,
+        checkpoint: Optional[Any] = None,
+        campaign_id: Optional[str] = None,
+    ) -> CampaignReport:
+        """Run one (scenario, seed) cell through this backend."""
+        from .core import execute_cell
+
+        return execute_cell(
+            spec, seed, backend=self,
+            checkpoint=checkpoint, campaign_id=campaign_id,
+        )
+
+    # -- deprecated entry point -----------------------------------------
+    def run(self, spec: ScenarioSpec, seed: int) -> CampaignReport:
+        """.. deprecated:: PR 9
+            ``backend.run(spec, seed)`` was one of three overlapping
+            entry points; use :func:`repro.campaign.run_cell` (or
+            ``Campaign.run``) — the single orchestration path with
+            checkpoint/resume support.  This shim forwards there.
+        """
+        warn_deprecated_once(
+            "ExecutionBackend.run",
+            "backend.run(spec, seed) is deprecated: use "
+            "repro.campaign.run_cell(spec, seed, backend=...) or "
+            "Campaign.run() — the unified orchestration path."
+        )
+        return self.run_cell(spec, seed)
+
+
+class SerialBackend(ExecutorBackend):
     """The single-kernel path: one fleet, one telemetry hub, in-process.
 
-    Routes its one result through the same merge as the sharded backend,
+    Routes its one shard through the same merge as every other backend,
     so serial and sharded reports are structurally identical and their
     ``telemetry_digest`` fields are directly comparable.
     """
 
     name = "serial"
 
+    def submit(self, plan: ScenarioPlan) -> ShardResult:
+        return ShardResult(
+            shard_id=plan.shard_id, payload=execute_plan(plan),
+            worker="inline",
+        )
+
+    # -- deprecated entry point -----------------------------------------
     def run_detailed(
         self, spec: ScenarioSpec, seed: int
     ) -> Tuple[CampaignReport, FleetReport, CompiledScenario]:
-        """Run and also expose the live fleet objects (legacy shims and
-        tests that inspect members use this)."""
-        start = wallclock.perf_counter()
-        compiled = CompiledScenario(spec, seed)
-        fleet_report = compiled.run()
-        result = _shard_result(compiled, fleet_report)
-        wall = wallclock.perf_counter() - start
-        report = merge_shard_results(
-            scenario=spec.name,
-            seed=seed,
-            backend=self.name,
-            shards=1,
-            results=[result],
-            wall_seconds=wall,
-            reservoir=spec.telemetry_reservoir,
+        """.. deprecated:: PR 9
+            Use :func:`repro.campaign.run_cell_detailed`, which returns
+            a :class:`~repro.campaign.core.CellExecution` with the same
+            live objects.  This shim forwards there and re-shapes the
+            result into the legacy triple.
+        """
+        warn_deprecated_once(
+            "SerialBackend.run_detailed",
+            "SerialBackend.run_detailed is deprecated: use "
+            "repro.campaign.run_cell_detailed(spec, seed) — same report "
+            "and live compiled objects, one orchestration path."
         )
-        return report, fleet_report, compiled
+        from .core import run_cell_detailed
 
-    def run(self, spec: ScenarioSpec, seed: int) -> CampaignReport:
-        return self.run_detailed(spec, seed)[0]
+        cell = run_cell_detailed(spec, seed)
+        return cell.report, cell.fleet_report, cell.compiled
 
 
-class ProcessShardBackend:
+class ProcessShardBackend(ExecutorBackend):
     """Partitioned execution: one kernel + fleet per worker process.
 
     The cell's plan is built once from the campaign seed, partitioned
@@ -167,7 +340,9 @@ class ProcessShardBackend:
     and for hosts where spawning is unavailable.
 
     ``shards=None`` autotunes per cell: :func:`resolve_shards` picks the
-    count from ``os.cpu_count()`` and the scenario's member count.
+    count from ``os.cpu_count()`` and the scenario's member count, and
+    (when a checkpoint is attached) the decision is recorded in the
+    cell's checkpoint row.
     """
 
     def __init__(
@@ -189,7 +364,6 @@ class ProcessShardBackend:
         return f"process-shard[{label}]{suffix}"
 
     def resolve(self, spec: ScenarioSpec) -> int:
-        """The shard count this backend will use for one cell."""
         if self.shards is not None:
             return self.shards
         return resolve_shards(spec.members)
@@ -202,22 +376,47 @@ class ProcessShardBackend:
             "fork" if "fork" in methods else None
         )
 
-    def run(self, spec: ScenarioSpec, seed: int) -> CampaignReport:
-        start = wallclock.perf_counter()
-        plans = partition_plan(build_plan(spec, seed), self.resolve(spec))
-        if self.inline or len(plans) == 1:
-            results = [run_shard_plan(plan) for plan in plans]
-        else:
-            with self._context().Pool(processes=len(plans)) as pool:
-                results = pool.map(run_shard_plan, plans)
-        results.sort(key=lambda result: result["shard_id"])
-        wall = wallclock.perf_counter() - start
-        return merge_shard_results(
-            scenario=spec.name,
-            seed=seed,
-            backend=self.name,
-            shards=len(plans),
-            results=results,
-            wall_seconds=wall,
-            reservoir=spec.telemetry_reservoir,
+    def submit(self, plan: ScenarioPlan) -> ShardResult:
+        return ShardResult(
+            shard_id=plan.shard_id, payload=execute_plan(plan),
+            worker="inline",
         )
+
+    def submit_all(
+        self,
+        plans: Sequence[ScenarioPlan],
+        on_result: Optional[ResultSink] = None,
+    ) -> List[ShardResult]:
+        if self.inline or len(plans) <= 1:
+            return super().submit_all(plans, on_result=on_result)
+        results: List[ShardResult] = []
+        with self._context().Pool(processes=len(plans)) as pool:
+            # imap_unordered streams each shard's payload home as it
+            # completes, so checkpoint writes land per shard — a worker
+            # loss after k completions preserves k durable results.
+            for payload in pool.imap_unordered(execute_plan, plans):
+                result = ShardResult(
+                    shard_id=payload["shard_id"], payload=payload,
+                    worker="process",
+                )
+                if on_result is not None:
+                    on_result(result)
+                results.append(result)
+        results.sort(key=lambda result: result.shard_id)
+        return results
+
+
+# ----------------------------------------------------------------------
+# deprecated entry points (behaviour pinned by tests/test_campaign.py)
+# ----------------------------------------------------------------------
+def run_shard_plan(plan: ScenarioPlan) -> Dict[str, Any]:
+    """.. deprecated:: PR 9
+        The module-level worker primitive is :func:`execute_plan`
+        (identical payload); this alias warns once and forwards.
+    """
+    warn_deprecated_once(
+        "run_shard_plan",
+        "run_shard_plan is deprecated: use repro.campaign.execute_plan "
+        "(same payload, the one executor primitive)."
+    )
+    return execute_plan(plan)

@@ -5,7 +5,7 @@ One class replaces the three overlapping PR 1/PR 2 surfaces
 driving): a :class:`Campaign` is a scenario × seed *plan* — scenarios
 given as library names or :class:`~repro.scenarios.ScenarioSpec`
 objects — executed by a pluggable
-:class:`~repro.campaign.backends.ExecutionBackend`.
+:class:`~repro.campaign.backends.ExecutorBackend`.
 
     from repro.campaign import Campaign, ProcessShardBackend
 
@@ -13,21 +13,172 @@ objects — executed by a pluggable
     reports = campaign.run()                          # serial, in-process
     sharded = campaign.run(ProcessShardBackend(shards=4))
 
-Both calls yield the same list of :class:`CampaignReport` cells, in
-row-major order (scenario outer, seed inner), with merged telemetry and
-the backend-invariant ``telemetry_digest`` witness.
+Since PR 9 every backend flows through :func:`execute_cell` — THE
+orchestration path: build the placement plan, resolve the shard count,
+partition, skip shards a checkpoint already holds, submit the rest
+through the backend's executor seam, merge.  Attaching a
+:class:`~repro.campaign.checkpoint.CampaignCheckpoint` makes every
+completed shard durable, so an interrupted campaign resumes where it
+stopped with a byte-identical ``telemetry_digest``.
 """
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional, Tuple, Union
+import time as wallclock
+from dataclasses import dataclass
+from typing import Any, Iterable, List, Optional, Tuple, Union
 
+from ..runtime.fleet import FleetReport
+from ..scenarios.compile import CompiledScenario
 from ..scenarios.library import get_scenario
+from ..scenarios.plan import build_plan, partition_plan
 from ..scenarios.spec import ScenarioSpec
-from .backends import ExecutionBackend, SerialBackend
-from .report import CampaignReport
+from .backends import (
+    ExecutionBackend,
+    SerialBackend,
+    ShardResult,
+    execute_plan_detailed,
+)
+from .report import CampaignReport, merge_shard_results
 
 ScenarioLike = Union[str, ScenarioSpec]
+
+
+def _resolve_scenario(scenario: ScenarioLike, scale: float = 1.0) -> ScenarioSpec:
+    spec = get_scenario(scenario) if isinstance(scenario, str) else scenario
+    if scale != 1.0:
+        spec = spec.scaled(scale)
+    spec.validate()
+    return spec
+
+
+# ----------------------------------------------------------------------
+# THE orchestration path
+# ----------------------------------------------------------------------
+def execute_cell(
+    spec: ScenarioSpec,
+    seed: int,
+    backend: Optional[ExecutionBackend] = None,
+    checkpoint: Optional[Any] = None,
+    campaign_id: Optional[str] = None,
+) -> CampaignReport:
+    """Run one (scenario, seed) cell — the single path every backend
+    (serial, process-sharded, distributed) flows through.
+
+    1. resolve the shard count — from the backend's policy, or from the
+       checkpoint row when the cell was started before (the partition
+       must not drift between a run and its resume);
+    2. build the placement plan from the campaign seed and partition it;
+    3. skip shards the checkpoint already holds, submit the rest
+       through the backend's executor seam, recording each completed
+       shard durably as it lands;
+    4. merge everything into one :class:`CampaignReport` whose
+       ``telemetry_digest`` is byte-identical however (and in however
+       many sittings) the cell was executed.
+
+    ``checkpoint`` is a
+    :class:`~repro.campaign.checkpoint.CampaignCheckpoint` (or None for
+    ephemeral runs); ``campaign_id`` names the campaign in the store.
+    """
+    engine = backend or SerialBackend()
+    spec.validate()
+    start = wallclock.perf_counter()
+    cell = None
+    if checkpoint is not None:
+        cell = checkpoint.begin_cell(
+            campaign_id=campaign_id, spec=spec, seed=seed, backend=engine,
+        )
+        shards = cell.resolved_shards
+    else:
+        shards = engine.resolve(spec)
+    plans = partition_plan(build_plan(spec, seed), shards)
+    completed = {} if cell is None else checkpoint.completed_shards(cell)
+    pending = [plan for plan in plans if plan.shard_id not in completed]
+
+    def record(result: ShardResult) -> None:
+        if cell is not None:
+            checkpoint.record_shard(cell, result)
+
+    fresh = engine.submit_all(pending, on_result=record)
+    results = sorted(
+        list(completed.values()) + list(fresh),
+        key=lambda result: result.shard_id,
+    )
+    report = merge_shard_results(
+        scenario=spec.name,
+        seed=seed,
+        backend=engine.name,
+        shards=len(plans),
+        results=[result.payload for result in results],
+        wall_seconds=wallclock.perf_counter() - start,
+        reservoir=spec.telemetry_reservoir,
+    )
+    if cell is not None:
+        checkpoint.finish_cell(cell, report)
+    return report
+
+
+def run_cell(
+    scenario: ScenarioLike,
+    seed: int = 0,
+    backend: Optional[ExecutionBackend] = None,
+    checkpoint: Optional[Any] = None,
+    campaign_id: Optional[str] = None,
+) -> CampaignReport:
+    """Run a single cell by spec or library name (the blessed one-off
+    surface; replaces the deprecated ``backend.run(spec, seed)``)."""
+    return execute_cell(
+        _resolve_scenario(scenario), seed, backend=backend,
+        checkpoint=checkpoint, campaign_id=campaign_id,
+    )
+
+
+@dataclass
+class CellExecution:
+    """A serial cell run with its live in-process objects.
+
+    What ``SerialBackend.run_detailed`` used to return as a bare triple:
+    the merged report plus the :class:`FleetReport` and the live
+    :class:`CompiledScenario` (members, span recorder, fleet) for
+    callers that inspect the simulation — the fuzz oracle, the trace
+    exporter, tests.
+    """
+
+    report: CampaignReport
+    fleet_report: FleetReport
+    compiled: CompiledScenario
+    shard_result: ShardResult
+
+    @property
+    def span_recorder(self):
+        return self.compiled.span_recorder
+
+
+def run_cell_detailed(scenario: ScenarioLike, seed: int = 0) -> CellExecution:
+    """Run one cell serially, keeping the live compiled objects.
+
+    Necessarily in-process and single-shard (live fleets cannot cross a
+    process boundary); the report still flows through the same merge as
+    every other backend, so its digests are directly comparable.
+    """
+    spec = _resolve_scenario(scenario)
+    start = wallclock.perf_counter()
+    plan = build_plan(spec, seed)
+    payload, fleet_report, compiled = execute_plan_detailed(plan)
+    result = ShardResult(shard_id=0, payload=payload, worker="inline")
+    report = merge_shard_results(
+        scenario=spec.name,
+        seed=seed,
+        backend=SerialBackend.name,
+        shards=1,
+        results=[payload],
+        wall_seconds=wallclock.perf_counter() - start,
+        reservoir=spec.telemetry_reservoir,
+    )
+    return CellExecution(
+        report=report, fleet_report=fleet_report, compiled=compiled,
+        shard_result=result,
+    )
 
 
 class Campaign:
@@ -59,11 +210,7 @@ class Campaign:
 
     # ------------------------------------------------------------------
     def _resolve(self, scenario: ScenarioLike) -> ScenarioSpec:
-        spec = get_scenario(scenario) if isinstance(scenario, str) else scenario
-        if self.scale != 1.0:
-            spec = spec.scaled(self.scale)
-        spec.validate()
-        return spec
+        return _resolve_scenario(scenario, self.scale)
 
     # ------------------------------------------------------------------
     def run_cell(
@@ -71,6 +218,8 @@ class Campaign:
         scenario: ScenarioLike,
         seed: int = 0,
         backend: Optional[ExecutionBackend] = None,
+        checkpoint: Optional[Any] = None,
+        campaign_id: Optional[str] = None,
     ) -> CampaignReport:
         """Run a single (scenario, seed) cell through a backend.
 
@@ -80,15 +229,34 @@ class Campaign:
         the same way the constructor did.
         """
         engine = backend or self.backend
-        if isinstance(scenario, ScenarioSpec) and any(
-            spec is scenario for spec, _seed in self.cells
+        if not (
+            isinstance(scenario, ScenarioSpec)
+            and any(spec is scenario for spec, _seed in self.cells)
         ):
-            return engine.run(scenario, seed)
-        return engine.run(self._resolve(scenario), seed)
+            scenario = self._resolve(scenario)
+        return execute_cell(
+            scenario, seed, backend=engine,
+            checkpoint=checkpoint, campaign_id=campaign_id,
+        )
 
     def run(
-        self, backend: Optional[ExecutionBackend] = None
+        self,
+        backend: Optional[ExecutionBackend] = None,
+        checkpoint: Optional[Any] = None,
+        campaign_id: Optional[str] = None,
     ) -> List[CampaignReport]:
-        """Run every cell of the plan; one report per cell, grid order."""
+        """Run every cell of the plan; one report per cell, grid order.
+
+        With ``checkpoint`` + ``campaign_id`` each completed shard is
+        persisted as it lands, and a re-run (or
+        :func:`~repro.campaign.checkpoint.resume_campaign`) skips
+        everything already durable.
+        """
         engine = backend or self.backend
-        return [engine.run(spec, seed) for spec, seed in self.cells]
+        return [
+            execute_cell(
+                spec, seed, backend=engine,
+                checkpoint=checkpoint, campaign_id=campaign_id,
+            )
+            for spec, seed in self.cells
+        ]

@@ -3,8 +3,8 @@
 A candidate earns its place in the corpus by *novelty*, and novelty
 needs a coverage alphabet.  :func:`coverage_keys` extracts one flat
 string-key set from the artifacts a finished
-:meth:`~repro.campaign.backends.SerialBackend.run_detailed` call hands
-back, across three layers:
+:func:`~repro.campaign.core.run_cell_detailed` call hands back, across
+three layers:
 
 ``model:{kind}:{transition}``
     Spec-model transitions the live awareness monitors fired — read off

@@ -40,7 +40,8 @@ import traceback
 from dataclasses import dataclass
 from typing import FrozenSet, Optional, Tuple
 
-from ..campaign.backends import ProcessShardBackend, SerialBackend
+from ..campaign.backends import ProcessShardBackend
+from ..campaign.core import run_cell, run_cell_detailed
 from ..campaign.report import CampaignReport
 from ..scenarios.spec import ScenarioSpec
 from .coverage import coverage_keys
@@ -217,14 +218,13 @@ def evaluate_candidate(
     tries.
     """
     try:
-        report, _fleet_report, compiled = SerialBackend().run_detailed(
-            spec, seed
-        )
+        cell = run_cell_detailed(spec, seed)
+        report, compiled = cell.report, cell.compiled
         shard_digest = None
         shard_span_digest = None
         if check_divergence and spec.members >= 2:
-            sharded = ProcessShardBackend(shards=2, inline=True).run(
-                spec, seed
+            sharded = run_cell(
+                spec, seed, backend=ProcessShardBackend(shards=2, inline=True)
             )
             shard_digest = sharded.telemetry_digest
             if spec.record_spans:

@@ -37,15 +37,12 @@ DEFAULT_DB = "BENCH_history.sqlite"
 def _run_campaign(name: str, seed: int, shards: Optional[int]):
     """Run one library scenario with span recording enabled; returns
     the CampaignReport (its ``spans`` block carries the episodes)."""
-    from ..campaign import ProcessShardBackend, SerialBackend
+    from ..campaign import ProcessShardBackend, run_cell
     from ..scenarios import get_scenario
 
     spec = replace(get_scenario(name), record_spans=True)
-    backend = (
-        SerialBackend() if not shards
-        else ProcessShardBackend(shards=shards)
-    )
-    return backend.run(spec, seed)
+    backend = None if not shards else ProcessShardBackend(shards=shards)
+    return run_cell(spec, seed, backend=backend)
 
 
 # ----------------------------------------------------------------------
@@ -175,14 +172,12 @@ def _cmd_compare(args: argparse.Namespace) -> int:
 
 
 def _cmd_export_trace(args: argparse.Namespace) -> int:
-    from ..campaign import SerialBackend
+    from ..campaign import run_cell_detailed
     from ..scenarios import get_scenario
 
     spec = replace(get_scenario(args.scenario), record_spans=True)
-    _report, _fleet_report, compiled = SerialBackend().run_detailed(
-        spec, args.seed
-    )
-    recorder = compiled.span_recorder
+    cell = run_cell_detailed(spec, args.seed)
+    recorder = cell.span_recorder
     episodes: List[Dict[str, Any]] = list(recorder.episodes)
     trace = chrome_trace(episodes)
     with open(args.out, "w", encoding="utf-8") as handle:

@@ -87,12 +87,47 @@ CREATE TABLE IF NOT EXISTS fuzz_corpus (
     coverage    TEXT,
     spec        TEXT NOT NULL
 );
+CREATE TABLE IF NOT EXISTS campaign_cells (
+    id               INTEGER PRIMARY KEY AUTOINCREMENT,
+    campaign_id      TEXT NOT NULL,
+    spec_hash        TEXT NOT NULL,
+    scenario         TEXT,
+    seed             INTEGER NOT NULL,
+    backend          TEXT,
+    requested_shards TEXT,
+    resolved_shards  INTEGER NOT NULL,
+    status           TEXT NOT NULL DEFAULT 'running',
+    created_at       TEXT NOT NULL,
+    finished_at      TEXT,
+    git_rev          TEXT,
+    telemetry_digest TEXT,
+    span_digest      TEXT,
+    spec             TEXT NOT NULL,
+    UNIQUE (campaign_id, spec_hash, seed)
+);
+CREATE TABLE IF NOT EXISTS campaign_shards (
+    id           INTEGER PRIMARY KEY AUTOINCREMENT,
+    cell_id      INTEGER NOT NULL REFERENCES campaign_cells(id),
+    campaign_id  TEXT NOT NULL,
+    spec_hash    TEXT NOT NULL,
+    seed         INTEGER NOT NULL,
+    shard_id     INTEGER NOT NULL,
+    attempt      INTEGER NOT NULL DEFAULT 0,
+    worker       TEXT,
+    recorded_at  TEXT NOT NULL,
+    trace_digest TEXT,
+    result       TEXT NOT NULL
+);
 CREATE INDEX IF NOT EXISTS idx_campaigns_scenario
     ON campaigns (scenario, id);
 CREATE INDEX IF NOT EXISTS idx_episodes_campaign
     ON episodes (campaign_id);
 CREATE INDEX IF NOT EXISTS idx_fuzz_verdict
     ON fuzz_corpus (verdict, id);
+CREATE INDEX IF NOT EXISTS idx_campaign_cells_campaign
+    ON campaign_cells (campaign_id, id);
+CREATE INDEX IF NOT EXISTS idx_campaign_shards_cell
+    ON campaign_shards (cell_id, shard_id, id);
 """
 
 
@@ -267,6 +302,138 @@ class RunHistory:
         )
         self._conn.commit()
         return int(cursor.lastrowid) if cursor.rowcount else None
+
+    # ------------------------------------------------------------------
+    # campaign checkpoint rows (PR 9: distributed execution + resume)
+    # ------------------------------------------------------------------
+    def begin_campaign_cell(
+        self,
+        campaign_id: str,
+        spec_hash: str,
+        scenario: str,
+        seed: int,
+        backend: Optional[str],
+        requested_shards: Optional[str],
+        resolved_shards: int,
+        spec_json: str,
+        git_rev: Optional[str] = None,
+    ) -> Dict[str, Any]:
+        """Register one (campaign, cell) in the checkpoint registry.
+
+        A row keyed ``(campaign_id, spec_hash, seed)`` that already
+        exists wins: the *recorded* shard resolution is returned, so a
+        resumed cell partitions exactly like the interrupted original —
+        including an autotuned count the original host picked.
+        """
+        existing = self._conn.execute(
+            "SELECT * FROM campaign_cells WHERE campaign_id = ?"
+            " AND spec_hash = ? AND seed = ?",
+            (campaign_id, spec_hash, seed),
+        ).fetchone()
+        if existing is not None:
+            return dict(existing)
+        self._conn.execute(
+            "INSERT INTO campaign_cells (campaign_id, spec_hash, scenario,"
+            " seed, backend, requested_shards, resolved_shards, status,"
+            " created_at, git_rev, spec)"
+            " VALUES (?, ?, ?, ?, ?, ?, ?, 'running', ?, ?, ?)",
+            (
+                campaign_id,
+                spec_hash,
+                scenario,
+                seed,
+                backend,
+                requested_shards,
+                resolved_shards,
+                _utcnow(),
+                git_rev if git_rev is not None else current_git_rev(),
+                spec_json,
+            ),
+        )
+        self._conn.commit()
+        row = self._conn.execute(
+            "SELECT * FROM campaign_cells WHERE campaign_id = ?"
+            " AND spec_hash = ? AND seed = ?",
+            (campaign_id, spec_hash, seed),
+        ).fetchone()
+        return dict(row)
+
+    def record_campaign_shard(
+        self,
+        cell_id: int,
+        campaign_id: str,
+        spec_hash: str,
+        seed: int,
+        shard_id: int,
+        attempt: int,
+        worker: str,
+        trace_digest: Optional[str],
+        result_json: str,
+    ) -> int:
+        """Append one completed shard's mergeable result (INSERT only:
+        a retried shard appends a higher attempt, never overwrites)."""
+        cursor = self._conn.execute(
+            "INSERT INTO campaign_shards (cell_id, campaign_id, spec_hash,"
+            " seed, shard_id, attempt, worker, recorded_at, trace_digest,"
+            " result) VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
+            (
+                cell_id, campaign_id, spec_hash, seed, shard_id, attempt,
+                worker, _utcnow(), trace_digest, result_json,
+            ),
+        )
+        self._conn.commit()
+        return int(cursor.lastrowid)
+
+    def campaign_shard_rows(self, cell_id: int) -> List[Dict[str, Any]]:
+        """The newest recorded result per shard of one cell."""
+        rows = self._conn.execute(
+            "SELECT * FROM campaign_shards WHERE cell_id = ?"
+            " ORDER BY shard_id, id",
+            (cell_id,),
+        ).fetchall()
+        latest: Dict[int, Dict[str, Any]] = {}
+        for row in rows:
+            latest[row["shard_id"]] = dict(row)
+        return [latest[shard_id] for shard_id in sorted(latest)]
+
+    def finish_campaign_cell(
+        self,
+        cell_id: int,
+        telemetry_digest: str,
+        span_digest: Optional[str],
+    ) -> None:
+        """Mark a cell complete with its merged determinism witnesses.
+
+        The one sanctioned UPDATE in the store: the cells table is a job
+        registry (what is running / resumable / done), not history — the
+        durable per-shard results in ``campaign_shards`` stay
+        append-only.
+        """
+        self._conn.execute(
+            "UPDATE campaign_cells SET status = 'complete',"
+            " finished_at = ?, telemetry_digest = ?, span_digest = ?"
+            " WHERE id = ?",
+            (_utcnow(), telemetry_digest, span_digest, cell_id),
+        )
+        self._conn.commit()
+
+    def campaign_cells(
+        self, campaign_id: Optional[str] = None, limit: int = 50
+    ) -> List[Dict[str, Any]]:
+        """Checkpoint cell rows — all of one campaign (oldest first, the
+        grid order), or the newest rows across campaigns."""
+        if campaign_id is not None:
+            rows = self._conn.execute(
+                "SELECT * FROM campaign_cells WHERE campaign_id = ?"
+                " ORDER BY id",
+                (campaign_id,),
+            ).fetchall()
+        else:
+            rows = self._conn.execute(
+                "SELECT * FROM campaign_cells ORDER BY id DESC LIMIT ?",
+                (limit,),
+            ).fetchall()
+        return [dict(row) for row in rows]
 
     # ------------------------------------------------------------------
     # reads (newest first)

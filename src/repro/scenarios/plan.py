@@ -57,6 +57,28 @@ class PlannedMember:
     #: Assigned user profile name (TVs only).
     profile: Optional[str] = None
 
+    def to_json(self) -> Dict[str, object]:
+        data: Dict[str, object] = {
+            "suo_id": self.suo_id,
+            "kind": self.kind,
+            "kind_index": self.kind_index,
+        }
+        if self.profile is not None:
+            data["profile"] = self.profile
+        return data
+
+    @classmethod
+    def from_json(cls, data: Dict[str, object]) -> "PlannedMember":
+        return cls(
+            suo_id=str(data["suo_id"]),
+            kind=str(data["kind"]),
+            kind_index=int(data["kind_index"]),
+            profile=(
+                None if data.get("profile") is None
+                else str(data["profile"])
+            ),
+        )
+
 
 @dataclass(frozen=True)
 class ScenarioPlan:
@@ -78,6 +100,39 @@ class ScenarioPlan:
     @property
     def is_shard(self) -> bool:
         return self.shards > 1
+
+    # ------------------------------------------------------------------
+    # wire form: how a remote-dispatch backend ships a shard plan to a
+    # worker on another host (see repro.campaign.distributed).  The JSON
+    # round-trip is exact — plan_from_json(plan.to_json()) == plan — so
+    # a socket worker executes the byte-identical placement decisions.
+    # ------------------------------------------------------------------
+    def to_json(self) -> Dict[str, object]:
+        return {
+            "spec": self.spec.to_json(),
+            "seed": self.seed,
+            "members": [member.to_json() for member in self.members],
+            "phase_targets": [list(targets) for targets in self.phase_targets],
+            "shard_id": self.shard_id,
+            "shards": self.shards,
+        }
+
+    @classmethod
+    def from_json(cls, data: Dict[str, object]) -> "ScenarioPlan":
+        return cls(
+            spec=ScenarioSpec.from_json(data["spec"]),
+            seed=int(data["seed"]),
+            members=tuple(
+                PlannedMember.from_json(entry)
+                for entry in data["members"]
+            ),
+            phase_targets=tuple(
+                tuple(str(suo) for suo in targets)
+                for targets in data.get("phase_targets", [])
+            ),
+            shard_id=int(data.get("shard_id", 0)),
+            shards=int(data.get("shards", 1)),
+        )
 
 
 def build_plan(spec: ScenarioSpec, seed: int = 0) -> ScenarioPlan:

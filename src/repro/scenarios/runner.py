@@ -145,18 +145,16 @@ class ScenarioRunner:
 
     def run(self, scenario: ScenarioLike, seed: int = 0) -> ScenarioReport:
         """Run one (scenario, seed) cell to completion."""
-        from ..campaign.backends import SerialBackend
+        from ..campaign.core import run_cell_detailed
 
         spec = self._resolve(scenario)
-        campaign_report, fleet_report, _compiled = SerialBackend().run_detailed(
-            spec, seed
-        )
+        cell = run_cell_detailed(spec, seed)
         return ScenarioReport(
             scenario=spec.name,
             seed=seed,
-            fleet=fleet_report,
-            profile_mix=campaign_report.profile_mix,
-            wall_seconds=campaign_report.wall_seconds,
+            fleet=cell.fleet_report,
+            profile_mix=cell.report.profile_mix,
+            wall_seconds=cell.report.wall_seconds,
         )
 
     def sweep(

@@ -16,6 +16,7 @@ from repro.campaign import (
     CampaignReport,
     ProcessShardBackend,
     SerialBackend,
+    run_cell,
     format_campaign_table,
 )
 from repro.runtime.telemetry import mergeable_summary
@@ -147,9 +148,9 @@ def test_campaign_report_to_json_round_trips():
 # sharded execution: the acceptance bar
 # ----------------------------------------------------------------------
 def test_sharded_matches_serial_on_fixture():
-    serial = SerialBackend().run(SMALL, 5)
+    serial = run_cell(SMALL, 5)
     for shards in (2, 3):
-        sharded = ProcessShardBackend(shards=shards).run(SMALL, 5)
+        sharded = run_cell(SMALL, 5, backend=ProcessShardBackend(shards=shards))
         assert sharded.shards == shards
         assert sharded.members == serial.members
         assert sharded.telemetry_digest == serial.telemetry_digest
@@ -185,8 +186,8 @@ def test_every_library_scenario_shards_match_serial(name):
 
 def test_shard_trace_digests_reproduce_across_reruns():
     backend = ProcessShardBackend(shards=2)
-    first = backend.run(SMALL, 5)
-    second = backend.run(SMALL, 5)
+    first = run_cell(SMALL, 5, backend=backend)
+    second = run_cell(SMALL, 5, backend=backend)
     assert first.shard_trace_digests == second.shard_trace_digests
     assert len(first.shard_trace_digests) == 2
     assert first.telemetry_digest == second.telemetry_digest
@@ -195,16 +196,16 @@ def test_shard_trace_digests_reproduce_across_reruns():
 
 
 def test_inline_sharding_equals_process_sharding():
-    inline = ProcessShardBackend(shards=2, inline=True).run(SMALL, 5)
-    process = ProcessShardBackend(shards=2).run(SMALL, 5)
+    inline = run_cell(SMALL, 5, backend=ProcessShardBackend(shards=2, inline=True))
+    process = run_cell(SMALL, 5, backend=ProcessShardBackend(shards=2))
     assert inline.telemetry_digest == process.telemetry_digest
     assert inline.shard_trace_digests == process.shard_trace_digests
     assert inline.dispatched == process.dispatched
 
 
 def test_single_shard_request_runs_in_process():
-    report = ProcessShardBackend(shards=1).run(SMALL, 5)
-    serial = SerialBackend().run(SMALL, 5)
+    report = run_cell(SMALL, 5, backend=ProcessShardBackend(shards=1))
+    serial = run_cell(SMALL, 5)
     assert report.shards == 1
     assert report.telemetry_digest == serial.telemetry_digest
     assert report.shard_trace_digests == serial.shard_trace_digests
@@ -213,6 +214,64 @@ def test_single_shard_request_runs_in_process():
 # ----------------------------------------------------------------------
 # legacy shims
 # ----------------------------------------------------------------------
+def test_backend_run_shim_warns_once_and_matches_run_cell():
+    """PR 9 pin: ``backend.run(spec, seed)`` warns (once) and forwards
+    to the unified orchestration path — identical digests."""
+    from repro.runtime import fleet as fleet_module
+
+    fleet_module._DEPRECATION_WARNED.discard("ExecutionBackend.run")
+    with pytest.warns(DeprecationWarning, match="run_cell"):
+        legacy = SerialBackend().run(SMALL, 5)
+    unified = run_cell(SMALL, 5)
+    assert legacy.telemetry_digest == unified.telemetry_digest
+    assert legacy.shard_trace_digests == unified.shard_trace_digests
+    assert legacy.detected == unified.detected
+    # warn-once: a second call through any backend's shim is silent
+    import warnings
+
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        ProcessShardBackend(shards=2, inline=True).run(SMALL, 5)
+    assert not [
+        w for w in caught if issubclass(w.category, DeprecationWarning)
+    ]
+
+
+def test_run_detailed_shim_warns_and_matches_run_cell_detailed():
+    """PR 9 pin: ``SerialBackend.run_detailed`` still returns the
+    legacy (report, fleet_report, compiled) triple."""
+    from repro.campaign import run_cell_detailed
+    from repro.runtime import fleet as fleet_module
+
+    fleet_module._DEPRECATION_WARNED.discard("SerialBackend.run_detailed")
+    with pytest.warns(DeprecationWarning, match="run_cell_detailed"):
+        report, fleet_report, compiled = SerialBackend().run_detailed(
+            SMALL, 5
+        )
+    cell = run_cell_detailed(SMALL, 5)
+    assert report.telemetry_digest == cell.report.telemetry_digest
+    assert fleet_report.trace_digest == cell.fleet_report.trace_digest
+    assert compiled.spec == cell.compiled.spec
+
+
+def test_run_shard_plan_shim_warns_and_matches_execute_plan():
+    """PR 9 pin: module-level ``run_shard_plan`` forwards to
+    ``execute_plan`` with an identical payload."""
+    from repro.campaign import execute_plan, run_shard_plan
+    from repro.runtime import fleet as fleet_module
+
+    fleet_module._DEPRECATION_WARNED.discard("run_shard_plan")
+    plan = build_plan(SMALL, 5)
+    with pytest.warns(DeprecationWarning, match="execute_plan"):
+        legacy = run_shard_plan(plan)
+    fresh = execute_plan(plan)
+    drop_wall = lambda payload: {  # noqa: E731 — wall-clock is not data
+        key: value for key, value in payload.items()
+        if key != "wall_seconds"
+    }
+    assert drop_wall(legacy) == drop_wall(fresh)
+
+
 def test_scenario_runner_shim_matches_campaign():
     from repro.runtime import fleet as fleet_module
     from repro.scenarios import ScenarioRunner

@@ -1,0 +1,110 @@
+"""Tests for ``python -m repro.campaign`` (run/resume/status/list/worker).
+
+Mirrors the repro.obs / repro.fuzz CLI test conventions: drive
+``main(argv)`` against a tmp_path SQLite store, assert on exit codes
+and parsed ``--json`` output.
+"""
+
+import json
+
+import pytest
+
+from repro.campaign import run_cell
+from repro.campaign.cli import build_parser, main
+from repro.scenarios import get_scenario
+
+
+def run_args(db, *extra):
+    return [
+        "run", "--db", db, "--scenario", "zapping-storm", "--seeds", "1",
+        "--scale", "0.25", "--backend", "inline", "--shards", "2",
+        "--campaign-id", "cli-demo", *extra,
+    ]
+
+
+def test_run_then_status_then_resume_then_list(tmp_path, capsys):
+    db = str(tmp_path / "campaigns.sqlite")
+    assert main(run_args(db)) == 0
+    out = capsys.readouterr().out
+    assert "zapping-storm" in out
+    assert "cli-demo" in out
+
+    assert main(["status", "cli-demo", "--db", db]) == 0
+    out = capsys.readouterr().out
+    assert "1/1 cells complete" in out
+    assert "2/2 shards" in out
+
+    # resume of a complete campaign merges purely from the store and
+    # reports the identical digest
+    assert main(["resume", "cli-demo", "--db", db, "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    scaled = run_cell(get_scenario("zapping-storm").scaled(0.25), 1)
+    assert payload[0]["telemetry_digest"] == scaled.telemetry_digest
+
+    assert main(["list", "--db", db]) == 0
+    out = capsys.readouterr().out
+    assert "cli-demo" in out
+    assert "1/1 cells" in out
+
+
+def test_run_json_emits_parseable_reports(tmp_path, capsys):
+    db = str(tmp_path / "campaigns.sqlite")
+    assert main(run_args(db, "--json")) == 0
+    out = capsys.readouterr().out
+    reports = json.loads(out)
+    assert len(reports) == 1
+    assert reports[0]["scenario"] == "zapping-storm"
+    assert reports[0]["telemetry_digest"]
+
+
+def test_status_and_resume_of_unknown_campaign_exit_nonzero(tmp_path, capsys):
+    db = str(tmp_path / "campaigns.sqlite")
+    assert main(["status", "ghost", "--db", db]) == 1
+    assert "no campaign 'ghost'" in capsys.readouterr().out
+    assert main(["resume", "ghost", "--db", db]) == 1
+    assert "no campaign 'ghost'" in capsys.readouterr().out
+
+
+def test_ephemeral_run_writes_no_store(tmp_path, capsys):
+    db = str(tmp_path / "campaigns.sqlite")
+    assert main(run_args(db, "--ephemeral")) == 0
+    capsys.readouterr()
+    assert main(["list", "--db", db]) == 0
+    assert "no campaigns recorded" in capsys.readouterr().out
+
+
+def test_socket_backend_requires_worker_addresses(tmp_path):
+    db = str(tmp_path / "campaigns.sqlite")
+    argv = [
+        "run", "--db", db, "--scenario", "zapping-storm",
+        "--backend", "socket",
+    ]
+    with pytest.raises(SystemExit, match="--worker"):
+        main(argv)
+
+
+def test_worker_subcommand_binds_and_exits(capsys):
+    assert main(["worker", "--port", "0", "--max-requests", "0"]) == 0
+    out = capsys.readouterr().out
+    assert "listening on 127.0.0.1:" in out
+    assert "served 0 shard(s)" in out
+
+
+def test_parser_covers_every_subcommand():
+    parser = build_parser()
+    for argv, expected in (
+        (["run", "--scenario", "s"], "run"),
+        (["resume", "c"], "resume"),
+        (["status", "c"], "status"),
+        (["list"], "list"),
+        (["worker"], "worker"),
+    ):
+        assert parser.parse_args(argv).command == expected
+
+
+def test_shards_argument_accepts_auto_and_rejects_zero():
+    parser = build_parser()
+    args = parser.parse_args(["run", "--scenario", "s", "--shards", "auto"])
+    assert args.shards is None
+    with pytest.raises(SystemExit):
+        parser.parse_args(["run", "--scenario", "s", "--shards", "0"])

@@ -91,9 +91,10 @@ class TestOracle:
 
     def test_digest_divergence_outranks_everything(self):
         spec = get_scenario("fuzz-printer-silent-jam")
-        from repro.campaign.backends import SerialBackend
+        from repro.campaign import run_cell_detailed
 
-        report, _fleet, compiled = SerialBackend().run_detailed(spec, 0)
+        cell = run_cell_detailed(spec, 0)
+        report, compiled = cell.report, cell.compiled
         verdict = classify(spec, report, compiled, shard_digest="deadbeef")
         assert verdict.kind == "digest_divergence"
         assert "deadbeef"[:12] in verdict.detail

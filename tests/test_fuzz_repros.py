@@ -156,9 +156,10 @@ class TestExerciseScript:
     def test_classify_agrees_with_fresh_oracle(self):
         # classify() is re-exported for exactly this pinning flow; keep
         # the convenience import honest.
-        from repro.campaign.backends import SerialBackend
+        from repro.campaign import run_cell_detailed
 
         spec = get_scenario("fuzz-latent-volume")
-        report, _fleet, compiled = SerialBackend().run_detailed(spec, 0)
+        cell = run_cell_detailed(spec, 0)
+        report, compiled = cell.report, cell.compiled
         verdict = classify(spec, report, compiled)
         assert verdict.kind == "ok"

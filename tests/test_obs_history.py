@@ -11,7 +11,7 @@ from dataclasses import replace
 
 import pytest
 
-from repro.campaign import SerialBackend
+from repro.campaign import run_cell
 from repro.obs.history import RunHistory, current_git_rev
 from repro.obs.trend import (
     compare_bench_runs,
@@ -75,7 +75,7 @@ def test_run_round_trip(tmp_path):
 
 def test_record_campaign_stores_headline_columns_and_episode_rows(tmp_path):
     spec = replace(get_scenario("player-decoder-drill"), record_spans=True)
-    report = SerialBackend().run(spec, 7)
+    report = run_cell(spec, 7)
     with RunHistory(str(tmp_path / "history.sqlite")) as history:
         campaign_id = history.record_campaign(report, git_rev="abc123")
         rows = history.campaigns(scenario="player-decoder-drill")
@@ -102,7 +102,7 @@ def test_record_campaign_stores_headline_columns_and_episode_rows(tmp_path):
         stored = history.campaign_report(campaign_id)
         assert stored["telemetry_digest"] == report.telemetry_digest
         # campaigns with no spans still record (empty span block)
-        plain = SerialBackend().run(get_scenario("player-decoder-drill"), 7)
+        plain = run_cell(get_scenario("player-decoder-drill"), 7)
         plain_id = history.record_campaign(plain)
         assert history.episodes(plain_id) == []
 

@@ -17,7 +17,7 @@ from dataclasses import replace
 
 import pytest
 
-from repro.campaign import SerialBackend
+from repro.campaign import run_cell, run_cell_detailed
 from repro.obs.spans import (
     DEFAULT_RESERVOIR,
     SpanRecorder,
@@ -42,7 +42,8 @@ def drill_runs():
     runs = {}
     for name in DRILLS:
         spec = replace(get_scenario(name), record_spans=True)
-        report, _fleet_report, compiled = SerialBackend().run_detailed(spec, 7)
+        cell = run_cell_detailed(spec, 7)
+        report, compiled = cell.report, cell.compiled
         runs[name] = (report, compiled.span_recorder)
     return runs
 
@@ -103,8 +104,8 @@ def test_report_spans_block_matches_the_recorder(drill_runs):
 # ----------------------------------------------------------------------
 def test_disabled_runs_leave_every_digest_byte_identical():
     spec = get_scenario("player-decoder-drill")
-    plain = SerialBackend().run(spec, 7)
-    recorded = SerialBackend().run(replace(spec, record_spans=True), 7)
+    plain = run_cell(spec, 7)
+    recorded = run_cell(replace(spec, record_spans=True), 7)
     assert plain.spans == {}
     assert plain.span_digest == ""
     assert recorded.telemetry_digest == plain.telemetry_digest

@@ -10,7 +10,7 @@ instead of inside a campaign worker.
 
 import pytest
 
-from repro.campaign.backends import SerialBackend
+from repro.campaign import run_cell
 from repro.scenarios import (
     FaultPhase,
     ScenarioSpec,
@@ -117,7 +117,7 @@ class TestPhaseTimingBorders:
             phases=(FaultPhase("volume_overshoot", at=0.0, kind="tv",
                                fraction=1.0),),
         )
-        report = SerialBackend().run(spec, 0)
+        report = run_cell(spec, 0)
         assert report.members == 1
 
     def test_phase_at_horizon_rejected(self):

@@ -94,6 +94,12 @@ def passing_report():
             "crash_findings": [], "coverage_keys": 40,
             "candidates_per_sec": 2.5, "deterministic": True,
         },
+        "resume": {
+            "scenario": "recovery-ladder-drill", "seed": 7, "shards": 3,
+            "killed_shard": 1, "interrupt_observed": True,
+            "shards_durable_at_interrupt": 2, "lost_shards": 0,
+            "telemetry_match": True, "span_match": True,
+        },
         "benches": {
             "bench_e14_fleet.py": {"ok": True, "seconds": 1.0},
             "bench_e16_sharded.py": {"ok": True, "seconds": 2.0},
@@ -337,6 +343,50 @@ def test_fuzz_throughput_joins_the_perf_floor():
 
 
 # ----------------------------------------------------------------------
+# the checkpoint/resume gate (PR 9)
+# ----------------------------------------------------------------------
+def test_missing_resume_probe_fails():
+    report = passing_report()
+    del report["resume"]
+    assert any("resume probe missing" in f for f in evaluate_report(report))
+
+
+def test_resume_telemetry_divergence_fails():
+    report = passing_report()
+    report["resume"]["telemetry_match"] = False
+    failures = evaluate_report(report)
+    assert any(
+        "telemetry digest diverged" in f and "resume" in f.lower()
+        for f in failures
+    )
+
+
+def test_resume_span_divergence_fails():
+    report = passing_report()
+    report["resume"]["span_match"] = False
+    failures = evaluate_report(report)
+    assert any("span digest diverged" in f for f in failures)
+
+
+def test_lost_shards_fail_the_resume_gate():
+    report = passing_report()
+    report["resume"]["lost_shards"] = 1
+    failures = evaluate_report(report)
+    assert any("unexecuted" in f for f in failures)
+
+
+def test_resume_probe_must_actually_interrupt():
+    # A probe whose injected kill never fired (or that checkpointed
+    # nothing before dying) proved nothing and must read as a failure.
+    report = passing_report()
+    report["resume"]["interrupt_observed"] = False
+    assert any("interruption" in f for f in evaluate_report(report))
+    report = passing_report()
+    report["resume"]["shards_durable_at_interrupt"] = 0
+    assert any("checkpointed no shards" in f for f in evaluate_report(report))
+
+
+# ----------------------------------------------------------------------
 # skipped gates are visible, not silent (PR 7)
 # ----------------------------------------------------------------------
 def test_no_gates_skipped_on_a_capable_host():
@@ -403,12 +453,12 @@ def test_detection_drift_fails_through_evaluate_report():
 def test_span_forest_digest_is_shard_invariant(name):
     from dataclasses import replace
 
-    from repro.campaign import SerialBackend
+    from repro.campaign import run_cell
     from repro.scenarios import get_scenario
 
     spec = replace(get_scenario(name), record_spans=True)
-    serial = SerialBackend().run(spec, 7)
-    sharded = ProcessShardBackend(shards=2, inline=True).run(spec, 7)
+    serial = run_cell(spec, 7)
+    sharded = run_cell(spec, 7, backend=ProcessShardBackend(shards=2, inline=True))
     assert serial.spans["completed"] > 0
     assert sharded.span_digest == serial.span_digest
     assert sharded.spans["completed"] == serial.spans["completed"]
@@ -416,7 +466,7 @@ def test_span_forest_digest_is_shard_invariant(name):
     # the drills fit the reservoir, so even the sample lists agree
     assert sharded.spans["samples"] == serial.spans["samples"]
     # and the spans block is as reproducible as the telemetry digest
-    again = SerialBackend().run(spec, 7)
+    again = run_cell(spec, 7)
     assert again.spans == serial.spans
 
 
@@ -442,14 +492,14 @@ def test_backend_autotunes_when_shards_is_none():
 
 
 def test_autotuned_run_matches_serial_digest():
-    from repro.campaign import SerialBackend
+    from repro.campaign import run_cell
     from repro.scenarios import UserProfile
 
     spec = ScenarioSpec(
         "auto-cell", "d", duration=20.0, tvs=6,
         profiles=(UserProfile("p", mean_gap=3.0, keys=("power", "vol_up")),),
     )
-    auto = ProcessShardBackend(shards=None, inline=True).run(spec, 5)
-    serial = SerialBackend().run(spec, 5)
+    auto = run_cell(spec, 5, backend=ProcessShardBackend(shards=None, inline=True))
+    serial = run_cell(spec, 5)
     assert auto.telemetry_digest == serial.telemetry_digest
     assert auto.shards == resolve_shards(spec.members)

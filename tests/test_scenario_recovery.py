@@ -11,7 +11,7 @@ import math
 
 import pytest
 
-from repro.campaign import ProcessShardBackend, SerialBackend
+from repro.campaign import ProcessShardBackend, run_cell
 from repro.runtime.telemetry import mergeable_summary, merge_summaries
 from repro.scenarios import FaultPhase, ScenarioSpec, UserProfile, get_scenario
 from repro.scenarios.compile import CompiledScenario
@@ -85,7 +85,7 @@ def test_recovery_phase_needs_a_repairable_fault():
 # the library drill end to end
 # ----------------------------------------------------------------------
 def test_library_drill_records_finite_ttr_per_wave():
-    report = SerialBackend().run(get_scenario("recovery-ladder-drill"), 7)
+    report = run_cell(get_scenario("recovery-ladder-drill"), 7)
     assert report.detection_rate > 0.0
     assert report.false_alarms == []
     recovery = report.telemetry_summary["recovery"]
@@ -99,8 +99,8 @@ def test_library_drill_records_finite_ttr_per_wave():
 
 def test_drill_recovery_stats_are_shard_invariant():
     spec = get_scenario("recovery-ladder-drill")
-    serial = SerialBackend().run(spec, 7)
-    sharded = ProcessShardBackend(shards=2).run(spec, 7)
+    serial = run_cell(spec, 7)
+    sharded = run_cell(spec, 7, backend=ProcessShardBackend(shards=2))
     assert sharded.telemetry_digest == serial.telemetry_digest
     assert mergeable_summary(sharded.telemetry_summary)["recovery"] == \
         mergeable_summary(serial.telemetry_summary)["recovery"]

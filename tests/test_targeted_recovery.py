@@ -11,7 +11,7 @@ import math
 
 import pytest
 
-from repro.campaign import ProcessShardBackend, SerialBackend
+from repro.campaign import ProcessShardBackend, run_cell, run_cell_detailed
 from repro.diagnosis.components import RankedComponent
 from repro.runtime.fleet import MonitorFleet
 from repro.runtime.telemetry import mergeable_summary, merge_summaries
@@ -28,7 +28,7 @@ DRILLS = ("player-decoder-drill", "printer-jam-drill", "recovery-ladder-drill")
 # ----------------------------------------------------------------------
 @pytest.mark.parametrize("name", DRILLS)
 def test_drill_localizes_and_targets_the_true_component(name):
-    report = SerialBackend().run(get_scenario(name), 7)
+    report = run_cell(get_scenario(name), 7)
     assert report.detection_rate > 0.0
     assert report.false_alarms == []
     diagnosis = report.telemetry_summary["diagnosis"]
@@ -46,7 +46,7 @@ def test_drill_localizes_and_targets_the_true_component(name):
 
 
 def test_storm_targets_across_all_three_kinds():
-    report = SerialBackend().run(get_scenario("targeted-rebind-storm"), 7)
+    report = run_cell(get_scenario("targeted-rebind-storm"), 7)
     diagnosis = report.telemetry_summary["diagnosis"]
     # every device kind contributed a correctly-localized suspect
     assert {"audio", "decoder", "feeder"} <= set(diagnosis["suspects"])
@@ -56,9 +56,8 @@ def test_storm_targets_across_all_three_kinds():
 
 
 def test_player_rebind_restarts_pipeline_and_clears_wedge():
-    report, _fleet_report, compiled = SerialBackend().run_detailed(
-        get_scenario("player-decoder-drill"), 7
-    )
+    cell = run_cell_detailed(get_scenario("player-decoder-drill"), 7)
+    compiled = cell.compiled
     recovered = [h for h in compiled.recoveries.values() if h.completed]
     assert recovered
     for harness in recovered:
@@ -70,9 +69,8 @@ def test_player_rebind_restarts_pipeline_and_clears_wedge():
 
 
 def test_printer_rebind_clears_jam():
-    report, _fleet_report, compiled = SerialBackend().run_detailed(
-        get_scenario("printer-jam-drill"), 7
-    )
+    cell = run_cell_detailed(get_scenario("printer-jam-drill"), 7)
+    compiled = cell.compiled
     recovered = [h for h in compiled.recoveries.values() if h.completed]
     assert recovered
     for harness in recovered:
@@ -107,8 +105,8 @@ def test_same_scenario_and_seed_yield_identical_rankings():
 @pytest.mark.parametrize("name", DRILLS + ("targeted-rebind-storm",))
 def test_diagnosis_block_is_shard_invariant(name):
     spec = get_scenario(name)
-    serial = SerialBackend().run(spec, 7)
-    sharded = ProcessShardBackend(shards=2).run(spec, 7)
+    serial = run_cell(spec, 7)
+    sharded = run_cell(spec, 7, backend=ProcessShardBackend(shards=2))
     assert sharded.telemetry_digest == serial.telemetry_digest
     assert mergeable_summary(sharded.telemetry_summary)["diagnosis"] == \
         mergeable_summary(serial.telemetry_summary)["diagnosis"]

@@ -17,7 +17,7 @@ from repro.runtime.telemetry import (
     summary_digest,
 )
 from repro.scenarios import build_plan, partition_plan
-from repro.campaign import run_shard_plan
+from repro.campaign import execute_plan
 from repro.scenarios import FaultPhase, ScenarioSpec, UserProfile
 
 SPEC = ScenarioSpec(
@@ -31,12 +31,12 @@ SPEC = ScenarioSpec(
 
 
 def _serial_summary(seed=3):
-    return run_shard_plan(build_plan(SPEC, seed))["summary"]
+    return execute_plan(build_plan(SPEC, seed))["summary"]
 
 
 def _shard_summaries(shards, seed=3):
     plans = partition_plan(build_plan(SPEC, seed), shards)
-    return [run_shard_plan(plan)["summary"] for plan in plans]
+    return [execute_plan(plan)["summary"] for plan in plans]
 
 
 # ----------------------------------------------------------------------
