@@ -10,7 +10,6 @@ relevant-warning density at top-N cutoffs against the tool's file-order
 output and a random order.
 """
 
-import pytest
 
 from repro.devtools import WarningGenerator, WarningPrioritizer
 from repro.tv.software import SoftwareBuild

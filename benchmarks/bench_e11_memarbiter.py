@@ -11,7 +11,6 @@ controller — and reports the video client's latency and the hogs'
 throughput (the fairness cost of protection).
 """
 
-import pytest
 
 from repro.platform import MemoryArbiter
 from repro.recovery import AdaptiveArbiterController

@@ -12,11 +12,10 @@ historical modeling mistakes and shows the checker catching each, and
 (c) generates the covering test scripts Sect. 4.2 proposes.
 """
 
-import pytest
 
-from repro.statemachine import Event, MachineBuilder, ModelChecker, TestGenerator
+from repro.statemachine import Event, ModelChecker, TestGenerator
 from repro.tv import build_tv_model
-from repro.tv.control_model import _exit_dual, _toggle_dual
+from repro.tv.control_model import _exit_dual
 
 from conftest import print_table, qscale, run_once
 

@@ -15,7 +15,6 @@ multiple of the bare system.
 import time as wallclock
 from dataclasses import replace
 
-import pytest
 
 from repro.awareness import make_tv_monitor
 from repro.campaign import run_cell

@@ -20,7 +20,6 @@ throughput and determinism stay covered; declarative campaigns run
 through ``repro.campaign`` (bench_e16).
 """
 
-import pytest
 
 from repro.runtime import ExperimentRunner, MonitorFleet
 

@@ -12,7 +12,6 @@ the same metrics as the old hand-rolled driver, now sweepable and
 shardable like every other scenario.
 """
 
-import pytest
 
 from repro.diagnosis.experiment import run_teletext_diagnosis_campaign
 

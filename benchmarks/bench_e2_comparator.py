@@ -10,7 +10,6 @@ measures (a) false errors on a fault-free run and (b) detection latency
 on a faulty run — the paper's trade-off frontier.
 """
 
-import pytest
 
 from repro.awareness import default_tv_config, make_tv_monitor
 from repro.tv import FaultInjector, TVSet

@@ -9,7 +9,6 @@ the mode-consistency checker, the model-based comparator, and a no-
 monitoring baseline — plus the false-alarm behaviour on a healthy run.
 """
 
-import pytest
 
 from repro.awareness import (
     ModeConsistencyChecker,
@@ -77,7 +76,9 @@ def test_e3_mode_consistency_detection(benchmark):
     results = run_once(benchmark, experiment)
     faulty = results["faulty"]
     healthy = results["healthy"]
-    fmt = lambda v: f"{v:.2f}" if isinstance(v, float) else str(v)
+    def fmt(v):
+        return f"{v:.2f}" if isinstance(v, float) else str(v)
+
     print_table(
         "E3: teletext sync-loss detection by mode consistency "
         "(paper: mode checking successfully detects these faults)",

@@ -10,7 +10,6 @@ and compares delivered frame quality with and without the run-time load
 balancer, across a sweep of signal qualities.
 """
 
-import pytest
 
 from repro.recovery import LoadBalancer
 from repro.tv import TVSet

@@ -10,7 +10,6 @@ manager, injects unit failures, and compares (a) downtime per recovery,
 between partial recovery and whole-system restart.
 """
 
-import pytest
 
 from repro.core import RecoveryAction
 from repro.recovery import (

@@ -9,7 +9,6 @@ and prints the stated-importance vs observed-irritation table, plus the
 sensitivity of the effect to the external-attribution discount.
 """
 
-import pytest
 
 from repro.perception import (
     ControlledStudy,

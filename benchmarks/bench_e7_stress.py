@@ -11,7 +11,6 @@ shows that (a) the nominal run is clean and (b) stress reveals deadline
 misses and quality loss, monotonically in stress intensity.
 """
 
-import pytest
 
 from repro.devtools import DEFAULT_SCENARIOS, StressCampaign
 

@@ -11,7 +11,6 @@ It also benchmarks the ablation Sect. 3 motivates: one global monitor vs
 hierarchical per-aspect monitors.
 """
 
-import pytest
 
 from repro.awareness import (
     ModeConsistencyChecker,

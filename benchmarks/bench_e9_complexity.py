@@ -10,9 +10,8 @@ exhaustive-testing wall), and (b) the test-script budget needed for mere
 transition coverage, compared against the state count.
 """
 
-import pytest
 
-from repro.statemachine import Event, MachineBuilder, ModelChecker, TestGenerator
+from repro.statemachine import Event, ModelChecker, TestGenerator
 from repro.tv import build_tv_model
 
 from conftest import print_table, qscale, run_once

@@ -506,6 +506,77 @@ def probe_resume(quick: bool = False) -> dict:
     return result
 
 
+def probe_service(quick: bool = False) -> dict:
+    """Campaign-service determinism probe (the PR 10 gate).
+
+    Boot the real HTTP service on an ephemeral port against a temp
+    history store, submit ``recovery-ladder-drill`` over the wire,
+    consume the chunked NDJSON stream to its terminal record, and
+    compare both digests against a serial ``run_cell`` of the same
+    spec × seed.  In-process threads only — deterministic and identical
+    on a 1-CPU container, like the resume probe.
+    """
+    import tempfile
+    import threading
+    from dataclasses import replace as dc_replace
+
+    from repro.campaign import run_cell
+    from repro.scenarios import get_scenario
+    from repro.service import CampaignServer, ServiceClient
+
+    name = "recovery-ladder-drill"
+    seed, segments = 7, 4
+    spec = dc_replace(get_scenario(name), record_spans=True)
+    serial = run_cell(spec, seed)
+    result = {
+        "scenario": name,
+        "seed": seed,
+        "segments": segments,
+        "state": "unsubmitted",
+        "telemetry_records": 0,
+        "stream_ordered": False,
+        "telemetry_match": False,
+        "span_match": False,
+        "history_recorded": False,
+        "telemetry_digest": serial.telemetry_digest,
+        "span_digest": serial.span_digest,
+    }
+    with tempfile.TemporaryDirectory() as tmp:
+        server = CampaignServer(
+            host="127.0.0.1", port=0,
+            db_path=os.path.join(tmp, "service_probe.sqlite"),
+            workers=1, segments=segments,
+        )
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        try:
+            client = ServiceClient(*server.address)
+            start = time.perf_counter()
+            job = client.submit(
+                [json.loads(spec.canonical_json())], seeds=[seed],
+            )
+            records = list(client.stream(job["job_id"]))
+            result["wall_seconds"] = round(time.perf_counter() - start, 3)
+            kinds = [record["type"] for record in records]
+            end = records[-1] if records else {}
+            result["state"] = end.get("state", "no-end-record")
+            result["telemetry_records"] = kinds.count("telemetry")
+            result["stream_ordered"] = (
+                bool(kinds) and kinds[0] == "job" and kinds[-1] == "end"
+            )
+            result["telemetry_match"] = (
+                end.get("telemetry_digest") == serial.telemetry_digest
+            )
+            result["span_match"] = (
+                end.get("span_digest") == serial.span_digest
+            )
+            result["history_recorded"] = bool(client.history(limit=5))
+        finally:
+            server.shutdown()
+            server.server_close()
+    return result
+
+
 def run_benches(quick: bool = False) -> dict:
     """Each bench_e*.py once; returns per-file status."""
     results = {}
@@ -711,6 +782,38 @@ def evaluate_report(report: dict, priors: list = None) -> list:
                 "resumed campaign span digest diverged from the "
                 "uninterrupted run (checkpoint resume gate)"
             )
+    service = report.get("service")
+    if service is None:
+        failures.append("service probe missing from the report")
+    else:
+        if service.get("state") != "complete":
+            failures.append(
+                "service probe job did not complete "
+                f"(state: {service.get('state')})"
+            )
+        if not service.get("stream_ordered"):
+            failures.append(
+                "service stream was not job-first/end-last ordered"
+            )
+        if service.get("telemetry_records", 0) <= 0:
+            failures.append(
+                "service stream carried no live telemetry records"
+            )
+        if not service.get("telemetry_match"):
+            failures.append(
+                "campaign submitted over HTTP produced a telemetry digest "
+                "diverging from the serial run (service determinism gate)"
+            )
+        if not service.get("span_match"):
+            failures.append(
+                "campaign submitted over HTTP produced a span digest "
+                "diverging from the serial run (service determinism gate)"
+            )
+        if not service.get("history_recorded"):
+            failures.append(
+                "service did not append the finished campaign to the "
+                "run-history store"
+            )
     baseline = report.get("seed_baseline", SEED_BASELINE).get(
         "kernel_events_per_sec", 0
     )
@@ -844,6 +947,15 @@ def main() -> int:
         f"span_match={resume['span_match']}, "
         f"lost_shards={resume['lost_shards']}"
     )
+    print("probing the campaign service over HTTP ...", flush=True)
+    service = probe_service(quick=args.quick)
+    print(
+        f"  service: {service['scenario']} seed {service['seed']} -> "
+        f"{service['state']}, {service['telemetry_records']} telemetry "
+        f"records, telemetry_match={service['telemetry_match']}, "
+        f"span_match={service['span_match']}, "
+        f"history_recorded={service['history_recorded']}"
+    )
     print("probing 1000-SUO streaming scenario ...", flush=True)
     scenarios = probe_scenarios()
     print(
@@ -868,6 +980,7 @@ def main() -> int:
         "diagnosis": diagnosis,
         "fuzz": fuzz,
         "resume": resume,
+        "service": service,
         "seed_baseline": SEED_BASELINE,
         "perf_floor": PERF_FLOOR,
         "benches": benches,

@@ -16,7 +16,7 @@ The deviation magnitude is type-directed:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional
 
 from ..core.contract import ErrorReport, Observation

@@ -14,8 +14,8 @@ Configuration component."  It holds, per observable:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional
+from dataclasses import dataclass
+from typing import Dict, List, Optional
 
 #: Comparison triggers.
 EVENT_BASED = "event"

@@ -17,7 +17,7 @@ and output events to the observers.
 
 from __future__ import annotations
 
-from typing import Any, Dict, Optional, Tuple
+from typing import Any, Callable, Dict, Optional, Tuple
 
 from ..core.contract import Observation
 from ..sim.kernel import Kernel

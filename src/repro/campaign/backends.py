@@ -62,6 +62,7 @@ __all__ = [
     "derive_shard_seed",
     "execute_plan",
     "execute_plan_detailed",
+    "execute_plan_segmented",
     "resolve_shards",
     "run_shard_plan",
 ]
@@ -171,6 +172,25 @@ def execute_plan(plan: ScenarioPlan) -> Dict[str, Any]:
     """
     compiled = CompiledScenario(plan.spec, plan.seed, plan=plan)
     fleet_report = compiled.run()
+    return _shard_payload(compiled, fleet_report)
+
+
+def execute_plan_segmented(
+    plan: ScenarioPlan,
+    segments: int,
+    on_segment: Optional[Callable[[CompiledScenario, int, float], None]] = None,
+) -> Dict[str, Any]:
+    """:func:`execute_plan`, sliced into ``segments`` kernel runs.
+
+    The payload is byte-identical to :func:`execute_plan`'s for any
+    segment count (see :meth:`CompiledScenario.run_segmented`); the
+    difference is purely observational — ``on_segment`` fires between
+    slices with live telemetry flushed, which is where the campaign
+    service samples :class:`~repro.runtime.telemetry.FleetTelemetry`
+    snapshots for its NDJSON stream and checks for cancellation.
+    """
+    compiled = CompiledScenario(plan.spec, plan.seed, plan=plan)
+    fleet_report = compiled.run_segmented(segments, on_segment=on_segment)
     return _shard_payload(compiled, fleet_report)
 
 

@@ -158,18 +158,54 @@ class CampaignCheckpoint:
         return self.history.campaign_cells(campaign_id)
 
     def status(self, campaign_id: str) -> Dict[str, Any]:
-        """Progress of one campaign: per-cell shard counts and digests."""
+        """Progress of one campaign: per-cell AND per-shard state.
+
+        Each cell carries a ``shards`` list with one entry per planned
+        shard — ``state`` (``"complete"`` / ``"missing"``), the number
+        of recorded ``attempts`` (retries after worker loss count), and
+        the worker/timestamp of the newest durable attempt — so a
+        partially checkpointed campaign reads as *which* shards remain,
+        not just how many.  This is the one status-assembly helper; the
+        ``repro.campaign status`` CLI and the service's
+        ``GET /campaigns/{id}`` endpoint both render exactly this dict.
+        """
         cells: List[Dict[str, Any]] = []
         for row in self.history.campaign_cells(campaign_id):
-            recorded = self.history.campaign_shard_rows(int(row["id"]))
+            log = self.history.campaign_shard_log(int(row["id"]))
+            per_shard: Dict[int, Dict[str, Any]] = {}
+            for entry in log:
+                shard = per_shard.setdefault(int(entry["shard_id"]), {
+                    "attempts": 0,
+                })
+                # ``attempt`` is the 0-based try the durable result
+                # came from (a shard retried after worker loss lands
+                # with attempt > 0), so attempt+1 is how many tries the
+                # shard took — lost attempts included.
+                shard["attempts"] = max(
+                    shard["attempts"], int(entry["attempt"]) + 1
+                )
+                shard["worker"] = entry["worker"]
+                shard["recorded_at"] = entry["recorded_at"]
+            resolved = int(row["resolved_shards"])
+            shards = []
+            for shard_id in range(resolved):
+                done = per_shard.get(shard_id)
+                shards.append({
+                    "shard_id": shard_id,
+                    "state": "complete" if done else "missing",
+                    "attempts": done["attempts"] if done else 0,
+                    "worker": done["worker"] if done else None,
+                    "recorded_at": done["recorded_at"] if done else None,
+                })
             cells.append({
                 "scenario": row["scenario"],
                 "seed": row["seed"],
                 "spec_hash": row["spec_hash"],
                 "backend": row["backend"],
                 "requested_shards": row["requested_shards"],
-                "resolved_shards": row["resolved_shards"],
-                "completed_shards": len(recorded),
+                "resolved_shards": resolved,
+                "completed_shards": len(per_shard),
+                "shards": shards,
                 "status": row["status"],
                 "telemetry_digest": row["telemetry_digest"],
                 "span_digest": row["span_digest"],

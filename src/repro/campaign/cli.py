@@ -151,6 +151,19 @@ def _cmd_status(args: argparse.Namespace) -> int:
             f"(requested {cell['requested_shards']}) {cell['status']:<9} "
             f"telemetry={(cell['telemetry_digest'] or '-')[:12]}"
         )
+        if cell["status"] == "complete":
+            continue
+        # A partial cell is a resume target: show exactly which shards
+        # remain and how many attempts the durable ones took.
+        for shard in cell["shards"]:
+            if shard["state"] == "complete":
+                detail = (
+                    f"complete  attempts={shard['attempts']} "
+                    f"worker={shard['worker']}"
+                )
+            else:
+                detail = "missing"
+            print(f"    shard {shard['shard_id']:>3}: {detail}")
     return 0
 
 

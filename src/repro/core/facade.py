@@ -19,7 +19,7 @@ Use it when you want the whole closed loop in two lines::
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import Optional, Sequence
 
 from ..awareness.config import AwarenessConfig
 from ..awareness.modes import ModeConsistencyChecker, ttx_sync_rule

@@ -11,7 +11,7 @@ open-loop fire-and-forget of traditional software.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, List, Optional
 
 from ..sim.kernel import Kernel

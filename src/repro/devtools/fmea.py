@@ -11,7 +11,7 @@ between user studies and architecture analysis.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
 import networkx as nx

@@ -15,8 +15,8 @@ the list against file-order and random baselines.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, List, Optional, Sequence
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
 
 from ..tv.software import SoftwareBuild
 

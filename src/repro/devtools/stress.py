@@ -17,8 +17,8 @@ can be activated by system testers."
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from dataclasses import dataclass
+from typing import List, Optional
 
 from ..platform.bus import Bus
 from ..platform.memory import MemoryArbiter

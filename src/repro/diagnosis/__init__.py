@@ -1,5 +1,11 @@
 """Spectrum-based diagnosis (Sect. 4.4)."""
 
+from .components import (
+    COMPONENTS,
+    FAULT_COMPONENTS,
+    ComponentSpectra,
+    RankedComponent,
+)
 from .evaluate import RankingQuality, evaluate_ranking, random_baseline_effort
 from .instrument import (
     TELETEXT_SCENARIO_27,
@@ -7,6 +13,7 @@ from .instrument import (
     ScenarioResult,
     ScenarioRunner,
 )
+from .online import OnlineDiagnoser
 from .sfl import RankedBlock, SpectrumDiagnoser
 from .similarity import COEFFICIENTS, get_coefficient, ochiai, tarantula
 from .spectra import SpectraCollector, SpectraCounts
@@ -14,7 +21,12 @@ from .spectra import SpectraCollector, SpectraCounts
 __all__ = [
     "BlockInstrumenter",
     "COEFFICIENTS",
+    "COMPONENTS",
+    "ComponentSpectra",
+    "FAULT_COMPONENTS",
+    "OnlineDiagnoser",
     "RankedBlock",
+    "RankedComponent",
     "RankingQuality",
     "ScenarioResult",
     "ScenarioRunner",
@@ -27,22 +39,4 @@ __all__ = [
     "ochiai",
     "random_baseline_effort",
     "tarantula",
-]
-
-from .online import OnlineDiagnoser
-
-__all__ += ["OnlineDiagnoser"]
-
-from .components import (
-    COMPONENTS,
-    FAULT_COMPONENTS,
-    ComponentSpectra,
-    RankedComponent,
-)
-
-__all__ += [
-    "COMPONENTS",
-    "ComponentSpectra",
-    "FAULT_COMPONENTS",
-    "RankedComponent",
 ]

@@ -13,7 +13,7 @@ richer metrics, all provided here:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, Iterable, List, Sequence
+from typing import Dict, Iterable, Sequence
 
 from .sfl import RankedBlock
 

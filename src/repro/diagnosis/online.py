@@ -11,7 +11,7 @@ the loop's ``diagnoser`` hook calls when an incident needs a suspect.
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import Optional
 
 from ..core.contract import Diagnosis, ErrorReport
 from ..tv.software import SoftwareBuild

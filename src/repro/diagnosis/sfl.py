@@ -8,7 +8,7 @@ similarity." (Sect. 4.4)
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List
 
 from ..core.contract import Diagnosis
 from .similarity import Coefficient, get_coefficient

@@ -12,8 +12,8 @@ SFL engine folds it into the four similarity counters per block.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Iterable, List, Set, Tuple
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Set
 
 
 @dataclass

@@ -9,7 +9,7 @@ analysis in :mod:`repro.devtools.fmea`.
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Optional, Tuple
+from typing import Dict, Iterator, List, Tuple
 
 import networkx as nx
 

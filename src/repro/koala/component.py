@@ -15,7 +15,7 @@ cooperating components.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, List, Optional
+from typing import Any, Callable, Dict, List
 
 from .interface import InterfaceType, Port
 

@@ -396,6 +396,22 @@ class RunHistory:
             latest[row["shard_id"]] = dict(row)
         return [latest[shard_id] for shard_id in sorted(latest)]
 
+    def campaign_shard_log(self, cell_id: int) -> List[Dict[str, Any]]:
+        """Every recorded shard attempt of one cell, oldest first.
+
+        Unlike :meth:`campaign_shard_rows` nothing is deduplicated: a
+        shard retried after worker loss appears once per attempt, which
+        is what per-shard progress reporting counts.  The ``result``
+        payload column is omitted — status views never need it.
+        """
+        rows = self._conn.execute(
+            "SELECT id, cell_id, campaign_id, spec_hash, seed, shard_id,"
+            " attempt, worker, recorded_at, trace_digest"
+            " FROM campaign_shards WHERE cell_id = ? ORDER BY id",
+            (cell_id,),
+        ).fetchall()
+        return [dict(row) for row in rows]
+
     def finish_campaign_cell(
         self,
         cell_id: int,

@@ -15,7 +15,7 @@ reflection layer of :mod:`repro.koala.reflection`:
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, Optional
+from typing import Any, Callable, Dict
 
 from ..koala.reflection import Aspect, CallContext, JoinPoint
 from ..sim.trace import Trace

@@ -14,8 +14,8 @@ reads arbiter performance counters.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List
 
 from ..koala.binding import Configuration
 from ..koala.reflection import Aspect, CallContext, JoinPoint, Weaver

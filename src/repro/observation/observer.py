@@ -19,7 +19,7 @@ SUO at all, which is how probes observe fleet members.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, List, Optional
+from typing import Any, Callable, Dict, List
 
 from ..koala.binding import Configuration
 from ..koala.component import Component

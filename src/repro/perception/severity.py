@@ -19,8 +19,8 @@ The irritation model combines the factors the paper names:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Optional
+from dataclasses import dataclass
+from typing import Dict
 
 
 @dataclass(frozen=True)

@@ -11,7 +11,7 @@ while the swivel irritates a lot.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
 from .attribution import AttributionModel, FailureContext

@@ -10,7 +10,7 @@ kept for the observers.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Generator, Any
 
 from ..sim.kernel import Kernel

@@ -12,7 +12,7 @@ from __future__ import annotations
 from typing import Callable, Dict, List, Optional
 
 from ..sim.kernel import Kernel
-from .cpu import Processor, ProcessorPool
+from .cpu import ProcessorPool
 from .task import PeriodicTask
 
 

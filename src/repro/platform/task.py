@@ -15,7 +15,7 @@ which the awareness monitors detect overload.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable, Generator, List, Optional
 
 from ..sim.kernel import Kernel

@@ -19,7 +19,7 @@ checking, and injectable faults:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable, Dict, Generator, List, Optional
 
 from ..koala.component import Component

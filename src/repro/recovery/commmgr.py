@@ -9,11 +9,11 @@ needs no knowledge of B's recovery at all.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List
 
 from ..sim.kernel import Kernel
-from .units import RESTARTING, RUNNING, RecoverableUnit
+from .units import RUNNING, RecoverableUnit
 
 
 @dataclass

@@ -13,7 +13,6 @@ implemented."  The pieces a unit author composes:
 from __future__ import annotations
 
 import copy
-from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Tuple, TypeVar
 
 from ..sim.kernel import Event, Kernel

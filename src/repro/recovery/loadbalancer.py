@@ -12,11 +12,10 @@ task to the least-loaded core.  A cooldown prevents ping-ponging.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
 
 from ..platform.scheduler import Scheduler
-from ..platform.task import PeriodicTask
 from ..sim.kernel import Kernel
 
 

@@ -14,7 +14,7 @@ are comfortably within bounds, weights decay back toward fairness.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 from ..platform.memory import MemoryArbiter

@@ -15,8 +15,8 @@ Built-in action kinds (extensible through :meth:`register_handler`):
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional
+from dataclasses import dataclass
+from typing import Callable, Dict, List
 
 from ..core.contract import RecoveryAction
 from ..sim.kernel import Kernel

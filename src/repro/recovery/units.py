@@ -13,7 +13,7 @@ to a unit while it is down (see :mod:`repro.recovery.commmgr`).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable, Dict, Generator, List, Optional
 
 from ..sim.kernel import Kernel

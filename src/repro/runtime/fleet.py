@@ -28,7 +28,7 @@ import hashlib
 import time as wallclock
 import warnings
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional
+from typing import Any, Dict, List, Optional
 
 from ..awareness.monitor import (
     AwarenessMonitor,

@@ -28,7 +28,7 @@ from ..diagnosis.components import FAULT_COMPONENTS
 from ..runtime.fleet import FleetMember, FleetReport, MonitorFleet, build_fleet_report
 from ..sim.random import RandomStreams
 from ..tv.remote import KeySequence
-from .plan import PlannedMember, ScenarioPlan, build_plan, derive_shard_seed
+from .plan import ScenarioPlan, build_plan, derive_shard_seed
 from .recovery import MemberRecovery
 from .spec import FaultPhase, ScenarioSpec, TV_FLAG_FAULTS
 
@@ -436,6 +436,31 @@ class CompiledScenario:
         dispatched, and wall time accumulate across segments, matching
         the cumulative error counts and telemetry it carries.
         """
+        return self.run_segmented(1)
+
+    def run_segmented(
+        self,
+        segments: int,
+        on_segment: Optional[
+            Callable[["CompiledScenario", int, float], None]
+        ] = None,
+    ) -> FleetReport:
+        """Drive one ``spec.duration`` campaign in ``segments`` slices.
+
+        Semantically identical to :meth:`run` — the kernel documents
+        that interleaved ``run(until=...)`` calls dispatch the same
+        events in the same order as one call, and the final boundary is
+        the exact float an unsegmented run stops at — so the trace and
+        telemetry digests are byte-identical for any segment count.
+        ``on_segment(compiled, index, now)`` fires after each boundary
+        with telemetry flushed: the live-snapshot seam the campaign
+        service streams :class:`~repro.runtime.telemetry.FleetTelemetry`
+        state through while a shard runs.  A callback that raises aborts
+        the run (cooperative cancellation); the kernel clock stays at
+        the completed boundary.
+        """
+        if segments < 1:
+            raise ValueError("segments must be >= 1")
         if not self._started:
             self._started = True
             self._power_on_tvs()
@@ -443,8 +468,19 @@ class CompiledScenario:
             self._start_players()
             self._start_printers()
             self._schedule_phases()
+        kernel = self.fleet.kernel
+        origin = kernel.now
         start = wallclock.perf_counter()
-        dispatched = self.fleet.run(self.spec.duration)
+        dispatched = 0
+        for index in range(segments):
+            # (index + 1) / segments is exactly 1.0 on the last slice,
+            # so the final boundary equals origin + duration — the same
+            # float run() targets — whatever the intermediate cuts were.
+            boundary = origin + self.spec.duration * ((index + 1) / segments)
+            dispatched += kernel.run(until=boundary)
+            self.fleet.telemetry.flush()
+            if on_segment is not None:
+                on_segment(self, index, kernel.now)
         self._wall += wallclock.perf_counter() - start
         self._elapsed += self.spec.duration
         self._dispatched += dispatched

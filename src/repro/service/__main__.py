@@ -1,0 +1,85 @@
+"""``python -m repro.service`` — boot the campaign service.
+
+    python -m repro.service --port 8750 --db BENCH_history.sqlite
+
+``--port 0`` binds an ephemeral port; ``--port-file`` writes the bound
+port to a file once listening, which is how the CI smoke lane (and any
+other supervisor) discovers the address race-free.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .server import CampaignServer
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.service",
+        description="long-lived HTTP/JSON campaign service",
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument(
+        "--port",
+        type=int,
+        default=8750,
+        help="TCP port (0 = ephemeral; see --port-file)",
+    )
+    parser.add_argument(
+        "--db",
+        default="BENCH_history.sqlite",
+        help="run-history SQLite store (campaign checkpoints + /history)",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=2,
+        help="bounded job pool size (concurrent campaigns)",
+    )
+    parser.add_argument(
+        "--segments",
+        type=int,
+        default=8,
+        help="default kernel slices per shard (stream granularity)",
+    )
+    parser.add_argument(
+        "--port-file",
+        default=None,
+        help="write the bound port here once listening",
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    server = CampaignServer(
+        host=args.host,
+        port=args.port,
+        db_path=args.db,
+        workers=args.workers,
+        segments=args.segments,
+    )
+    host, port = server.address
+    if args.port_file:
+        with open(args.port_file, "w", encoding="utf-8") as handle:
+            handle.write(str(port))
+    print(
+        f"campaign service listening on http://{host}:{port} "
+        f"(db={args.db}, workers={args.workers})",
+        flush=True,
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("shutting down", flush=True)
+    finally:
+        server.shutdown()
+        server.server_close()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -22,7 +22,7 @@ is model checking of the *executable* semantics, not of an abstraction.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, FrozenSet, List, Optional, Set, Tuple
+from typing import Any, Callable, Dict, List, Optional, Set, Tuple
 
 from .events import Event
 from .machine import Machine

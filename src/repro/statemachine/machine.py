@@ -19,7 +19,7 @@ model object directly, which has the same observable behaviour.
 from __future__ import annotations
 
 import copy
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from .events import Event, EventQueue

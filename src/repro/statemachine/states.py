@@ -11,7 +11,7 @@ Sect. 4.3).
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 ActionFn = Callable[..., None]
 

@@ -10,13 +10,13 @@ code from; here we execute it directly.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Optional, TYPE_CHECKING
+from typing import Callable, Optional, TYPE_CHECKING
 
 from .events import Event
 from .states import State
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
-    from .machine import Machine
+    from .machine import Machine  # noqa: F401  (quoted forward refs below)
 
 GuardFn = Callable[["Machine", Event], bool]
 TransitionActionFn = Callable[["Machine", Event], None]

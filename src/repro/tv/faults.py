@@ -23,7 +23,7 @@ Catalogue (all user-visible through the screen/sound observables):
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional
+from typing import Dict, List
 
 from .tvset import TVSet
 

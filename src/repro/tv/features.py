@@ -9,7 +9,7 @@ feature-interaction faults.
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional, Set
+from typing import Callable, List, Set
 
 from ..koala.component import Component
 from ..sim.kernel import Kernel

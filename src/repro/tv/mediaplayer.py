@@ -12,7 +12,7 @@ specification model of the player's control behaviour.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, Generator, List, Optional
+from typing import Any, Callable, Generator, List, Optional
 
 from ..sim.kernel import Kernel
 from ..sim.process import Delay, Interrupted, Process

@@ -14,7 +14,7 @@ system itself notices nothing.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, Generator, List, Optional, Tuple
+from typing import Any, Dict, Generator, Optional, Tuple
 
 from ..koala.component import Component
 from ..sim.kernel import Kernel

@@ -16,7 +16,7 @@ handlers so spec and system diverge in user-visible ways.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional
 
 from ..koala.binding import Configuration

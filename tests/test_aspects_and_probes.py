@@ -6,7 +6,7 @@ from repro.awareness import AwarenessConfig, ModelExecutor
 from repro.core import Observation
 from repro.koala import JoinPoint, Weaver
 from repro.observation import BufferProbe, call_counter, call_logger, latency_recorder, value_tap
-from repro.sim import Delay, Kernel, Process, Store, Trace
+from repro.sim import Kernel, Store, Trace
 from repro.statemachine import MachineBuilder
 from repro.tv import TVSet
 

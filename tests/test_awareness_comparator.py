@@ -1,6 +1,5 @@
 """Tests for the Comparator: thresholds, consecutive deviations, triggers."""
 
-import pytest
 
 from repro.awareness import (
     AwarenessConfig,

@@ -1,6 +1,5 @@
 """Tests for the assembled awareness monitor and mode-consistency checking."""
 
-import pytest
 
 from repro.awareness import (
     ModeConsistencyChecker,

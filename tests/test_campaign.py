@@ -20,15 +20,7 @@ from repro.campaign import (
     format_campaign_table,
 )
 from repro.runtime.telemetry import mergeable_summary
-from repro.scenarios import (
-    FaultPhase,
-    SCENARIOS,
-    ScenarioSpec,
-    UserProfile,
-    build_plan,
-    partition_plan,
-    scenario_names,
-)
+from repro.scenarios import FaultPhase, SCENARIOS, ScenarioSpec, UserProfile, build_plan, partition_plan
 
 SMALL = ScenarioSpec(
     name="campaign-small",

@@ -1,6 +1,5 @@
 """Tests for the integrated TraderTV facade."""
 
-import pytest
 
 from repro.core import TraderTV
 

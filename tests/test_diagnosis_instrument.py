@@ -1,6 +1,5 @@
 """Integration tests for the instrumented-scenario diagnosis pipeline (E1)."""
 
-import pytest
 
 from repro.diagnosis import (
     TELETEXT_SCENARIO_27,

@@ -1,6 +1,5 @@
 """Tests for run-time (online) diagnosis feeding the Fig. 1 loop."""
 
-import pytest
 
 from repro.awareness import make_tv_monitor
 from repro.core import TraderTV

@@ -6,7 +6,6 @@ repairs → loop verifies — the paper's model-to-model validation (Sect. 5)
 plus actual recovery.
 """
 
-import pytest
 
 from repro.awareness import (
     ModeConsistencyChecker,

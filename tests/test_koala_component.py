@@ -171,7 +171,10 @@ class TestInterceptors:
     def test_remove_interceptor(self):
         counter, consumer = wired_pair()
         calls = []
-        interceptor = lambda c, p, o, k, proceed: (calls.append(o), proceed())[1]
+        def interceptor(c, p, o, k, proceed):
+            calls.append(o)
+            return proceed()
+
         counter.add_interceptor(interceptor)
         consumer.call("counter", "value")
         counter.remove_interceptor(interceptor)

@@ -1,6 +1,5 @@
 """Tests for interface types, operations, and range contracts."""
 
-import pytest
 
 from repro.koala import InterfaceType, Operation
 

@@ -9,7 +9,6 @@ history) must stay silent.
 
 from dataclasses import replace
 
-import pytest
 
 from repro.campaign import run_cell
 from repro.obs.history import RunHistory, current_git_rev

@@ -1,6 +1,5 @@
 """Tests for probes, hardware monitors, and the deadlock detector."""
 
-import pytest
 
 from repro.observation import (
     CallStackMonitor,

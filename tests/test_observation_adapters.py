@@ -1,6 +1,5 @@
 """Tests for hardware monitors lifted into the Fig. 1 loop."""
 
-import pytest
 
 from repro.core import AwarenessLoop, LadderStep, MonitorHierarchy, RecoveryPolicy
 from repro.observation import (

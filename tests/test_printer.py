@@ -1,6 +1,5 @@
 """Tests for the printer domain (Octopus, Sect. 5)."""
 
-import pytest
 
 from repro.awareness import ModeConsistencyChecker, ModeRule
 from repro.printer import (

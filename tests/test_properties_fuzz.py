@@ -6,7 +6,6 @@ attached awareness monitor never raises a false error.  This is the
 model-to-model validation of Sect. 5 driven by generated inputs.
 """
 
-import pytest
 from hypothesis import HealthCheck, example, given, settings, strategies as st
 
 from repro.awareness import MessageChannel, make_tv_monitor

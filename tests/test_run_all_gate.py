@@ -100,6 +100,12 @@ def passing_report():
             "shards_durable_at_interrupt": 2, "lost_shards": 0,
             "telemetry_match": True, "span_match": True,
         },
+        "service": {
+            "scenario": "recovery-ladder-drill", "seed": 7, "segments": 4,
+            "state": "complete", "telemetry_records": 4,
+            "stream_ordered": True, "telemetry_match": True,
+            "span_match": True, "history_recorded": True,
+        },
         "benches": {
             "bench_e14_fleet.py": {"ok": True, "seconds": 1.0},
             "bench_e16_sharded.py": {"ok": True, "seconds": 2.0},
@@ -384,6 +390,51 @@ def test_resume_probe_must_actually_interrupt():
     report = passing_report()
     report["resume"]["shards_durable_at_interrupt"] = 0
     assert any("checkpointed no shards" in f for f in evaluate_report(report))
+
+
+# ----------------------------------------------------------------------
+# the campaign-service gate (PR 10)
+# ----------------------------------------------------------------------
+def test_missing_service_probe_fails():
+    report = passing_report()
+    del report["service"]
+    assert any("service probe missing" in f for f in evaluate_report(report))
+
+
+def test_service_digest_divergence_fails():
+    report = passing_report()
+    report["service"]["telemetry_match"] = False
+    failures = evaluate_report(report)
+    assert any(
+        "HTTP" in f and "telemetry digest" in f for f in failures
+    )
+    report = passing_report()
+    report["service"]["span_match"] = False
+    assert any(
+        "HTTP" in f and "span digest" in f for f in evaluate_report(report)
+    )
+
+
+def test_service_job_must_complete_with_live_telemetry():
+    report = passing_report()
+    report["service"]["state"] = "failed"
+    assert any("did not complete" in f for f in evaluate_report(report))
+    report = passing_report()
+    report["service"]["telemetry_records"] = 0
+    assert any(
+        "no live telemetry" in f for f in evaluate_report(report)
+    )
+    report = passing_report()
+    report["service"]["stream_ordered"] = False
+    assert any("ordered" in f for f in evaluate_report(report))
+
+
+def test_service_must_append_to_history():
+    report = passing_report()
+    report["service"]["history_recorded"] = False
+    assert any(
+        "run-history store" in f for f in evaluate_report(report)
+    )
 
 
 # ----------------------------------------------------------------------

@@ -93,7 +93,9 @@ def test_profile_assignment_is_deterministic_and_exhaustive():
     )
     first = CompiledScenario(spec, seed=5)
     second = CompiledScenario(spec, seed=5)
-    mix_of = lambda c: {name: len(g) for name, g in c.profile_groups.items()}
+    def mix_of(c):
+        return {name: len(g) for name, g in c.profile_groups.items()}
+
     assert mix_of(first) == mix_of(second)
     assert sum(mix_of(first).values()) == 20
     assert mix_of(first)["a"] > mix_of(first)["b"]  # weights respected

@@ -1,6 +1,5 @@
 """Tests for generator-based processes, signals, and interrupts."""
 
-import pytest
 
 from repro.sim import Delay, Interrupted, Kernel, Process, Signal, WaitSignal
 

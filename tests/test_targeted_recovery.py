@@ -15,7 +15,7 @@ from repro.campaign import ProcessShardBackend, run_cell, run_cell_detailed
 from repro.diagnosis.components import RankedComponent
 from repro.runtime.fleet import MonitorFleet
 from repro.runtime.telemetry import mergeable_summary, merge_summaries
-from repro.scenarios import FaultPhase, ScenarioSpec, UserProfile, get_scenario
+from repro.scenarios import UserProfile, get_scenario
 from repro.scenarios.compile import CompiledScenario
 from repro.scenarios.recovery import DOWNTIME, MemberRecovery
 

@@ -1,10 +1,8 @@
 """Tests for teletext synchronization and the video pipeline."""
 
-import pytest
 
 from repro.sim import Kernel
 from repro.tv import TVSet, Teletext
-from repro.platform import make_tv_soc
 
 
 class TestTeletext:
